@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 1 (motivational utilization heatmap).
+
+Checks the corner bias the paper motivates with: the top-left FU is
+used by (nearly) all configurations, the bottom-right by almost none,
+and utilization decays monotonically away from the top-left corner.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark):
+    result = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    print("\n" + fig1.render(result))
+
+    util = result.utilization
+    # Top-left FU is the hottest, used by ~all configurations.
+    assert result.top_left >= 0.95
+    # Bottom-right is (nearly) never used, as in the paper's 1%.
+    assert result.bottom_right <= 0.05
+    # Rows get monotonically less stressed bottom-to-top (row 0 = paper
+    # row 1), columns left-to-right.
+    row_means = util.mean(axis=1)
+    assert all(a >= b for a, b in zip(row_means, row_means[1:]))
+    col_means = util.mean(axis=0)
+    assert col_means[0] > 2 * col_means[-1]

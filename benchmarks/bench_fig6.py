@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Fig. 6 (design-space exploration).
+
+Shape checks against the paper's plot: TransRec cuts execution time
+roughly in half; energy grows with fabric size at fixed length; the
+BE-class design is the energy minimum and sits below the GPP's 1.0
+line; occupation falls as fabrics grow.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    print("\n" + fig6.render(result))
+
+    by_shape = {(p.cols, p.rows): p for p in result.points}
+
+    # Every design point accelerates the suite.
+    assert all(p.exec_time_ratio < 1.0 for p in result.points)
+
+    # Energy grows with width at fixed length (more cells to clock).
+    for cols in (8, 16, 24, 32):
+        energies = [by_shape[(cols, rows)].energy_ratio for rows in (2, 4, 8)]
+        assert energies[0] < energies[1] < energies[2]
+
+    # Occupation falls as the fabric grows in either dimension.
+    for cols in (8, 16, 24, 32):
+        utils = [by_shape[(cols, rows)].avg_utilization for rows in (2, 4, 8)]
+        assert utils[0] > utils[1] > utils[2]
+
+    # The named scenarios keep their paper roles: BE is the energy
+    # minimum of the three and below the GPP line; BP/BU are the
+    # fastest; BU has the lowest occupation.
+    be, bp, bu = (result.scenarios[k] for k in ("BE", "BP", "BU"))
+    assert be.energy_ratio < 1.0
+    assert be.energy_ratio < bp.energy_ratio < bu.energy_ratio
+    assert bp.speedup >= be.speedup
+    assert bu.avg_utilization < bp.avg_utilization < be.avg_utilization
+    # Speedups land in the paper's band (~2.1-2.5x).
+    assert 1.5 < be.speedup < 3.0
+    assert 1.7 < bp.speedup < 3.2

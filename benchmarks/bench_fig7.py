@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 7 (BE utilization, baseline vs proposed).
+
+Shape checks: the baseline map is strongly corner-biased (~95-100%
+worst case), the proposed map is flat at roughly the fabric-average
+occupation, and the worst-case drop matches the paper's ~2.3x band.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark):
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    print("\n" + fig7.render(result))
+
+    # Baseline: worst case near 100% (paper: 94.5%).
+    assert result.baseline_max >= 0.90
+    # Proposed: worst case collapses to the 40-55% band (paper: 41.2%).
+    assert 0.35 <= result.proposed_max <= 0.60
+    # The proposed map is nearly flat (Fig. 7 bottom).
+    assert result.flatness >= 0.90
+    # Worst-case reduction of at least 1.8x (paper: 94.5/41.2 = 2.3x).
+    assert result.baseline_max / result.proposed_max >= 1.8
+    # Balancing does not change the configurations themselves: both
+    # runs commit the same instruction counts.
+    for name, base_run in result.baseline_run.results.items():
+        prop_run = result.proposed_run.results[name]
+        assert base_run.instructions == prop_run.instructions
+        assert base_run.cgra.launches == prop_run.cgra.launches

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Fig. 8 (utilization PDFs + delay curves).
+
+Shape checks: baseline PDFs have mass near zero *and* a stressed tail,
+proposed PDFs concentrate near the mean; delay curves grow with time
+and the proposed curve stays strictly below the baseline's; larger
+fabrics benefit more.
+"""
+
+import numpy as np
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark):
+    result = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    print("\n" + fig8.render(result))
+
+    for curves in result.scenarios.values():
+        # Proposed distribution is tighter than the baseline's.
+        assert curves.proposed_values.std() < curves.baseline_values.std()
+        # Balancing conserves total stress (same launches, same cells).
+        np.testing.assert_allclose(
+            curves.proposed_values.mean(),
+            curves.baseline_values.mean(),
+            rtol=1e-9,
+        )
+        # Delay curves increase monotonically...
+        assert (np.diff(curves.baseline_delay) > 0).all()
+        assert (np.diff(curves.proposed_delay) > 0).all()
+        # ...and the proposed design ages strictly slower.
+        assert (curves.proposed_delay < curves.baseline_delay).all()
+        assert curves.proposed_lifetime > curves.baseline_lifetime
+
+    # Larger fabrics gain more lifetime (Table I's trend).
+    improvements = [
+        result.scenarios[name].proposed_lifetime
+        / result.scenarios[name].baseline_lifetime
+        for name in ("BE", "BP", "BU")
+    ]
+    assert improvements[0] < improvements[1] < improvements[2]

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table I (utilization + lifetime improvements).
+
+Shape checks: lifetime improvement grows with fabric size, lands in
+the paper's 2x-11x band per scenario, and equals the worst-utilization
+ratio (the Eq. 1 closed form the paper's numbers compose by).
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print("\n" + table1.render(result))
+
+    rows = {row.scenario: row for row in result.rows}
+    be, bp, bu = rows["BE"], rows["BP"], rows["BU"]
+
+    # Baselines pin the worst FU near full stress.
+    for row in result.rows:
+        assert row.baseline_worst >= 0.90
+        # Proposed worst approaches (from above) the fabric average.
+        assert row.proposed_worst >= row.avg_utilization * 0.95
+        assert row.proposed_worst <= row.avg_utilization * 1.5
+        # Improvement == worst-utilization ratio (Eq. 1 closed form).
+        assert row.lifetime_improvement == pytest.approx(
+            row.baseline_worst / row.proposed_worst, rel=1e-9
+        )
+
+    # Bands around the paper's 2.29x / 4.37x / 7.97x.
+    assert 1.7 <= be.lifetime_improvement <= 3.2
+    assert 3.3 <= bp.lifetime_improvement <= 6.5
+    assert 6.0 <= bu.lifetime_improvement <= 12.0
+    # Monotone in fabric size (more utilization budget -> more life).
+    assert (
+        be.lifetime_improvement
+        < bp.lifetime_improvement
+        < bu.lifetime_improvement
+    )
+    # Average utilization falls with fabric size.
+    assert be.avg_utilization > bp.avg_utilization > bu.avg_utilization

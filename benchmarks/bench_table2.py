@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Table II (area overhead) + Sec. V-B latency.
+
+Checks the paper's two hardware-cost claims: area overhead below 10%
+(paper: +4.15% area / +4.45% cells) with absolute numbers in the
+Table II band, and an unchanged single-column critical path (120 ps).
+"""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    print("\n" + table2.render(result))
+
+    # Under 10% overhead — the headline claim.
+    assert result.area_overhead < 0.10
+    assert result.cell_overhead < 0.10
+    # In the paper's band (~4-5%).
+    assert 0.02 < result.area_overhead < 0.08
+    assert 0.02 < result.cell_overhead < 0.08
+    # Absolute calibration stays in Table II's neighbourhood.
+    assert 25_000 < result.baseline.area_um2 < 33_000
+    assert 70_000 < result.baseline.n_cells < 90_000
+    # Modified design is strictly larger.
+    assert result.modified.area_um2 > result.baseline.area_um2
+    assert result.modified.n_cells > result.baseline.n_cells
+    # Section V-B: no cycle-time impact, 120 ps both designs.
+    assert result.latency_unchanged
+    assert result.baseline_timing.column_latency_ps == 120.0
+
+
+def test_table2_all_scenarios(benchmark):
+    """The <10% overhead claim holds across the whole design space."""
+
+    def run_all():
+        return {
+            (rows, cols): table2.run(rows=rows, cols=cols)
+            for rows in (2, 4, 8)
+            for cols in (8, 16, 24, 32)
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for (rows, cols), result in results.items():
+        assert result.area_overhead < 0.10, (rows, cols)
+        assert result.cell_overhead < 0.10, (rows, cols)
+        assert result.latency_unchanged, (rows, cols)

@@ -1,0 +1,80 @@
+"""Policy ablation: every allocation strategy on the BU fabric.
+
+Compares the four allocation policies (plus rotation pattern variants)
+on the largest scenario, where the utilization budget is biggest. This
+covers the paper's future-work direction — using run-time aging
+information (the stress-aware policy) — and shows why the cheap
+hardware rotation is already close to the balancing optimum.
+
+Run:  python examples/adaptive_policy.py
+"""
+
+from repro import NBTIModel, lifetime_improvement
+from repro.analysis.distribution import gini, summary_statistics
+from repro.analysis.tables import render_table
+from repro.core.utilization import Weighting
+from repro.experiments.common import run_suite
+
+ROWS, COLS = 8, 32  # the BU fabric
+
+POLICIES = (
+    ("baseline", {}),
+    ("static_remap", {}),   # related work [19]: health-aware, frozen
+    ("rotation", {"pattern": "snake"}),
+    ("rotation", {"pattern": "raster"}),
+    ("rotation", {"pattern": "column_snake"}),
+    ("rotation", {"pattern": "diagonal"}),
+    ("random", {"seed": 1}),
+    ("stress_aware", {"interval": 16}),
+)
+
+
+def label_of(policy, kwargs):
+    if policy == "rotation":
+        return f"rotation/{kwargs['pattern']}"
+    return policy
+
+
+def main():
+    model = NBTIModel()
+    baseline_worst = None
+    rows = []
+    for policy, kwargs in POLICIES:
+        run = run_suite(ROWS, COLS, policy=policy, **kwargs)
+        util = run.utilization(Weighting.EXECUTIONS)
+        stats = summary_statistics(util.ravel())
+        if policy == "baseline":
+            baseline_worst = stats["max"]
+        improvement = lifetime_improvement(
+            model, baseline_worst, stats["max"]
+        )
+        rows.append(
+            (
+                label_of(policy, kwargs),
+                f"{run.geomean_speedup():.2f}x",
+                f"{stats['max'] * 100:5.1f}%",
+                f"{stats['mean'] * 100:5.1f}%",
+                f"{gini(util.ravel()):.3f}",
+                f"{improvement:.2f}x",
+            )
+        )
+    print(
+        render_table(
+            ("policy", "speedup", "worst util", "mean util",
+             "gini", "lifetime vs baseline"),
+            rows,
+            title=f"Allocation-policy ablation on the BU fabric "
+                  f"({COLS}x{ROWS}, full suite)",
+        )
+    )
+    print(
+        "\nReading the table: every balancing policy pushes the worst-"
+        "case utilization toward the fabric mean (gini -> 0). The "
+        "paper's snake rotation gets there with a counter and a few "
+        "muxes; the stress-aware variant (future work in the paper) "
+        "buys only a little more balance for a pivot search."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Bring your own kernel: assembly -> trace -> DBT -> fabric.
+
+Writes a small dot-product kernel in the library's RV32IM dialect,
+executes it functionally, inspects the translation units the DBT forms
+(sizes, shapes, dependence structure) and compares allocation policies
+on the resulting stream — the full pipeline a new workload goes
+through.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro import CPU, FabricGeometry, SystemParams, TransRecSystem, assemble
+from repro.analysis.heatmap import render_heatmap
+from repro.dbt import build_dfg, critical_path_length, build_unit
+from repro.dbt.dfg import ilp_estimate
+
+KERNEL = """
+# dot product of two 64-element vectors, unrolled by two
+main:
+    la   t0, vec_a
+    la   t1, vec_b
+    li   t2, 32            # iterations (2 elements each)
+    li   a0, 0
+loop:
+    lw   t3, 0(t0)
+    lw   t4, 0(t1)
+    mul  t5, t3, t4
+    add  a0, a0, t5
+    lw   t3, 4(t0)
+    lw   t4, 4(t1)
+    mul  t5, t3, t4
+    add  a0, a0, t5
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi t2, t2, -1
+    bnez t2, loop
+    li   a7, 93
+    ecall
+
+.data
+vec_a: .word {a_words}
+vec_b: .word {b_words}
+"""
+
+
+def main():
+    a = [i % 23 + 1 for i in range(64)]
+    b = [(3 * i) % 17 + 1 for i in range(64)]
+    source = KERNEL.format(
+        a_words=", ".join(map(str, a)),
+        b_words=", ".join(map(str, b)),
+    )
+    program = assemble(source, name="dotproduct")
+    result = CPU(program).run()
+    expected = sum(x * y for x, y in zip(a, b))
+    print(f"functional result: {result.exit_code} (expected {expected})")
+    assert result.exit_code == expected
+    trace = result.trace
+    print(f"dynamic instructions: {len(trace)}\n")
+
+    geometry = FabricGeometry(rows=2, cols=16)  # the BE fabric
+    unit = build_unit(trace, 0, geometry)
+    print("first translation unit the DBT forms:")
+    print(f"  instructions: {unit.n_instructions}, fabric ops: {unit.n_ops}")
+    print(f"  shape: {unit.used_rows} rows x {unit.used_cols} columns")
+    print(f"  speculated branches: {unit.n_branches}")
+    window = [trace[i] for i in range(unit.n_instructions)]
+    graph = build_dfg(window)
+    print(f"  dependence critical path: {critical_path_length(graph)} ops")
+    print(f"  window ILP estimate: {ilp_estimate(graph):.2f}\n")
+
+    for policy in ("baseline", "rotation", "stress_aware"):
+        system = TransRecSystem(
+            SystemParams(geometry=geometry, policy=policy)
+        )
+        run = system.run_trace(trace)
+        print(
+            f"{policy:13s} speedup {run.speedup:4.2f}x   "
+            f"worst util {run.tracker.max_utilization() * 100:5.1f}%   "
+            f"mean util {run.tracker.mean_utilization() * 100:5.1f}%"
+        )
+    system = TransRecSystem(SystemParams(geometry=geometry, policy="rotation"))
+    run = system.run_trace(trace)
+    print()
+    print(render_heatmap(run.tracker.utilization(),
+                         title="rotation policy utilization map"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — reproduction of "Proactive Aging Mitigation in CGRAs through
+Utilization-Aware Allocation" (Brandalero et al., DAC 2020).
+
+Quick start::
+
+    from repro import make_system, run_workload
+
+    trace = run_workload("bitcount")
+    baseline = make_system("BE", policy="baseline").run_trace(trace)
+    proposed = make_system("BE", policy="rotation").run_trace(trace)
+    print(baseline.tracker.max_utilization(),
+          proposed.tracker.max_utilization())
+
+Packages:
+
+* :mod:`repro.core` — the paper's contribution (allocation policies).
+* :mod:`repro.aging` — NBTI model (Eq. 1) and lifetime analysis.
+* :mod:`repro.cgra` / :mod:`repro.dbt` / :mod:`repro.gpp` /
+  :mod:`repro.isa` / :mod:`repro.sim` — the TransRec substrate.
+* :mod:`repro.hw` — area/timing/energy models (Table II, Sec. V-B).
+* :mod:`repro.system` / :mod:`repro.dse` — full-system simulation and
+  design-space exploration.
+* :mod:`repro.workloads` — the 10 MiBench-like kernels.
+* :mod:`repro.experiments` — per-figure/table reproduction drivers.
+"""
+
+from repro.aging import NBTIModel, lifetime_improvement, lifetime_years
+from repro.cgra import FabricGeometry, VirtualConfiguration
+from repro.core import (
+    AllocationPolicy,
+    BaselinePolicy,
+    ConfigurationAllocator,
+    RandomPolicy,
+    RotationPolicy,
+    StressAwarePolicy,
+    UtilizationTracker,
+    Weighting,
+    available_policies,
+    make_policy,
+)
+from repro.errors import ReproError
+from repro.isa import Program, assemble
+from repro.sim import CPU, Trace
+from repro.system import (
+    SCENARIOS,
+    SystemParams,
+    SystemResult,
+    TransRecSystem,
+    make_system,
+)
+from repro.workloads import run_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationPolicy",
+    "BaselinePolicy",
+    "CPU",
+    "ConfigurationAllocator",
+    "FabricGeometry",
+    "NBTIModel",
+    "Program",
+    "RandomPolicy",
+    "ReproError",
+    "RotationPolicy",
+    "SCENARIOS",
+    "StressAwarePolicy",
+    "SystemParams",
+    "SystemResult",
+    "Trace",
+    "TransRecSystem",
+    "UtilizationTracker",
+    "VirtualConfiguration",
+    "Weighting",
+    "__version__",
+    "assemble",
+    "available_policies",
+    "lifetime_improvement",
+    "lifetime_years",
+    "make_policy",
+    "make_system",
+    "run_workload",
+    "workload_names",
+]

@@ -1,0 +1,14 @@
+"""Top-level CLI: ``python -m repro`` runs the experiment reproductions.
+
+Delegates to :mod:`repro.experiments.__main__`; see that module for the
+experiment names.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.__main__ import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,33 @@
+"""Timing-guardband sizing against NBTI wear-out.
+
+Designs ship with a frequency guardband covering the delay degradation
+expected over the product's life (paper Section II-A). These helpers
+answer the two directions of that trade-off: how much guardband a
+target lifetime needs, and how long a given guardband lasts.
+"""
+
+from __future__ import annotations
+
+from repro.aging.nbti import NBTIModel
+
+
+def guardband_for_lifetime(
+    model: NBTIModel, worst_utilization: float, target_years: float
+) -> float:
+    """Relative delay margin needed to survive ``target_years``.
+
+    Returns e.g. ``0.08`` meaning the shipped clock period must be 8%
+    longer than the fresh-silicon critical path.
+    """
+    if target_years < 0:
+        raise ValueError("target lifetime must be non-negative")
+    return model.delay_increase(target_years, worst_utilization)
+
+
+def lifetime_under_guardband(
+    model: NBTIModel, worst_utilization: float, guardband: float
+) -> float:
+    """Years until the delay degradation consumes ``guardband``."""
+    if guardband <= 0:
+        raise ValueError("guardband must be positive")
+    return model.years_to_degradation(worst_utilization, guardband)

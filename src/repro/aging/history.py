@@ -1,0 +1,73 @@
+"""Epoch-based stress accounting for time-varying utilization.
+
+Eq. 1 assumes a constant duty cycle. Real systems change workloads, so
+we track stress as accumulated *effective stress time* ``sum(u_i *
+dt_i)``: under the model's ``(t * u)^(1/6)`` form, a varying-duty
+history is equivalent to running at u = 1 for the accumulated stress
+time. This keeps the closed form exact while letting the adaptive
+policy reason about epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aging.nbti import NBTIModel
+
+
+@dataclass
+class StressHistory:
+    """Accumulates (duration, utilization) epochs for one FU."""
+
+    epochs: list[tuple[float, float]] = field(default_factory=list)
+
+    def add_epoch(self, years: float, utilization: float) -> None:
+        """Append an epoch of ``years`` at duty cycle ``utilization``."""
+        if years < 0:
+            raise ValueError("epoch duration must be non-negative")
+        if not 0 <= utilization <= 1:
+            raise ValueError("utilization must be in [0, 1]")
+        self.epochs.append((years, utilization))
+
+    @property
+    def elapsed_years(self) -> float:
+        """Total wall-clock time covered by the history."""
+        return sum(duration for duration, _ in self.epochs)
+
+    @property
+    def effective_stress_years(self) -> float:
+        """Equivalent years at full stress (``sum(u_i * dt_i)``)."""
+        return sum(duration * util for duration, util in self.epochs)
+
+    def equivalent_utilization(self) -> float:
+        """Average duty cycle over the elapsed time."""
+        elapsed = self.elapsed_years
+        if elapsed == 0.0:
+            return 0.0
+        return self.effective_stress_years / elapsed
+
+    def delta_vt(self, model: NBTIModel) -> float:
+        """Vt shift accumulated by this history under ``model``."""
+        return model.delta_vt(self.effective_stress_years, 1.0)
+
+    def delay_increase(self, model: NBTIModel) -> float:
+        """Relative delay increase accumulated by this history."""
+        return model.delay_increase(self.effective_stress_years, 1.0)
+
+    def remaining_years(
+        self,
+        model: NBTIModel,
+        future_utilization: float,
+        threshold: float | None = None,
+    ) -> float:
+        """Years of further operation at ``future_utilization`` until the
+        delay threshold is crossed."""
+        if threshold is None:
+            threshold = model.reference_degradation
+        budget_stress_years = model.years_to_degradation(1.0, threshold)
+        remaining_stress = budget_stress_years - self.effective_stress_years
+        if remaining_stress <= 0.0:
+            return 0.0
+        if future_utilization == 0.0:
+            return float("inf")
+        return remaining_stress / future_utilization

@@ -1,0 +1,110 @@
+"""Long-term NBTI threshold-voltage shift model (paper Eq. 1).
+
+``delta_vt`` implements Eq. 1 directly. Delay degradation is modelled
+to first order as proportional to the Vt increase; the proportionality
+constant is fixed by a calibration point rather than device parameters,
+following the paper's methodology ("a worst-case delay degradation of
+10% over 3 years was considered as estimated in the literature").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+HOURS_PER_YEAR = 24.0 * 365.0
+
+#: Eq. 1 constants.
+_PREFACTOR = 0.005
+_TEMP_CONSTANT = 1500.0
+_TIME_EXPONENT = 1.0 / 6.0
+_UTIL_EXPONENT = 1.0 / 6.0
+
+
+@dataclass(frozen=True)
+class NBTIModel:
+    """Eq. 1 with a delay-degradation calibration point.
+
+    Attributes:
+        temperature_k: operating temperature ``T`` in kelvin.
+        vdd: operating voltage in volts.
+        reference_years: calibration time (paper: 3 years).
+        reference_degradation: relative delay increase at the
+            calibration point (paper: 0.10).
+        reference_utilization: duty cycle of the calibration point
+            (paper: worst case, 1.0).
+    """
+
+    temperature_k: float = 350.0
+    vdd: float = 0.8
+    reference_years: float = 3.0
+    reference_degradation: float = 0.10
+    reference_utilization: float = 1.0
+    _delay_scale: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.temperature_k <= 0:
+            raise ConfigurationError("temperature must be positive")
+        if self.vdd <= 0:
+            raise ConfigurationError("vdd must be positive")
+        if not 0 < self.reference_utilization <= 1:
+            raise ConfigurationError("reference utilization must be in (0, 1]")
+        if self.reference_years <= 0 or self.reference_degradation <= 0:
+            raise ConfigurationError("calibration point must be positive")
+        reference_dvt = self.delta_vt(
+            self.reference_years, self.reference_utilization
+        )
+        object.__setattr__(
+            self, "_delay_scale", self.reference_degradation / reference_dvt
+        )
+
+    def delta_vt(self, years: float, utilization: float) -> float:
+        """Threshold-voltage increase (volts) after ``years`` at duty
+        cycle ``utilization`` — Eq. 1 with ``t`` in hours."""
+        if years < 0:
+            raise ValueError("time must be non-negative")
+        if not 0 <= utilization <= 1:
+            raise ValueError("utilization must be in [0, 1]")
+        hours = years * HOURS_PER_YEAR
+        return (
+            _PREFACTOR
+            * math.exp(-_TEMP_CONSTANT / self.temperature_k)
+            * self.vdd**4
+            * hours**_TIME_EXPONENT
+            * utilization**_UTIL_EXPONENT
+        )
+
+    def delay_increase(self, years: float, utilization: float) -> float:
+        """Relative delay increase (e.g. 0.10 = +10%) after ``years``."""
+        return self._delay_scale * self.delta_vt(years, utilization)
+
+    def years_to_degradation(
+        self, utilization: float, threshold: float | None = None
+    ) -> float:
+        """Invert :meth:`delay_increase`: years until ``threshold``.
+
+        With both exponents at 1/6 the closed form is::
+
+            t = reference_years
+                * (threshold / reference_degradation)^6
+                * (reference_utilization / utilization)
+
+        Returns ``inf`` for a never-stressed FU (utilization 0).
+        """
+        if threshold is None:
+            threshold = self.reference_degradation
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if not 0 <= utilization <= 1:
+            raise ValueError("utilization must be in [0, 1]")
+        if utilization == 0.0:
+            return math.inf
+        exponent = 1.0 / _TIME_EXPONENT
+        return (
+            self.reference_years
+            * (threshold / self.reference_degradation) ** exponent
+            * (self.reference_utilization / utilization)
+            ** (_UTIL_EXPONENT * exponent)
+        )

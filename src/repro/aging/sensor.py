@@ -1,0 +1,69 @@
+"""On-chip aging-sensor model for the adaptive allocation policy.
+
+The paper's future work calls for "run-time aging information to adapt
+the allocation strategy dynamically". Real aging sensors (e.g. ring-
+oscillator monitors) do not expose exact per-FU stress counters: they
+deliver *quantized* readings, *sampled* at intervals. This model adds
+those two realities so the stress-aware policy can be evaluated under
+realistic observability instead of oracle counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SensorArray:
+    """Per-FU stress sensors with quantization and a sampling period.
+
+    Attributes:
+        levels: number of distinguishable stress levels per sensor.
+        sample_period: launches between refreshes of the readings
+            (1 = refresh on every read request).
+    """
+
+    levels: int = 16
+    sample_period: int = 64
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ConfigurationError("sensor needs at least 2 levels")
+        if self.sample_period < 1:
+            raise ConfigurationError("sample period must be >= 1")
+        self._reading: np.ndarray | None = None
+        self._reads_since_sample = 0
+
+    def read(self, stress_counts: np.ndarray) -> np.ndarray:
+        """Quantized view of ``stress_counts``.
+
+        Readings refresh every ``sample_period`` calls; between
+        refreshes the stale snapshot is returned, as a sampled hardware
+        monitor would.
+        """
+        refresh = (
+            self._reading is None
+            or self._reads_since_sample >= self.sample_period
+        )
+        if refresh:
+            self._reading = self.quantize(stress_counts)
+            self._reads_since_sample = 0
+        self._reads_since_sample += 1
+        return self._reading
+
+    def quantize(self, stress_counts: np.ndarray) -> np.ndarray:
+        """Map raw counts onto ``levels`` buckets (0 .. levels-1)."""
+        peak = stress_counts.max()
+        if peak == 0:
+            return np.zeros_like(stress_counts, dtype=np.int64)
+        scaled = stress_counts.astype(float) * (self.levels - 1) / peak
+        return np.rint(scaled).astype(np.int64)
+
+    def reset(self) -> None:
+        """Clear the snapshot (e.g. after a policy rebind)."""
+        self._reading = None
+        self._reads_since_sample = 0

@@ -1,0 +1,57 @@
+"""Utilization distributions (Fig. 8 top: per-FU utilization PDFs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def histogram(
+    values: np.ndarray, bins: int = 10, value_range: tuple[float, float] = (0.0, 1.0)
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalised histogram (density sums to 1) over ``value_range``."""
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    total = counts.sum()
+    density = counts / total if total else counts.astype(float)
+    return density, edges
+
+
+def text_histogram(
+    values: np.ndarray,
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render a density histogram as horizontal text bars."""
+    density, edges = histogram(values, bins=bins)
+    peak = density.max() if density.size and density.max() > 0 else 1.0
+    lines = [title] if title else []
+    for index, share in enumerate(density):
+        low, high = edges[index], edges[index + 1]
+        bar = "#" * int(round(width * share / peak))
+        lines.append(f"{low * 100:5.1f}-{high * 100:5.1f}% |{bar:<{width}}| {share * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def summary_statistics(values: np.ndarray) -> dict[str, float]:
+    """Mean/max/min/std/gini of a utilization vector."""
+    if values.size == 0:
+        return {"mean": 0.0, "max": 0.0, "min": 0.0, "std": 0.0, "gini": 0.0}
+    return {
+        "mean": float(values.mean()),
+        "max": float(values.max()),
+        "min": float(values.min()),
+        "std": float(values.std()),
+        "gini": gini(values),
+    }
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative vector (0 = perfectly even
+    stress distribution, 1 = all stress on one FU)."""
+    flat = np.sort(values.ravel().astype(float))
+    total = flat.sum()
+    if total == 0.0 or flat.size == 0:
+        return 0.0
+    n = flat.size
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * flat).sum() - (n + 1) * total) / (n * total))

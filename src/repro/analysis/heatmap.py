@@ -1,0 +1,42 @@
+"""Text heatmaps of per-FU utilization (Figs. 1 and 7 renderings)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    utilization: np.ndarray,
+    title: str = "",
+    as_percent: bool = True,
+    row_labels: bool = True,
+) -> str:
+    """Render a (rows, cols) utilization matrix as fixed-width text.
+
+    Cell values are printed as percentages (like the numbers in the
+    paper's figures) with a shade character for quick visual scanning.
+    Row 1 is printed at the bottom, matching the figures' orientation.
+    """
+    if utilization.ndim != 2:
+        raise ValueError("expected a 2-D utilization matrix")
+    rows, cols = utilization.shape
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row in range(rows - 1, -1, -1):
+        cells = []
+        for col in range(cols):
+            value = float(utilization[row, col])
+            shade = _SHADES[min(len(_SHADES) - 1, int(value * (len(_SHADES) - 1) + 0.5))]
+            if as_percent:
+                cells.append(f"{value * 100:5.1f}%{shade}")
+            else:
+                cells.append(f"{value:6.3f}{shade}")
+        prefix = f"R{row + 1:<2} " if row_labels else ""
+        lines.append(prefix + " ".join(cells))
+    if row_labels:
+        header = "    " + " ".join(f"  C{col + 1:<4}" for col in range(cols))
+        lines.append(header)
+    return "\n".join(lines)

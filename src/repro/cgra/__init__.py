@@ -1,0 +1,31 @@
+"""Behavioural model of the TransRec CGRA fabric.
+
+The fabric is a matrix of functional units organised in ``W`` rows and
+``L`` columns with strictly left-to-right data propagation over context
+lines (Fig. 4 of the paper). ALU operations occupy one column (half a
+processor cycle); multiplications two; loads and stores four. This
+package models the geometry, configurations placed on it, the
+interconnect and reconfiguration-logic structures (needed by the area
+model) and the execution timing of a configuration.
+"""
+
+from repro.cgra.configuration import PlacedOp, VirtualConfiguration
+from repro.cgra.datapath import DatapathParams, configuration_cycles
+from repro.cgra.fabric import FabricGeometry
+from repro.cgra.fu import COLUMNS_PER_CYCLE, FUKind, fu_kind_for, latency_columns
+from repro.cgra.interconnect import InterconnectSpec
+from repro.cgra.reconfig import ReconfigLogicSpec
+
+__all__ = [
+    "COLUMNS_PER_CYCLE",
+    "DatapathParams",
+    "FabricGeometry",
+    "FUKind",
+    "InterconnectSpec",
+    "PlacedOp",
+    "ReconfigLogicSpec",
+    "VirtualConfiguration",
+    "configuration_cycles",
+    "fu_kind_for",
+    "latency_columns",
+]

@@ -1,0 +1,123 @@
+"""Virtual CGRA configurations: operations placed on a virtual grid.
+
+A *virtual configuration* (paper Fig. 3a) is the output of the DBT's
+scheduler: every operation has a row, a start column and a column span,
+all relative to the virtual origin ``(0, 0)``. The allocation policies
+of :mod:`repro.core` later translate it by a pivot (with wrap-around)
+onto the physical fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.cgra.fu import FUKind
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class PlacedOp:
+    """One operation placed on the virtual grid.
+
+    Attributes:
+        op: mnemonic (for reporting).
+        kind: FU kind that executes it.
+        row: virtual row.
+        col: virtual start column.
+        width: number of columns spanned.
+        trace_offset: index of the originating instruction within the
+            translation unit (0-based).
+        is_branch: whether the op is a (speculated) branch comparison.
+    """
+
+    op: str
+    kind: FUKind
+    row: int
+    col: int
+    width: int
+    trace_offset: int
+    is_branch: bool = False
+
+    @property
+    def end_col(self) -> int:
+        """First column *after* this op (exclusive end)."""
+        return self.col + self.width
+
+    def cells(self) -> tuple[tuple[int, int], ...]:
+        """Virtual cells stressed by this op."""
+        return tuple((self.row, c) for c in range(self.col, self.end_col))
+
+
+@dataclass(frozen=True)
+class VirtualConfiguration:
+    """A complete translation unit scheduled onto the virtual grid.
+
+    Attributes:
+        start_pc: PC of the first instruction (config-cache key).
+        pc_path: PCs of all instructions, in unit order (used for
+            speculation checking at replay).
+        ops: placed operations (fabric-mapped instructions only).
+        n_instructions: total instructions in the unit, including ones
+            that produced no fabric op (e.g. ``jal`` glue).
+        geometry_rows: rows of the fabric this was scheduled for.
+        geometry_cols: columns of the fabric this was scheduled for.
+    """
+
+    start_pc: int
+    pc_path: tuple[int, ...]
+    ops: tuple[PlacedOp, ...]
+    n_instructions: int
+    geometry_rows: int
+    geometry_cols: int
+    _cells: tuple[tuple[int, int], ...] = field(
+        default=(), repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ConfigurationError("configuration has no operations")
+        for op in self.ops:
+            if op.row >= self.geometry_rows or op.end_col > self.geometry_cols:
+                raise ConfigurationError(
+                    f"op {op.op} at ({op.row},{op.col})+{op.width} exceeds "
+                    f"{self.geometry_rows}x{self.geometry_cols} grid"
+                )
+        seen: set[tuple[int, int]] = set()
+        for op in self.ops:
+            for cell in op.cells():
+                if cell in seen:
+                    raise ConfigurationError(f"overlapping ops at cell {cell}")
+                seen.add(cell)
+        object.__setattr__(
+            self, "_cells", tuple(sorted(seen))
+        )
+
+    @property
+    def cells(self) -> tuple[tuple[int, int], ...]:
+        """All stressed virtual cells, each exactly once."""
+        return self._cells
+
+    @cached_property
+    def used_rows(self) -> int:
+        """Height of the bounding box (max row + 1)."""
+        return max(op.row for op in self.ops) + 1
+
+    @cached_property
+    def used_cols(self) -> int:
+        """Width of the bounding box (max end column)."""
+        return max(op.end_col for op in self.ops)
+
+    @cached_property
+    def n_branches(self) -> int:
+        """Number of speculated branch ops inside the unit."""
+        return sum(1 for op in self.ops if op.is_branch)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the *full fabric* stressed by one execution."""
+        return len(self._cells) / (self.geometry_rows * self.geometry_cols)

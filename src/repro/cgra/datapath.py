@@ -1,0 +1,87 @@
+"""Execution timing of a configuration on the fabric.
+
+The fabric is combinational: two ALU columns evaluate per processor
+cycle. Executing a configuration costs::
+
+    cycles = reconfiguration + input-context load
+           + ceil(used_cols / COLUMNS_PER_CYCLE) + write-back
+
+Reconfiguration streams one configuration word per configuration line
+per cycle (Fig. 5a): ``ceil(used_cols / n_config_lines)`` cycles, which
+can overlap the previous unit's write-back when ``overlap_reconfig`` is
+set (the TransRec default). The utilization-aware allocation adds *no*
+cycles: the line-select muxes and barrel shifters sit in the
+configuration path, not the execution path (Section III-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
+from repro.cgra.fu import COLUMNS_PER_CYCLE
+
+
+@dataclass(frozen=True)
+class DatapathParams:
+    """Fixed timing parameters of the CGRA datapath.
+
+    Attributes:
+        columns_per_cycle: combinational ALU columns per processor cycle.
+        input_context_cycles: cycles to load the input register context.
+        writeback_cycles: cycles to commit results through the ROB.
+        overlap_reconfig: whether configuration loading overlaps the
+            previous execution (hides most of the reconfig latency).
+        misspeculation_penalty: extra cycles when a unit aborts on a
+            divergent branch (squash + GPP restart).
+    """
+
+    columns_per_cycle: int = COLUMNS_PER_CYCLE
+    input_context_cycles: int = 1
+    writeback_cycles: int = 1
+    overlap_reconfig: bool = True
+    #: Back-to-back configuration launches overlap the write-back of
+    #: one unit with the input-context load of the next (Steps 5/7 of
+    #: the execution model run concurrently across units).
+    overlap_io: bool = True
+    misspeculation_penalty: int = 4
+
+
+def reconfiguration_cycles(
+    geometry: FabricGeometry, config: VirtualConfiguration
+) -> int:
+    """Cycles to stream a configuration into the context registers."""
+    return math.ceil(config.used_cols / geometry.n_config_lines)
+
+
+def execution_cycles(params: DatapathParams, config: VirtualConfiguration) -> int:
+    """Pure compute cycles for the combinational column chain."""
+    return math.ceil(config.used_cols / params.columns_per_cycle)
+
+
+def configuration_cycles(
+    geometry: FabricGeometry,
+    params: DatapathParams,
+    config: VirtualConfiguration,
+    cold: bool = False,
+    back_to_back: bool = False,
+) -> int:
+    """Total cycles for one launch of ``config``.
+
+    Args:
+        geometry: fabric shape (determines reconfiguration bandwidth).
+        params: datapath timing parameters.
+        config: the unit being launched.
+        cold: when ``True`` the reconfiguration cannot be overlapped
+            (first launch after a config-cache refill).
+        back_to_back: the previous instruction window also ran on the
+            fabric, so I/O stages overlap under ``overlap_io``.
+    """
+    cycles = execution_cycles(params, config)
+    if not (back_to_back and params.overlap_io):
+        cycles += params.input_context_cycles + params.writeback_cycles
+    if cold and not (back_to_back and params.overlap_reconfig):
+        cycles += reconfiguration_cycles(geometry, config)
+    return cycles

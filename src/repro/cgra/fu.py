@@ -1,0 +1,70 @@
+"""Functional-unit kinds and their column latencies.
+
+The TransRec fabric is combinational: each column takes half a
+processor cycle, so an ALU op (one column) chains two-deep per cycle,
+while loads/stores are bound by the data cache and span four columns
+(two processor cycles). Multiplies are modelled at two columns (one
+cycle), consistent with a fast embedded multiplier; divisions are not
+offloaded to the fabric (they stay on the GPP, as in [20]).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.instructions import InstrClass
+
+#: Columns that execute within one processor cycle (ALUs take half a
+#: cycle each in the paper's technology).
+COLUMNS_PER_CYCLE = 2
+
+
+class FUKind(enum.Enum):
+    """Kind of functional unit occupied by a placed operation."""
+
+    ALU = "alu"
+    MUL = "mul"
+    LOAD = "load"
+    STORE = "store"
+
+
+#: Column span of each FU kind.
+_LATENCY_COLUMNS: dict[FUKind, int] = {
+    FUKind.ALU: 1,
+    FUKind.MUL: 2,
+    FUKind.LOAD: 4,
+    FUKind.STORE: 4,
+}
+
+#: Columns during which a memory op holds its cache port. The data
+#: cache accepts one new access per processor cycle on each port
+#: (pipelined), so the port is held for one cycle's worth of columns
+#: while the op's full latency still spans ``_LATENCY_COLUMNS``.
+MEM_PORT_ISSUE_COLUMNS = COLUMNS_PER_CYCLE
+
+#: Instruction classes that the CGRA can execute at all.
+_CLASS_TO_KIND: dict[InstrClass, FUKind] = {
+    InstrClass.ALU: FUKind.ALU,
+    InstrClass.MUL: FUKind.MUL,
+    InstrClass.LOAD: FUKind.LOAD,
+    InstrClass.STORE: FUKind.STORE,
+    # Branches evaluate their comparison on an ALU; the DBT records the
+    # expected direction and the ROB squashes on divergence.
+    InstrClass.BRANCH: FUKind.ALU,
+}
+
+
+def fu_kind_for(cls: InstrClass) -> FUKind | None:
+    """FU kind executing instruction class ``cls``, or ``None`` if the
+    class cannot be mapped to the fabric (DIV, JUMP, SYSTEM)."""
+    return _CLASS_TO_KIND.get(cls)
+
+
+def latency_columns(kind: FUKind) -> int:
+    """Number of consecutive columns an op of ``kind`` occupies."""
+    return _LATENCY_COLUMNS[kind]
+
+
+def is_mappable(cls: InstrClass) -> bool:
+    """Whether instruction class ``cls`` can execute on the fabric."""
+    return cls in _CLASS_TO_KIND

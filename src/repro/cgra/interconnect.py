@@ -1,0 +1,73 @@
+"""Structural description of the fabric interconnect.
+
+Per column (Fig. 4b): before the FUs an *input crossbar* selects, for
+each FU operand, which context line feeds it; after the FUs an *output
+crossbar* selects, for each context line, whether it keeps its value or
+takes one of the column's FU results. These counts feed the area,
+energy and critical-path models in :mod:`repro.hw` — nothing here is
+timed or simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cgra.fabric import FabricGeometry
+
+#: Datapath width of every context line and FU port.
+WORD_BITS = 32
+#: Operands consumed by each FU.
+OPERANDS_PER_FU = 2
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Mux counts of the per-column crossbars for one geometry."""
+
+    geometry: FabricGeometry
+
+    @property
+    def input_mux_inputs(self) -> int:
+        """Fan-in of each FU operand mux (one input per context line)."""
+        return self.geometry.ctx_lines
+
+    @property
+    def input_muxes_per_column(self) -> int:
+        """Number of operand muxes in one column's input crossbar."""
+        return self.geometry.rows * OPERANDS_PER_FU
+
+    @property
+    def output_mux_inputs(self) -> int:
+        """Fan-in of each context-line output mux: keep the incoming
+        value or take any of the row results."""
+        return self.geometry.rows + 1
+
+    @property
+    def output_muxes_per_column(self) -> int:
+        """Number of context-line muxes in one column's output crossbar."""
+        return self.geometry.ctx_lines
+
+    @property
+    def wrap_mux_inputs(self) -> int:
+        """Fan-in of the wrap-around mux added by the proposed design:
+        previous column's line value or the initial input context."""
+        return 2
+
+    @property
+    def wrap_muxes_per_column(self) -> int:
+        """One wrap-around mux per context line per column (proposed
+        design only)."""
+        return self.geometry.ctx_lines
+
+    def input_select_bits(self) -> int:
+        """Config bits to steer one column's input crossbar."""
+        return self.input_muxes_per_column * _select_bits(self.input_mux_inputs)
+
+    def output_select_bits(self) -> int:
+        """Config bits to steer one column's output crossbar."""
+        return self.output_muxes_per_column * _select_bits(self.output_mux_inputs)
+
+
+def _select_bits(fan_in: int) -> int:
+    """Select-signal width for a mux with ``fan_in`` inputs."""
+    return max(1, (fan_in - 1).bit_length())

@@ -1,0 +1,94 @@
+"""Structural model of the reconfiguration logic (Fig. 5).
+
+Baseline: ``n`` configuration lines feed the columns; column ``i`` is
+hard-wired to line ``i mod n`` and latches its configuration word into
+per-column context registers (input-mux selects, FU opcodes, output-mux
+selects).
+
+Proposed extensions (Section III-B):
+
+* **horizontal movement** — an ``n:1`` mux per column so any column can
+  latch from any configuration line;
+* **vertical movement** — barrel *rotators* on the three per-column
+  register groups (input muxes, FUs, output muxes) so the row contents
+  can be rotated by the pivot's row offset;
+* **wrap-around** — one 2:1 word mux per context line per column (that
+  mux lives in the datapath and is counted by
+  :class:`~repro.cgra.interconnect.InterconnectSpec`).
+
+These counts feed :mod:`repro.hw.area`; nothing here is simulated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cgra.fabric import FabricGeometry
+from repro.cgra.interconnect import InterconnectSpec
+
+#: Opcode bits per FU (enough for the RV32IM ALU op repertoire plus
+#: operand-immediate steering). Immediate *values* are not part of the
+#: per-column configuration word: the DBT materialises them into the
+#: input context (as in the DIM/TransRec lineage), so the context
+#: registers stay narrow and reconfiguration bandwidth is constant.
+FU_OPCODE_BITS = 8
+
+
+@dataclass(frozen=True)
+class ReconfigLogicSpec:
+    """Configuration-path structure for one geometry."""
+
+    geometry: FabricGeometry
+
+    @property
+    def interconnect(self) -> InterconnectSpec:
+        return InterconnectSpec(self.geometry)
+
+    @property
+    def fu_bits_per_column(self) -> int:
+        """Config bits holding FU opcodes for one column."""
+        return self.geometry.rows * FU_OPCODE_BITS
+
+    @property
+    def config_bits_per_column(self) -> int:
+        """Width of one column's configuration word."""
+        ic = self.interconnect
+        return (
+            ic.input_select_bits()
+            + self.fu_bits_per_column
+            + ic.output_select_bits()
+            + ic.wrap_muxes_per_column  # 1 steering bit per wrap mux
+        )
+
+    @property
+    def total_config_bits(self) -> int:
+        """Configuration bits for the whole fabric (one full context)."""
+        return self.config_bits_per_column * self.geometry.cols
+
+    @property
+    def line_mux_inputs(self) -> int:
+        """Fan-in of the added per-column configuration-line mux."""
+        return self.geometry.n_config_lines
+
+    @property
+    def barrel_rotator_positions(self) -> int:
+        """Positions of the vertical-movement rotators (one per row)."""
+        return self.geometry.rows
+
+    @property
+    def barrel_rotator_stages(self) -> int:
+        """Mux stages of each barrel rotator (log2 of positions)."""
+        return max(1, math.ceil(math.log2(self.barrel_rotator_positions)))
+
+    def rotated_bits_per_column(self) -> int:
+        """Bits passing through the vertical-movement rotators in one
+        column: the row-indexed register groups (input-mux selects and
+        FU fields rotate by rows; output-mux selects rotate by the row
+        offset of their source index)."""
+        ic = self.interconnect
+        return (
+            ic.input_select_bits()
+            + self.fu_bits_per_column
+            + ic.output_select_bits()
+        )

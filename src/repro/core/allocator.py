@@ -1,0 +1,94 @@
+"""Physical allocation of virtual configurations onto the fabric.
+
+The allocator is the run-time glue between the configuration cache and
+the fabric: for every launch it asks the policy for a pivot, translates
+all virtual cells by the pivot with wrap-around in both axes (the
+circular-buffer behaviour enabled by the paper's hardware extensions)
+and records the stressed physical cells in the utilization tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
+from repro.core.policy import AllocationPolicy
+from repro.core.utilization import UtilizationTracker
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class PhysicalPlacement:
+    """Result of allocating one configuration launch.
+
+    Attributes:
+        pivot: physical cell where the virtual origin landed.
+        cells: stressed physical cells (post wrap-around).
+        config: the launched virtual configuration.
+    """
+
+    pivot: tuple[int, int]
+    cells: tuple[tuple[int, int], ...]
+    config: VirtualConfiguration
+
+
+class ConfigurationAllocator:
+    """Applies an allocation policy launch by launch."""
+
+    def __init__(
+        self,
+        geometry: FabricGeometry,
+        policy: AllocationPolicy,
+        tracker: UtilizationTracker | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.policy = policy
+        self.tracker = tracker if tracker is not None else UtilizationTracker(geometry)
+        policy.bind(geometry)
+        self.launches = 0
+
+    def allocate(
+        self, config: VirtualConfiguration, cycles: int = 1
+    ) -> PhysicalPlacement:
+        """Place one launch of ``config`` and record its stress.
+
+        Args:
+            config: the virtual configuration being launched.
+            cycles: execution cycles of this launch (for cycle-weighted
+                utilization).
+
+        Raises:
+            AllocationError: if the configuration does not fit the
+                fabric (it was scheduled for a different geometry) or
+                the policy returns an out-of-range pivot.
+        """
+        if (
+            config.geometry_rows > self.geometry.rows
+            or config.geometry_cols > self.geometry.cols
+        ):
+            raise AllocationError(
+                f"configuration for {config.geometry_rows}x"
+                f"{config.geometry_cols} grid cannot launch on {self.geometry}"
+            )
+        pivot = self.policy.next_pivot(config, self.tracker)
+        pivot_row, pivot_col = pivot
+        if not self.geometry.contains(pivot_row, pivot_col):
+            raise AllocationError(
+                f"policy {self.policy.name!r} returned pivot {pivot} "
+                f"outside {self.geometry}"
+            )
+        rows, cols = self.geometry.rows, self.geometry.cols
+        cells = tuple(
+            ((row + pivot_row) % rows, (col + pivot_col) % cols)
+            for row, col in config.cells
+        )
+        if len(set(cells)) != len(cells):
+            raise AllocationError(
+                "wrap-around folded two ops onto one cell; configuration "
+                "is wider or taller than the fabric"
+            )
+        self.tracker.record(config.start_pc, cells, cycles=cycles)
+        self.policy.observe(config, pivot)
+        self.launches += 1
+        return PhysicalPlacement(pivot=pivot, cells=cells, config=config)

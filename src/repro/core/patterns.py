@@ -1,0 +1,83 @@
+"""Movement patterns for the configuration pivot (Fig. 3b).
+
+A pattern is the ordered list of pivot positions the rotation hardware
+steps through; it must visit every cell of the fabric exactly once so
+the stress of any single virtual cell is spread uniformly over all
+physical cells after a full sweep. Several covering patterns are
+provided; the paper's figure depicts a horizontal-then-vertical snake,
+which is the default.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+Pattern = list[tuple[int, int]]
+
+
+def raster_pattern(rows: int, cols: int) -> Pattern:
+    """Row-major scan: left-to-right on every row."""
+    return [(r, c) for r in range(rows) for c in range(cols)]
+
+
+def snake_pattern(rows: int, cols: int) -> Pattern:
+    """Boustrophedon scan: alternate column direction on each row.
+
+    Consecutive pivots differ by one step (the movement the paper's
+    hardware performs between executions), which a raster scan violates
+    at row boundaries.
+    """
+    pattern: Pattern = []
+    for row in range(rows):
+        columns = range(cols) if row % 2 == 0 else range(cols - 1, -1, -1)
+        pattern.extend((row, col) for col in columns)
+    return pattern
+
+
+def column_snake_pattern(rows: int, cols: int) -> Pattern:
+    """Boustrophedon scan along columns (vertical-first movement)."""
+    pattern: Pattern = []
+    for col in range(cols):
+        row_order = range(rows) if col % 2 == 0 else range(rows - 1, -1, -1)
+        pattern.extend((row, col) for row in row_order)
+    return pattern
+
+
+def diagonal_pattern(rows: int, cols: int) -> Pattern:
+    """Wrapped-diagonal scan: advances row and column together.
+
+    Covers all cells when visited as ``(k % rows, (k // rows + k) % cols)``
+    only for co-prime-ish shapes, so it is built explicitly by walking
+    diagonals; spreads horizontal and vertical movement evenly.
+    """
+    pattern: Pattern = []
+    for start_col in range(cols):
+        for row in range(rows):
+            pattern.append((row, (start_col + row) % cols))
+    return pattern
+
+
+MOVEMENT_PATTERNS = {
+    "raster": raster_pattern,
+    "snake": snake_pattern,
+    "column_snake": column_snake_pattern,
+    "diagonal": diagonal_pattern,
+}
+
+
+def movement_pattern(name: str, rows: int, cols: int) -> Pattern:
+    """Build the named pattern; raises for unknown names/bad shapes."""
+    builder = MOVEMENT_PATTERNS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown movement pattern {name!r}; "
+            f"available: {sorted(MOVEMENT_PATTERNS)}"
+        )
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("pattern shape must be at least 1x1")
+    pattern = builder(rows, cols)
+    if len(set(pattern)) != rows * cols:
+        raise ConfigurationError(
+            f"pattern {name!r} does not cover {rows}x{cols} exactly once"
+        )
+    return pattern

@@ -1,0 +1,81 @@
+"""Allocation-policy interface and registry."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.utilization import UtilizationTracker
+
+
+class AllocationPolicy:
+    """Chooses the pivot cell for each configuration launch.
+
+    Lifecycle: the :class:`~repro.core.allocator.ConfigurationAllocator`
+    calls :meth:`bind` once with the fabric geometry, then
+    :meth:`next_pivot` before every launch and :meth:`observe` after the
+    launch has been recorded.
+    """
+
+    #: Registry key; subclasses override.
+    name = "abstract"
+
+    def bind(self, geometry: FabricGeometry) -> None:
+        """Attach the policy to a fabric; resets internal state."""
+        self.geometry = geometry
+
+    def next_pivot(
+        self, config: VirtualConfiguration, tracker: "UtilizationTracker"
+    ) -> tuple[int, int]:
+        """Pivot ``(row, col)`` for the upcoming launch of ``config``.
+
+        ``tracker`` exposes the accumulated per-FU stress for policies
+        that adapt to run-time aging information.
+        """
+        raise NotImplementedError
+
+    def observe(
+        self, config: VirtualConfiguration, pivot: tuple[int, int]
+    ) -> None:
+        """Hook called after a launch has been recorded (optional)."""
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.name
+
+
+_REGISTRY: dict[str, type[AllocationPolicy]] = {}
+
+
+def register_policy(cls: type[AllocationPolicy]) -> type[AllocationPolicy]:
+    """Class decorator adding a policy to the ``make_policy`` registry."""
+    if cls.name in _REGISTRY:
+        raise ConfigurationError(f"duplicate policy name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_policy(name: str, **kwargs) -> AllocationPolicy:
+    """Instantiate a registered policy by name.
+
+    Examples:
+        >>> make_policy("baseline").name
+        'baseline'
+        >>> make_policy("rotation", pattern="raster").pattern_name
+        'raster'
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return cls(**kwargs)
+
+
+def available_policies() -> tuple[str, ...]:
+    """Names of all registered policies, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,40 @@
+"""Random-pivot allocation (reference point, not a hardware proposal).
+
+The paper notes that supporting fully random allocations "may severely
+impact performance" with a complex interconnect; on the TransRec fabric
+the wrap-around extensions make any pivot equally cheap, so a seeded
+random policy serves as a statistical upper bound for balancing in
+ablation studies.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
+from repro.core.policy import AllocationPolicy, register_policy
+
+
+@register_policy
+class RandomPolicy(AllocationPolicy):
+    """Uniformly random pivot per launch (deterministic under ``seed``)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def bind(self, geometry: FabricGeometry) -> None:
+        super().bind(geometry)
+        self._rng = random.Random(self.seed)
+
+    def next_pivot(self, config: VirtualConfiguration, tracker) -> tuple[int, int]:
+        return (
+            self._rng.randrange(self.geometry.rows),
+            self._rng.randrange(self.geometry.cols),
+        )
+
+    def describe(self) -> str:
+        return f"random(seed={self.seed})"

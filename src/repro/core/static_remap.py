@@ -1,0 +1,72 @@
+"""Static health-aware placement — the related-work comparison point.
+
+Gu et al. (DAC 2017, reference [19] in the paper) mitigate NBTI in
+CGRAs by choosing a stress-aware placement *at mapping time*. The
+paper's critique is that a static choice "is unaware of dynamic
+input-dependent information that affects the execution". This policy
+models that family: when a configuration is seen for the *first* time
+it picks the pivot that minimises accumulated stress — and then keeps
+that pivot for the configuration's whole lifetime.
+
+Against the run-time rotation this exposes exactly the gap the paper
+argues: with few distinct configurations the static choice cannot
+spread a hot loop's stress (its one pivot keeps hitting the same FUs),
+while the rotation spreads even a single configuration over the full
+fabric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
+from repro.core.policy import AllocationPolicy, register_policy
+
+
+@register_policy
+class StaticRemapPolicy(AllocationPolicy):
+    """One stress-aware pivot per configuration, frozen at first use."""
+
+    name = "static_remap"
+
+    def __init__(self) -> None:
+        self._pivots: dict[int, tuple[int, int]] = {}
+
+    def bind(self, geometry: FabricGeometry) -> None:
+        super().bind(geometry)
+        self._pivots = {}
+
+    def next_pivot(
+        self, config: VirtualConfiguration, tracker
+    ) -> tuple[int, int]:
+        pivot = self._pivots.get(config.start_pc)
+        if pivot is None:
+            pivot = self._choose_pivot(config, tracker)
+            self._pivots[config.start_pc] = pivot
+        return pivot
+
+    def _choose_pivot(
+        self, config: VirtualConfiguration, tracker
+    ) -> tuple[int, int]:
+        """Min-max stress pivot given the tracker state at first use."""
+        counts = tracker.execution_counts
+        rows, cols = self.geometry.rows, self.geometry.cols
+        cell_rows = np.array([c[0] for c in config.cells])
+        cell_cols = np.array([c[1] for c in config.cells])
+        best = (0, 0)
+        best_key: tuple[int, int] | None = None
+        for pivot_row in range(rows):
+            for pivot_col in range(cols):
+                stressed = counts[
+                    (cell_rows + pivot_row) % rows,
+                    (cell_cols + pivot_col) % cols,
+                ]
+                key = (int(stressed.max()), int(stressed.sum()))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (pivot_row, pivot_col)
+        return best
+
+    def describe(self) -> str:
+        return f"static_remap({len(self._pivots)} frozen pivots)"

@@ -1,0 +1,102 @@
+"""Adaptive stress-aware allocation (the paper's future-work variant).
+
+Section VI: "As a future work, we will implement the improved rotation
+techniques and use run-time aging information to adapt the allocation
+strategy dynamically." This policy does exactly that: it reads the
+accumulated per-FU stress from the :class:`UtilizationTracker` (the
+run-time aging information an aging sensor would provide) and chooses
+the pivot that minimises the resulting worst-case stress.
+
+A full ``W x L`` pivot search per launch is expensive, so the policy
+re-optimises every ``interval`` launches and follows the fabric-covering
+snake in between — a realistic duty cycle for a hardware controller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
+from repro.core.patterns import movement_pattern
+from repro.core.policy import AllocationPolicy, register_policy
+
+
+@register_policy
+class StressAwarePolicy(AllocationPolicy):
+    """Minimise worst-case accumulated stress with periodic re-search.
+
+    Args:
+        interval: launches between full pivot searches (1 = search on
+            every launch).
+        pattern: fallback movement pattern between searches.
+        sensor: optional :class:`repro.aging.sensor.SensorArray`; when
+            given, the pivot search sees quantized/sampled readings
+            instead of oracle stress counters.
+    """
+
+    name = "stress_aware"
+
+    def __init__(
+        self,
+        interval: int = 16,
+        pattern: str = "snake",
+        sensor=None,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self.pattern_name = pattern
+        self.sensor = sensor
+        self._pattern: list[tuple[int, int]] = []
+        self._position = 0
+        self._launches = 0
+
+    def bind(self, geometry: FabricGeometry) -> None:
+        super().bind(geometry)
+        self._pattern = movement_pattern(
+            self.pattern_name, geometry.rows, geometry.cols
+        )
+        self._position = 0
+        self._launches = 0
+        if self.sensor is not None:
+            self.sensor.reset()
+
+    def next_pivot(self, config: VirtualConfiguration, tracker) -> tuple[int, int]:
+        self._launches += 1
+        if self._launches % self.interval == 1 or self.interval == 1:
+            pivot = self._best_pivot(config, tracker)
+            self._position = self._pattern.index(pivot)
+            return pivot
+        self._position = (self._position + 1) % len(self._pattern)
+        return self._pattern[self._position]
+
+    def _best_pivot(
+        self, config: VirtualConfiguration, tracker
+    ) -> tuple[int, int]:
+        """Pivot minimising the max stress over the cells it would touch.
+
+        Ties break towards lower current totals, then pattern order, so
+        behaviour is deterministic.
+        """
+        if self.sensor is not None:
+            counts = self.sensor.read(tracker.execution_counts)
+        else:
+            counts = tracker.execution_counts  # oracle stress counters
+        rows, cols = self.geometry.rows, self.geometry.cols
+        cell_rows = np.array([c[0] for c in config.cells])
+        cell_cols = np.array([c[1] for c in config.cells])
+        best_pivot = (0, 0)
+        best_key: tuple[int, int] | None = None
+        for pivot_row, pivot_col in self._pattern:
+            target = counts[
+                (cell_rows + pivot_row) % rows, (cell_cols + pivot_col) % cols
+            ]
+            key = (int(target.max()), int(target.sum()))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_pivot = (pivot_row, pivot_col)
+        return best_pivot
+
+    def describe(self) -> str:
+        return f"stress_aware(interval={self.interval})"

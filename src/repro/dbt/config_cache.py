@@ -1,0 +1,113 @@
+"""PC-indexed configuration cache with LRU replacement.
+
+The DBT saves each translation unit here, keyed by the PC of its first
+instruction (Step 3 of the TransRec execution model); while the GPP
+runs, the cache is probed with the upcoming PC (Step 4). Capacity is
+expressed in entries; the bit cost of one entry for a given fabric
+geometry is available from :class:`repro.cgra.reconfig.ReconfigLogicSpec`
+and surfaces in the SRAM area model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ConfigCacheStats:
+    """Access counters for one simulation run."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0   # translation attempts that produced no unit
+    truncations: int = 0  # units shortened by the misspec monitor
+    blacklisted: int = 0  # units dropped by the misspec monitor
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class EntryStats:
+    """Replay monitoring counters for one cached unit (the two small
+    hardware counters of the adaptive DBT)."""
+
+    launches: int = 0
+    misspeculations: int = 0
+
+    def misspec_dominated(self, min_launches: int) -> bool:
+        """Whether this unit diverges on most replays."""
+        return (
+            self.launches >= min_launches
+            and 2 * self.misspeculations >= self.launches
+        )
+
+
+@dataclass
+class ConfigCache:
+    """LRU cache mapping start PC -> :class:`VirtualConfiguration`."""
+
+    capacity: int = 64
+    stats: ConfigCacheStats = field(default_factory=ConfigCacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError("config cache capacity must be >= 1")
+        self._entries: OrderedDict[int, VirtualConfiguration] = OrderedDict()
+        self._entry_stats: dict[int, EntryStats] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._entries
+
+    def lookup(self, pc: int) -> VirtualConfiguration | None:
+        """Probe the cache; counts a hit/miss and refreshes recency."""
+        unit = self._entries.get(pc)
+        if unit is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(pc)
+        self.stats.hits += 1
+        return unit
+
+    def insert(self, unit: VirtualConfiguration) -> None:
+        """Insert a freshly translated unit, evicting the LRU entry."""
+        if unit.start_pc in self._entries:
+            self._entries.move_to_end(unit.start_pc)
+            self._entries[unit.start_pc] = unit
+            self._entry_stats[unit.start_pc] = EntryStats()
+            return
+        if len(self._entries) >= self.capacity:
+            evicted_pc, _ = self._entries.popitem(last=False)
+            self._entry_stats.pop(evicted_pc, None)
+            self.stats.evictions += 1
+        self._entries[unit.start_pc] = unit
+        self._entry_stats[unit.start_pc] = EntryStats()
+        self.stats.insertions += 1
+
+    def remove(self, pc: int) -> None:
+        """Drop an entry (misspec-monitor blacklisting)."""
+        self._entries.pop(pc, None)
+        self._entry_stats.pop(pc, None)
+
+    def entry_stats(self, pc: int) -> EntryStats | None:
+        """Replay counters for the unit at ``pc``, if resident."""
+        return self._entry_stats.get(pc)
+
+    def units(self) -> tuple[VirtualConfiguration, ...]:
+        """All resident units, LRU-first."""
+        return tuple(self._entries.values())

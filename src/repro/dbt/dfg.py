@@ -1,0 +1,90 @@
+"""Dataflow-graph construction over committed instruction windows.
+
+The scheduler tracks dependences incrementally for speed; this module
+builds the same graph explicitly (as a :class:`networkx.DiGraph`) for
+analysis, visual inspection and — most importantly — as an independent
+oracle that the tests use to validate scheduler output.
+
+Edge kinds (``kind`` attribute):
+
+* ``"raw"`` — register read-after-write;
+* ``"mem"`` — memory ordering between overlapping accesses (RAW, WAR
+  and WAW on the same word; load-load pairs are unordered).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import networkx as nx
+
+from repro.isa.instructions import InstrClass
+from repro.sim.trace import TraceRecord
+
+
+def _word_span(record: TraceRecord) -> range:
+    """Word-aligned address range touched by a memory access."""
+    first = record.mem_addr >> 2
+    last = (record.mem_addr + record.mem_bytes - 1) >> 2
+    return range(first, last + 1)
+
+
+def build_dfg(records: Sequence[TraceRecord]) -> nx.DiGraph:
+    """Build the dependence graph of an instruction window.
+
+    Nodes are window offsets (0-based ints) with a ``record`` attribute;
+    edges point from producer to consumer.
+    """
+    graph = nx.DiGraph()
+    last_writer: dict[int, int] = {}
+    last_store: dict[int, int] = {}
+    last_load: dict[int, list[int]] = {}
+
+    for offset, record in enumerate(records):
+        graph.add_node(offset, record=record)
+        for reg in _source_registers(record):
+            producer = last_writer.get(reg)
+            if producer is not None:
+                graph.add_edge(producer, offset, kind="raw")
+        if record.cls is InstrClass.LOAD:
+            for word in _word_span(record):
+                store = last_store.get(word)
+                if store is not None:
+                    graph.add_edge(store, offset, kind="mem")
+                last_load.setdefault(word, []).append(offset)
+        elif record.cls is InstrClass.STORE:
+            for word in _word_span(record):
+                store = last_store.get(word)
+                if store is not None:
+                    graph.add_edge(store, offset, kind="mem")
+                for load in last_load.pop(word, ()):  # WAR
+                    graph.add_edge(load, offset, kind="mem")
+                last_store[word] = offset
+        if record.rd is not None:
+            last_writer[record.rd] = offset
+    return graph
+
+
+def _source_registers(record: TraceRecord) -> tuple[int, ...]:
+    from repro.isa.instructions import OPCODES
+
+    spec = OPCODES[record.op]
+    sources = []
+    if spec.reads_rs1 and record.rs1 is not None and record.rs1 != 0:
+        sources.append(record.rs1)
+    if spec.reads_rs2 and record.rs2 is not None and record.rs2 != 0:
+        sources.append(record.rs2)
+    return tuple(sources)
+
+
+def critical_path_length(graph: nx.DiGraph) -> int:
+    """Longest dependence chain, in instructions (>= 1 for non-empty)."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return nx.dag_longest_path_length(graph) + 1
+
+
+def ilp_estimate(graph: nx.DiGraph) -> float:
+    """Average instruction-level parallelism: nodes / critical path."""
+    length = critical_path_length(graph)
+    return graph.number_of_nodes() / length if length else 0.0

@@ -1,0 +1,104 @@
+"""DBT engine: decides where units start and drives translation.
+
+The hardware DBT indexes configurations by the PC of the first
+instruction of a sequence, so translation is only attempted at
+*superblock heads*: the first committed instruction, and any
+instruction reached by a control-flow redirect. This avoids creating a
+sliding window of overlapping units at every PC while still catching
+every loop head and call target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
+from repro.dbt.config_cache import ConfigCache
+from repro.dbt.window import UnitLimits, build_unit, truncate_unit
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class DBTLimits(UnitLimits):
+    """Unit limits plus engine-level knobs."""
+
+    # Attempting translation again at a PC that already failed wastes
+    # DBT bandwidth; remember and skip (the hardware keeps a small
+    # reject filter for the same reason).
+    remember_rejects: bool = True
+    # Misspeculation monitor: once a unit has been launched this many
+    # times with divergence on at least half of them, it is truncated
+    # to its reliably committing prefix (or dropped when too short).
+    misspec_monitor_launches: int = 4
+
+
+@dataclass
+class DBTEngine:
+    """Stateful translator shared by one simulation run."""
+
+    geometry: FabricGeometry
+    cache: ConfigCache
+    limits: DBTLimits = field(default_factory=DBTLimits)
+
+    def __post_init__(self) -> None:
+        self._rejected_pcs: set[int] = set()
+        self.translations = 0
+
+    def is_unit_head(self, trace: Trace, position: int) -> bool:
+        """Whether ``trace[position]`` can start a translation unit."""
+        if position == 0:
+            return True
+        return trace[position - 1].redirects
+
+    def translate_at(
+        self, trace: Trace, position: int
+    ) -> VirtualConfiguration | None:
+        """Translate a unit starting at ``position`` and cache it.
+
+        Returns the new unit, or ``None`` when the position yields no
+        viable unit (too short, or unmappable head instruction).
+        """
+        pc = trace[position].pc
+        if self.limits.remember_rejects and pc in self._rejected_pcs:
+            return None
+        unit = build_unit(trace, position, self.geometry, self.limits)
+        self.translations += 1
+        if unit is None:
+            self.cache.stats.rejected += 1
+            if self.limits.remember_rejects:
+                self._rejected_pcs.add(pc)
+            return None
+        self.cache.insert(unit)
+        return unit
+
+    def note_replay(self, unit: VirtualConfiguration, matched: int) -> None:
+        """Feed the misspeculation monitor after a replay.
+
+        A unit that diverges on at least half of a minimum number of
+        launches is truncated to the prefix that has been committing
+        (ending at the observed divergence point); a prefix too short
+        for a worthwhile configuration is dropped and its start PC
+        blacklisted. This is the adaptive behaviour that keeps units
+        with data-dependent branches from thrashing the fabric.
+        """
+        stats = self.cache.entry_stats(unit.start_pc)
+        if stats is None:
+            return
+        stats.launches += 1
+        if matched >= unit.n_instructions:
+            return
+        stats.misspeculations += 1
+        if not stats.misspec_dominated(self.limits.misspec_monitor_launches):
+            return
+        truncated = truncate_unit(
+            unit, matched, self.limits.min_instructions
+        )
+        if truncated is None:
+            self.cache.remove(unit.start_pc)
+            self.cache.stats.blacklisted += 1
+            if self.limits.remember_rejects:
+                self._rejected_pcs.add(unit.start_pc)
+            return
+        self.cache.insert(truncated)
+        self.cache.stats.truncations += 1

@@ -1,0 +1,6 @@
+"""Design-space exploration over fabric geometries (paper Fig. 6)."""
+
+from repro.dse.pareto import pareto_front
+from repro.dse.sweep import DSEPoint, run_design_point, sweep
+
+__all__ = ["DSEPoint", "pareto_front", "run_design_point", "sweep"]

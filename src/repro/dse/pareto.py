@@ -1,0 +1,30 @@
+"""Pareto-front utilities over DSE points."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dse.sweep import DSEPoint
+
+
+def dominates(a: DSEPoint, b: DSEPoint) -> bool:
+    """Whether ``a`` is at least as good as ``b`` on both axes
+    (execution time, energy) and strictly better on one."""
+    no_worse = (
+        a.exec_time_ratio <= b.exec_time_ratio
+        and a.energy_ratio <= b.energy_ratio
+    )
+    strictly_better = (
+        a.exec_time_ratio < b.exec_time_ratio
+        or a.energy_ratio < b.energy_ratio
+    )
+    return no_worse and strictly_better
+
+
+def pareto_front(points: Sequence[DSEPoint]) -> list[DSEPoint]:
+    """Non-dominated subset, sorted by execution-time ratio."""
+    front = [
+        p for p in points
+        if not any(dominates(other, p) for other in points)
+    ]
+    return sorted(front, key=lambda p: p.exec_time_ratio)

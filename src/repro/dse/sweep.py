@@ -1,0 +1,112 @@
+"""Fabric-geometry sweep driver.
+
+Reproduces the exploration of Section IV-B: length (columns) from 8 to
+32 and width (rows) from 2 to 8, reporting execution time, energy and
+average FU utilization relative to the stand-alone GPP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cgra.fabric import FabricGeometry
+from repro.sim.trace import Trace
+from repro.system.params import SystemParams
+from repro.system.transrec import TransRecSystem
+
+#: The paper's sweep values.
+DEFAULT_LENGTHS = (8, 16, 24, 32)
+DEFAULT_WIDTHS = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class DSEPoint:
+    """Aggregate suite metrics for one geometry.
+
+    Ratios are TransRec relative to the stand-alone GPP; utilization is
+    execution-weighted and averaged over all FUs (the paper's
+    "occupation").
+    """
+
+    cols: int
+    rows: int
+    exec_time_ratio: float
+    energy_ratio: float
+    avg_utilization: float
+    worst_utilization: float
+    speedup: float
+
+    @property
+    def label(self) -> str:
+        return f"(L{self.cols}, W{self.rows})"
+
+
+def run_design_point(
+    traces: dict[str, Trace],
+    cols: int,
+    rows: int,
+    policy: str = "baseline",
+    base_params: SystemParams | None = None,
+    **policy_kwargs,
+) -> DSEPoint:
+    """Evaluate one geometry over a set of workload traces.
+
+    Execution-time and energy ratios are geometric means across the
+    suite; utilization aggregates launch counts over all workloads
+    (the fabric ages across the whole mix, not per benchmark).
+    """
+    geometry = FabricGeometry(rows=rows, cols=cols)
+    if base_params is None:
+        params = SystemParams(
+            geometry=geometry, policy=policy, policy_kwargs=policy_kwargs
+        )
+    else:
+        params = SystemParams(
+            geometry=geometry,
+            policy=policy,
+            policy_kwargs=policy_kwargs,
+            gpp=base_params.gpp,
+            datapath=base_params.datapath,
+            dbt=base_params.dbt,
+            config_cache_entries=base_params.config_cache_entries,
+            energy=base_params.energy,
+        )
+    system = TransRecSystem(params)
+    time_ratios = []
+    energy_ratios = []
+    counts = np.zeros((rows, cols), dtype=np.int64)
+    total_launches = 0
+    for trace in traces.values():
+        result = system.run_trace(trace)
+        time_ratios.append(result.exec_time_ratio)
+        energy_ratios.append(result.energy_ratio)
+        counts += result.tracker.execution_counts
+        total_launches += result.tracker.total_executions
+    utilization = counts / max(1, total_launches)
+    exec_ratio = float(np.exp(np.mean(np.log(time_ratios))))
+    energy_ratio = float(np.exp(np.mean(np.log(energy_ratios))))
+    return DSEPoint(
+        cols=cols,
+        rows=rows,
+        exec_time_ratio=exec_ratio,
+        energy_ratio=energy_ratio,
+        avg_utilization=float(utilization.mean()),
+        worst_utilization=float(utilization.max()),
+        speedup=1.0 / exec_ratio,
+    )
+
+
+def sweep(
+    traces: dict[str, Trace],
+    lengths: tuple[int, ...] = DEFAULT_LENGTHS,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+    policy: str = "baseline",
+) -> list[DSEPoint]:
+    """Evaluate every (L, W) combination; raster order over L then W."""
+    return [
+        run_design_point(traces, cols=length, rows=width, policy=policy)
+        for length in lengths
+        for width in widths
+    ]

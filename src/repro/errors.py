@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class AssemblyError(ReproError):
+    """Raised when assembly source cannot be parsed or resolved.
+
+    Attributes:
+        line: 1-based source line number where the error occurred, or
+            ``None`` when the error is not tied to a single line.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """Raised when the functional simulator hits an illegal state."""
+
+
+class MemoryAccessError(SimulationError):
+    """Raised on misaligned or otherwise invalid memory accesses."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a CGRA configuration or system parameter is invalid."""
+
+
+class AllocationError(ReproError):
+    """Raised when an allocation policy produces an invalid placement."""

@@ -1,0 +1,39 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every module exposes ``run(...) -> <Result>`` returning structured data
+and ``render(result) -> str`` producing the human-readable report. The
+CLI (``python -m repro.experiments [name ...]``) runs and prints them.
+
+| Module   | Reproduces                                            |
+|----------|-------------------------------------------------------|
+| fig1     | Fig. 1 — utilization bias heatmap, 4x8 fabric         |
+| fig6     | Fig. 6 — design-space exploration scatter             |
+| fig7     | Fig. 7 — BE heatmaps, baseline vs proposed            |
+| fig8     | Fig. 8 — utilization PDFs + delay-over-time curves    |
+| table1   | Table I — utilization and lifetime improvements       |
+| table2   | Table II — area overhead + Sec. V-B latency check     |
+| ablation | (extra) policy/pattern/monitor ablation study         |
+"""
+
+from repro.experiments import ablation, fig1, fig6, fig7, fig8, table1, table2
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "table1": table1,
+    "table2": table2,
+    "ablation": ablation,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ablation",
+    "fig1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table1",
+    "table2",
+]

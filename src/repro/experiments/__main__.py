@@ -1,0 +1,32 @@
+"""CLI: run experiment reproductions.
+
+Usage::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments fig7 table1
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}")
+        return 1
+    for index, name in enumerate(names):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        module = ALL_EXPERIMENTS[name]
+        print(module.render(module.run()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

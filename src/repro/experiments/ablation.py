@@ -1,0 +1,127 @@
+"""Ablation study over the reproduction's design choices.
+
+Not a paper figure — this quantifies the choices DESIGN.md makes and
+the comparisons the paper argues qualitatively: movement-pattern
+equivalence, the static related-work placement ([19]) versus run-time
+rotation, and the misspeculation monitor's effect. Runs on a fast
+workload subset; the full-depth versions live in
+``benchmarks/bench_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.cgra.fabric import FabricGeometry
+from repro.dbt.translator import DBTLimits
+from repro.system.params import SystemParams
+from repro.system.transrec import TransRecSystem
+from repro.workloads.suite import run_workload
+
+GEOMETRY = FabricGeometry(rows=2, cols=16)
+SUBSET = ("bitcount", "crc32", "sha", "susan_corners")
+
+_POLICIES = (
+    ("baseline", {}),
+    ("static_remap", {}),
+    ("rotation", {"pattern": "snake"}),
+    ("rotation", {"pattern": "raster"}),
+    ("rotation", {"pattern": "diagonal"}),
+    ("random", {"seed": 5}),
+    ("stress_aware", {"interval": 8}),
+)
+
+
+@dataclass
+class AblationResult:
+    """Worst/mean utilization per policy plus monitor statistics."""
+
+    policy_rows: list[tuple[str, float, float]] = field(default_factory=list)
+    monitor_rows: list[tuple[str, int, int, float]] = field(
+        default_factory=list
+    )
+
+
+def _label(policy: str, kwargs: dict) -> str:
+    if policy == "rotation":
+        return f"rotation/{kwargs.get('pattern', 'snake')}"
+    return policy
+
+
+def _measure(
+    traces, policy: str, kwargs: dict, row_policy: str = "first_fit"
+) -> tuple[float, float]:
+    params = SystemParams(
+        geometry=GEOMETRY,
+        policy=policy,
+        policy_kwargs=kwargs,
+        dbt=DBTLimits(row_policy=row_policy),
+    )
+    system = TransRecSystem(params)
+    counts = np.zeros((GEOMETRY.rows, GEOMETRY.cols), dtype=np.int64)
+    launches = 0
+    for trace in traces.values():
+        run_result = system.run_trace(trace)
+        counts += run_result.tracker.execution_counts
+        launches += run_result.tracker.total_executions
+    util = counts / max(1, launches)
+    return float(util.max()), float(util.mean())
+
+
+def run() -> AblationResult:
+    traces = {name: run_workload(name) for name in SUBSET}
+    result = AblationResult()
+    for policy, kwargs in _POLICIES:
+        worst, mean = _measure(traces, policy, kwargs)
+        result.policy_rows.append((_label(policy, kwargs), worst, mean))
+    # Scheduler-level balancing: round-robin rows with a fixed pivot.
+    worst, mean = _measure(traces, "baseline", {}, row_policy="round_robin")
+    result.policy_rows.append(("scheduler round_robin rows", worst, mean))
+    for monitored in (True, False):
+        threshold = 4 if monitored else 10**9
+        params = SystemParams(
+            geometry=GEOMETRY,
+            dbt=DBTLimits(misspec_monitor_launches=threshold),
+        )
+        system = TransRecSystem(params)
+        run_result = system.run_trace(run_workload("crc32"))
+        result.monitor_rows.append(
+            (
+                "on" if monitored else "off",
+                run_result.cgra.misspeculations,
+                run_result.cgra.launches,
+                run_result.speedup,
+            )
+        )
+    return result
+
+
+def render(result: AblationResult) -> str:
+    policy_table = render_table(
+        ("policy", "worst util", "mean util"),
+        [
+            (label, f"{worst * 100:5.1f}%", f"{mean * 100:5.1f}%")
+            for label, worst, mean in result.policy_rows
+        ],
+        title="Allocation-policy ablation (BE fabric, 4-workload subset)",
+    )
+    monitor_table = render_table(
+        ("misspec monitor", "misspeculations", "launches", "speedup"),
+        [
+            (state, f"{misses:,}", f"{launches:,}", f"{speedup:.2f}x")
+            for state, misses, launches, speedup in result.monitor_rows
+        ],
+        title="Misspeculation monitor on crc32 (data-dependent branch)",
+    )
+    return policy_table + "\n\n" + monitor_table
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

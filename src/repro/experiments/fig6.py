@@ -1,0 +1,99 @@
+"""Fig. 6 — design-space exploration: time vs energy vs occupation.
+
+Sweeps L in {8,16,24,32} x W in {2,4,8} with the baseline allocation
+and reports execution-time ratio, energy ratio and average utilization
+against the stand-alone GPP, plus the three named scenarios the paper
+selects from this plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.dse.pareto import pareto_front
+from repro.dse.sweep import DEFAULT_LENGTHS, DEFAULT_WIDTHS, DSEPoint, sweep
+from repro.workloads.suite import suite_traces
+
+#: Paper-reported values for the three selected scenarios:
+#: (speedup, energy ratio, average utilization).
+PAPER_SCENARIOS = {
+    "BE": (2.14, 0.90, 0.397),
+    "BP": (2.45, 1.20, 0.178),
+    "BU": (2.45, 1.46, 0.089),
+}
+
+_SCENARIO_SHAPES = {"BE": (16, 2), "BP": (32, 4), "BU": (32, 8)}
+
+
+@dataclass
+class Fig6Result:
+    """Measured DSE points and the named-scenario extraction."""
+
+    points: list[DSEPoint]
+    scenarios: dict[str, DSEPoint]
+    pareto: list[DSEPoint]
+
+
+def run(
+    lengths: tuple[int, ...] = DEFAULT_LENGTHS,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+) -> Fig6Result:
+    traces = suite_traces()
+    points = sweep(traces, lengths=lengths, widths=widths)
+    by_shape = {(p.cols, p.rows): p for p in points}
+    scenarios = {
+        name: by_shape[shape]
+        for name, shape in _SCENARIO_SHAPES.items()
+        if shape in by_shape
+    }
+    return Fig6Result(
+        points=points, scenarios=scenarios, pareto=pareto_front(points)
+    )
+
+
+def render(result: Fig6Result) -> str:
+    rows = [
+        (
+            point.label,
+            f"{point.exec_time_ratio:.3f}",
+            f"{point.energy_ratio:.3f}",
+            f"{point.avg_utilization * 100:.1f}%",
+            f"{point.speedup:.2f}x",
+            "*" if point in result.pareto else "",
+        )
+        for point in result.points
+    ]
+    table = render_table(
+        ("design", "time ratio", "energy ratio", "occupation", "speedup",
+         "pareto"),
+        rows,
+        title="Fig. 6 — DSE over fabric shapes (vs stand-alone GPP = 1.0)",
+    )
+    scenario_rows = []
+    for name, point in result.scenarios.items():
+        paper_speedup, paper_energy, paper_util = PAPER_SCENARIOS[name]
+        scenario_rows.append(
+            (
+                name,
+                point.label,
+                f"{point.speedup:.2f}x / {paper_speedup:.2f}x",
+                f"{point.energy_ratio:.2f} / {paper_energy:.2f}",
+                f"{point.avg_utilization * 100:.1f}% / {paper_util * 100:.1f}%",
+            )
+        )
+    scenario_table = render_table(
+        ("scenario", "design", "speedup (ours/paper)",
+         "energy (ours/paper)", "occupation (ours/paper)"),
+        scenario_rows,
+        title="Named scenarios (Section IV-B)",
+    )
+    return f"{table}\n\n{scenario_table}"
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Fig. 8 — utilization PDFs (top) and NBTI delay-over-time (bottom).
+
+For each scenario (BE/BP/BU) and each allocation, the per-FU
+utilization distribution and the delay-degradation curve of the
+worst-stressed FU over a ten-year horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aging.lifetime import delay_curve, lifetime_years
+from repro.aging.nbti import NBTIModel
+from repro.analysis.distribution import text_histogram
+from repro.core.utilization import Weighting
+from repro.experiments.common import run_suite
+from repro.system.scenarios import SCENARIOS
+
+YEARS = np.linspace(0.25, 10.0, 40)
+
+
+@dataclass
+class ScenarioCurves:
+    """Fig. 8 data for one scenario."""
+
+    scenario: str
+    baseline_values: np.ndarray   # per-FU utilizations
+    proposed_values: np.ndarray
+    baseline_worst: float
+    proposed_worst: float
+    baseline_delay: np.ndarray    # over YEARS
+    proposed_delay: np.ndarray
+    baseline_lifetime: float
+    proposed_lifetime: float
+
+
+@dataclass
+class Fig8Result:
+    scenarios: dict[str, ScenarioCurves]
+    years: np.ndarray
+    model: NBTIModel
+
+
+def run(model: NBTIModel | None = None) -> Fig8Result:
+    model = model if model is not None else NBTIModel()
+    out: dict[str, ScenarioCurves] = {}
+    for name, spec in SCENARIOS.items():
+        baseline = run_suite(spec.rows, spec.cols, policy="baseline")
+        proposed = run_suite(spec.rows, spec.cols, policy="rotation")
+        base_util = baseline.utilization(Weighting.EXECUTIONS)
+        prop_util = proposed.utilization(Weighting.EXECUTIONS)
+        base_worst = float(base_util.max())
+        prop_worst = float(prop_util.max())
+        out[name] = ScenarioCurves(
+            scenario=name,
+            baseline_values=base_util.ravel(),
+            proposed_values=prop_util.ravel(),
+            baseline_worst=base_worst,
+            proposed_worst=prop_worst,
+            baseline_delay=delay_curve(model, base_worst, YEARS),
+            proposed_delay=delay_curve(model, prop_worst, YEARS),
+            baseline_lifetime=lifetime_years(model, base_worst),
+            proposed_lifetime=lifetime_years(model, prop_worst),
+        )
+    return Fig8Result(scenarios=out, years=YEARS, model=model)
+
+
+def render(result: Fig8Result) -> str:
+    sections = ["Fig. 8 — utilization PDFs and NBTI delay increase"]
+    for name, curves in result.scenarios.items():
+        sections.append("")
+        sections.append(f"--- {name} ---")
+        sections.append(
+            text_histogram(
+                curves.baseline_values, bins=10,
+                title=f"{name} baseline utilization PDF",
+            )
+        )
+        sections.append(
+            text_histogram(
+                curves.proposed_values, bins=10,
+                title=f"{name} proposed utilization PDF",
+            )
+        )
+        threshold = result.model.reference_degradation
+        sections.append(
+            f"delay +{threshold * 100:.0f}% reached: baseline "
+            f"{curves.baseline_lifetime:5.2f} y, proposed "
+            f"{curves.proposed_lifetime:5.2f} y "
+            f"(x{curves.proposed_lifetime / curves.baseline_lifetime:.2f})"
+        )
+        for label, delay in (
+            ("baseline", curves.baseline_delay),
+            ("proposed", curves.proposed_delay),
+        ):
+            samples = [
+                f"{result.years[i]:4.1f}y:{delay[i] * 100:5.2f}%"
+                for i in range(0, len(result.years), 8)
+            ]
+            sections.append(f"  delay({label}):  " + "  ".join(samples))
+    return "\n".join(sections)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Table II — CGRA area overhead (BE scenario) + Sec. V-B latency.
+
+Baseline vs modified area and cell counts from the structural model,
+plus the column-latency check showing the extensions leave the
+critical path untouched (the paper's 120 ps result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+from repro.cgra.fabric import FabricGeometry
+from repro.hw.area import AreaBreakdown, CGRAAreaModel
+from repro.hw.timing_model import ColumnTimingModel, TimingReport
+
+#: Paper Table II (BE): area um^2 and cell counts.
+PAPER_BASELINE_AREA = 28_995.0
+PAPER_MODIFIED_AREA = 30_199.0
+PAPER_BASELINE_CELLS = 79_540
+PAPER_MODIFIED_CELLS = 83_083
+PAPER_AREA_OVERHEAD = 0.0415
+PAPER_CELL_OVERHEAD = 0.0445
+PAPER_COLUMN_LATENCY_PS = 120.0
+
+
+@dataclass
+class Table2Result:
+    geometry: FabricGeometry
+    baseline: AreaBreakdown
+    modified: AreaBreakdown
+    area_overhead: float
+    cell_overhead: float
+    baseline_timing: TimingReport
+    modified_timing: TimingReport
+
+    @property
+    def latency_unchanged(self) -> bool:
+        return (
+            self.baseline_timing.column_latency_ps
+            == self.modified_timing.column_latency_ps
+        )
+
+
+def run(rows: int = 2, cols: int = 16) -> Table2Result:
+    geometry = FabricGeometry(rows=rows, cols=cols)
+    area_model = CGRAAreaModel(geometry)
+    timing_model = ColumnTimingModel(geometry)
+    return Table2Result(
+        geometry=geometry,
+        baseline=area_model.baseline(),
+        modified=area_model.modified(),
+        area_overhead=area_model.overhead_fraction(),
+        cell_overhead=area_model.cell_overhead_fraction(),
+        baseline_timing=timing_model.baseline(),
+        modified_timing=timing_model.modified(),
+    )
+
+
+def render(result: Table2Result) -> str:
+    area_table = render_table(
+        ("metric", "baseline", "modified", "overhead", "paper"),
+        [
+            (
+                "area [um^2]",
+                f"{result.baseline.area_um2:,.0f}",
+                f"{result.modified.area_um2:,.0f}",
+                f"+{result.area_overhead * 100:.2f}%",
+                f"{PAPER_BASELINE_AREA:,.0f} -> {PAPER_MODIFIED_AREA:,.0f}"
+                f" (+{PAPER_AREA_OVERHEAD * 100:.2f}%)",
+            ),
+            (
+                "# cells",
+                f"{result.baseline.n_cells:,}",
+                f"{result.modified.n_cells:,}",
+                f"+{result.cell_overhead * 100:.2f}%",
+                f"{PAPER_BASELINE_CELLS:,} -> {PAPER_MODIFIED_CELLS:,}"
+                f" (+{PAPER_CELL_OVERHEAD * 100:.2f}%)",
+            ),
+        ],
+        title=f"Table II — CGRA area overhead ({result.geometry})",
+    )
+    base_ps = result.baseline_timing.column_latency_ps
+    mod_ps = result.modified_timing.column_latency_ps
+    latency_lines = [
+        "",
+        "Section V-B — single-column minimum latency",
+        f"  baseline: {base_ps:.0f} ps   modified: {mod_ps:.0f} ps   "
+        f"(paper: {PAPER_COLUMN_LATENCY_PS:.0f} ps for both)",
+        f"  critical path unchanged: {result.latency_unchanged}",
+    ]
+    return area_table + "\n" + "\n".join(latency_lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Single-issue in-order GPP timing model (gem5 TimingSimple analogue).
+
+The paper evaluates TransRec against a stand-alone Rocket-class core
+modelled with gem5's ``TimingSimple`` CPU. This package provides the
+equivalent: a trace-driven timing model with simple I/D caches and a
+static-plus-bimodal branch predictor. It consumes the committed trace
+produced by :mod:`repro.sim` and reports cycle counts; it never
+re-executes instructions.
+"""
+
+from repro.gpp.branch import AlwaysTakenPredictor, BimodalPredictor, BTFNPredictor
+from repro.gpp.cache import CacheModel, CacheParams
+from repro.gpp.params import GPPParams
+from repro.gpp.timing import GPPTimingModel, GPPTimingResult
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BTFNPredictor",
+    "BimodalPredictor",
+    "CacheModel",
+    "CacheParams",
+    "GPPParams",
+    "GPPTimingModel",
+    "GPPTimingResult",
+]

@@ -1,0 +1,65 @@
+"""Branch predictors for the GPP timing model.
+
+The default is backward-taken/forward-not-taken (BTFN), the static
+scheme typical of small embedded cores; a 2-bit bimodal predictor is
+available for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class BranchPredictor:
+    """Interface: ``predict`` then ``update`` for every branch."""
+
+    def predict(self, pc: int, offset: int) -> bool:
+        """Predicted direction for the branch at ``pc`` (offset in bytes)."""
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Record the resolved direction."""
+
+    def reset(self) -> None:
+        """Forget all learned state."""
+
+
+class BTFNPredictor(BranchPredictor):
+    """Static backward-taken / forward-not-taken prediction."""
+
+    def predict(self, pc: int, offset: int) -> bool:
+        return offset < 0
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Static always-taken prediction."""
+
+    def predict(self, pc: int, offset: int) -> bool:
+        return True
+
+
+class BimodalPredictor(BranchPredictor):
+    """Classic 2-bit saturating-counter table indexed by pc."""
+
+    def __init__(self, entries: int = 512) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigurationError("predictor entries must be a power of two")
+        self._mask = entries - 1
+        self._counters = [2] * entries  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int, offset: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+
+    def reset(self) -> None:
+        self._counters = [2] * (self._mask + 1)

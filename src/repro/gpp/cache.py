@@ -1,0 +1,92 @@
+"""Set-associative cache timing model with true-LRU replacement.
+
+Only hit/miss behaviour is modelled — no data storage — because the
+functional simulator already provides values. The model is shared by
+the instruction and data caches of the GPP and sized like the paper's
+embedded Rocket configuration by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and penalty of one cache.
+
+    Attributes:
+        size_bytes: total capacity.
+        line_bytes: cache line size.
+        ways: associativity.
+        miss_penalty: extra cycles charged on a miss.
+    """
+
+    size_bytes: int = 16 * 1024
+    line_bytes: int = 64
+    ways: int = 4
+    miss_penalty: int = 20
+
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "line_bytes", "ways"):
+            if not _is_power_of_two(getattr(self, name)):
+                raise ConfigurationError(f"{name} must be a power of two")
+        if self.size_bytes < self.line_bytes * self.ways:
+            raise ConfigurationError("cache smaller than one set")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+class CacheModel:
+    """Hit/miss simulator for one cache."""
+
+    def __init__(self, params: CacheParams) -> None:
+        self.params = params
+        self._offset_bits = params.line_bytes.bit_length() - 1
+        self._set_mask = params.n_sets - 1
+        # Per-set list of tags in LRU order (index 0 = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(params.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; return ``True`` on hit."""
+        line = address >> self._offset_bits
+        tags = self._sets[line & self._set_mask]
+        tag = line >> (self._set_mask.bit_length())
+        try:
+            tags.remove(tag)
+        except ValueError:
+            self.misses += 1
+            tags.insert(0, tag)
+            if len(tags) > self.params.ways:
+                tags.pop()
+            return False
+        self.hits += 1
+        tags.insert(0, tag)
+        return True
+
+    def access_cycles(self, address: int) -> int:
+        """Touch ``address``; return the miss penalty incurred (0 on hit)."""
+        return 0 if self.access(address) else self.params.miss_penalty
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

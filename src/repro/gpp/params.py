@@ -1,0 +1,54 @@
+"""Timing parameters for the single-issue in-order GPP model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpp.cache import CacheParams
+from repro.isa.instructions import InstrClass
+
+
+@dataclass(frozen=True)
+class GPPParams:
+    """Per-class latencies and structural penalties.
+
+    Latencies are *occupancy* cycles of a single-issue pipeline (CPI
+    contribution at cache hit and correct prediction), in the spirit of
+    gem5's TimingSimple model of a Rocket-class core.
+
+    Attributes:
+        class_cycles: base cycles per instruction class.
+        branch_mispredict_penalty: pipeline refill cycles on mispredict.
+        predictor: one of ``"btfn"``, ``"taken"``, ``"bimodal"``.
+        icache: instruction cache geometry/penalty.
+        dcache: data cache geometry/penalty.
+    """
+
+    class_cycles: dict[InstrClass, int] = field(
+        default_factory=lambda: {
+            InstrClass.ALU: 1,
+            InstrClass.MUL: 3,
+            InstrClass.DIV: 16,
+            InstrClass.LOAD: 2,
+            InstrClass.STORE: 1,
+            InstrClass.BRANCH: 1,
+            InstrClass.JUMP: 2,
+            InstrClass.SYSTEM: 5,
+        }
+    )
+    branch_mispredict_penalty: int = 3
+    predictor: str = "btfn"
+    icache: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size_bytes=16 * 1024, line_bytes=64, ways=4, miss_penalty=20
+        )
+    )
+    dcache: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size_bytes=16 * 1024, line_bytes=64, ways=4, miss_penalty=20
+        )
+    )
+
+    def cycles_for(self, cls: InstrClass) -> int:
+        """Base cycles for one instruction of class ``cls``."""
+        return self.class_cycles[cls]

@@ -1,0 +1,129 @@
+"""Trace-driven timing model of the stand-alone GPP.
+
+Walks a committed trace and accumulates cycles:
+
+``cycles = sum(base cycles per class)
+         + icache miss penalties (per fetch)
+         + dcache miss penalties (per load/store)
+         + branch mispredict penalties``
+
+The same per-record cost function is reused by the TransRec system
+simulation for the instructions that execute on the GPP side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpp.branch import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    BTFNPredictor,
+)
+from repro.gpp.cache import CacheModel
+from repro.gpp.params import GPPParams
+from repro.isa.instructions import InstrClass
+from repro.sim.trace import Trace, TraceRecord
+
+
+def make_predictor(name: str) -> BranchPredictor:
+    """Instantiate a branch predictor by name."""
+    if name == "btfn":
+        return BTFNPredictor()
+    if name == "taken":
+        return AlwaysTakenPredictor()
+    if name == "bimodal":
+        return BimodalPredictor()
+    raise ConfigurationError(f"unknown predictor {name!r}")
+
+
+@dataclass
+class GPPTimingResult:
+    """Cycle breakdown for one trace on the stand-alone GPP."""
+
+    cycles: int
+    instructions: int
+    base_cycles: int
+    icache_miss_cycles: int
+    dcache_miss_cycles: int
+    mispredict_cycles: int
+    icache_miss_rate: float
+    dcache_miss_rate: float
+    icache_misses: int = 0
+    dcache_misses: int = 0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class GPPTimingModel:
+    """Stateful per-trace timing walker for the stand-alone GPP."""
+
+    def __init__(self, params: GPPParams | None = None) -> None:
+        self.params = params if params is not None else GPPParams()
+        self.icache = CacheModel(self.params.icache)
+        self.dcache = CacheModel(self.params.dcache)
+        self.predictor = make_predictor(self.params.predictor)
+
+    def record_cycles(self, record: TraceRecord) -> int:
+        """Cycles for one committed instruction, updating cache/predictor
+        state as a side effect."""
+        params = self.params
+        cycles = params.cycles_for(record.cls)
+        cycles += self.icache.access_cycles(record.pc)
+        if record.mem_addr is not None:
+            cycles += self.dcache.access_cycles(record.mem_addr)
+        if record.cls is InstrClass.BRANCH:
+            predicted = self.predictor.predict(
+                record.pc, record.imm if record.imm is not None else 0
+            )
+            taken = bool(record.taken)
+            if predicted != taken:
+                cycles += params.branch_mispredict_penalty
+            self.predictor.update(record.pc, taken)
+        return cycles
+
+    def run(self, trace: Trace) -> GPPTimingResult:
+        """Time a whole trace on a fresh GPP (state is reset first)."""
+        self.reset()
+        base = 0
+        ic_miss = 0
+        dc_miss = 0
+        mispredict = 0
+        params = self.params
+        for record in trace:
+            base += params.cycles_for(record.cls)
+            ic_miss += self.icache.access_cycles(record.pc)
+            if record.mem_addr is not None:
+                dc_miss += self.dcache.access_cycles(record.mem_addr)
+            if record.cls is InstrClass.BRANCH:
+                predicted = self.predictor.predict(
+                    record.pc, record.imm if record.imm is not None else 0
+                )
+                taken = bool(record.taken)
+                if predicted != taken:
+                    mispredict += params.branch_mispredict_penalty
+                self.predictor.update(record.pc, taken)
+        total = base + ic_miss + dc_miss + mispredict
+        return GPPTimingResult(
+            cycles=total,
+            instructions=len(trace),
+            base_cycles=base,
+            icache_miss_cycles=ic_miss,
+            dcache_miss_cycles=dc_miss,
+            mispredict_cycles=mispredict,
+            icache_miss_rate=self.icache.miss_rate,
+            dcache_miss_rate=self.dcache.miss_rate,
+            icache_misses=self.icache.misses,
+            dcache_misses=self.dcache.misses,
+        )
+
+    def reset(self) -> None:
+        """Reset caches and predictor to their initial (cold) state."""
+        self.icache = CacheModel(self.params.icache)
+        self.dcache = CacheModel(self.params.dcache)
+        self.predictor.reset()

@@ -1,0 +1,161 @@
+"""CGRA area rollup: baseline vs modified (Table II).
+
+The baseline fabric is summed structurally from its components; the
+modified design adds the paper's three extensions:
+
+1. per-column configuration-line select muxes (horizontal movement);
+2. per-column barrel rotators on the row-indexed configuration register
+   groups (vertical movement);
+3. wrap-around steering per context line. The extra data input *folds
+   into the existing output-crossbar mux tree*: for all fabric widths
+   in the design space (W in {2,4,8}), ``W+2`` inputs need the same
+   tree depth and cell count budget as ``W+1`` (the tree has spare
+   leaves), so the datapath cost is one steering register bit per
+   context line per column — this is also why the critical path is
+   unchanged (Section V-B).
+
+One pair of calibration factors (``cell_scale``, ``area_scale``) maps
+structural counts to post-synthesis totals (buffers, clock tree,
+routing overhead); they are fitted once so the BE baseline lands in
+Table II's band and cancel exactly in every reported ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cgra.fabric import FabricGeometry
+from repro.cgra.interconnect import InterconnectSpec
+from repro.cgra.reconfig import ReconfigLogicSpec
+from repro.hw import components as comp
+from repro.hw.cells import CellCounts
+
+#: Fitted once against Table II's baseline (28,995 um^2 / 79,540 cells
+#: for the 16x2 BE design); see module docstring.
+DEFAULT_CELL_SCALE = 2.05
+DEFAULT_AREA_SCALE = 2.35
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area result for one design point."""
+
+    structural: CellCounts
+    cell_scale: float
+    area_scale: float
+
+    @property
+    def n_cells(self) -> int:
+        """Post-synthesis cell estimate."""
+        return round(self.structural.n_cells() * self.cell_scale)
+
+    @property
+    def area_um2(self) -> float:
+        """Post-synthesis area estimate."""
+        return self.structural.area_um2() * self.area_scale
+
+    @property
+    def leakage_nw(self) -> float:
+        """Static leakage estimate (same scale as cells)."""
+        return self.structural.leakage_nw() * self.cell_scale
+
+
+class CGRAAreaModel:
+    """Structural area model for one fabric geometry."""
+
+    def __init__(
+        self,
+        geometry: FabricGeometry,
+        rob_entries: int | None = None,
+        cell_scale: float = DEFAULT_CELL_SCALE,
+        area_scale: float = DEFAULT_AREA_SCALE,
+    ) -> None:
+        self.geometry = geometry
+        self.rob_entries = (
+            rob_entries if rob_entries is not None else 4 * geometry.rows
+        )
+        self.cell_scale = cell_scale
+        self.area_scale = area_scale
+        self._interconnect = InterconnectSpec(geometry)
+        self._reconfig = ReconfigLogicSpec(geometry)
+
+    # -- baseline ------------------------------------------------------
+
+    def baseline_counts(self) -> CellCounts:
+        """Structural cells of the unmodified TransRec fabric."""
+        g = self.geometry
+        ic = self._interconnect
+        counts = comp.alu32().scaled(g.n_cells)
+        counts += comp.multiplier32().scaled(g.rows)
+        counts += comp.memory_unit("load") + comp.memory_unit("store")
+        # Input crossbar: per column, one ctx_lines:1 word mux per FU operand.
+        in_xbar = comp.mux_tree(ic.input_mux_inputs, comp.WORD_BITS).scaled(
+            ic.input_muxes_per_column
+        )
+        # Output crossbar: per column, one (rows+1):1 word mux per ctx line.
+        out_xbar = comp.mux_tree(ic.output_mux_inputs, comp.WORD_BITS).scaled(
+            ic.output_muxes_per_column
+        )
+        # Context pipeline registers: ctx_lines words per column.
+        ctx_regs = comp.register(g.ctx_lines * comp.WORD_BITS)
+        # Configuration registers for the column.
+        cfg_regs = comp.register(self._reconfig.config_bits_per_column)
+        per_column = in_xbar + out_xbar + ctx_regs + cfg_regs
+        counts += per_column.scaled(g.cols)
+        counts += comp.rob(self.rob_entries)
+        counts += comp.input_context(g.ctx_lines, imm_slots=g.rows)
+        counts += comp.control_unit()
+        return counts
+
+    # -- proposed extensions --------------------------------------------
+
+    def extension_counts(self) -> CellCounts:
+        """Structural cells added by the utilization-aware extensions."""
+        g = self.geometry
+        rc = self._reconfig
+        # 1. Horizontal movement: n:1 mux in front of every column's
+        #    configuration register (Fig. 5b), full config-word wide.
+        line_mux = comp.mux_tree(
+            rc.line_mux_inputs, rc.config_bits_per_column
+        )
+        # 3. Wrap-around: the data input folds into the output-crossbar
+        #    tree (see module docstring); only steering state is added.
+        wrap_steering = comp.register(g.ctx_lines)
+        per_column = (line_mux + wrap_steering).scaled(g.cols)
+        # 2. Vertical movement: barrel rotators over the row-indexed
+        #    register groups (Fig. 5c). The rotation amount is one per
+        #    configuration, so one rotator per configuration *line*
+        #    (before the fan-out to columns) suffices.
+        rotator = comp.barrel_rotator(
+            rc.barrel_rotator_positions,
+            rc.rotated_bits_per_column() // max(1, g.rows),
+        ).scaled(g.n_config_lines)
+        return per_column + rotator
+
+    def modified_counts(self) -> CellCounts:
+        """Structural cells of the fabric with the extensions."""
+        return self.baseline_counts() + self.extension_counts()
+
+    # -- reports ----------------------------------------------------------
+
+    def baseline(self) -> AreaBreakdown:
+        return AreaBreakdown(
+            self.baseline_counts(), self.cell_scale, self.area_scale
+        )
+
+    def modified(self) -> AreaBreakdown:
+        return AreaBreakdown(
+            self.modified_counts(), self.cell_scale, self.area_scale
+        )
+
+    def overhead_fraction(self) -> float:
+        """Relative area overhead of the extensions (Table II claim)."""
+        base = self.baseline_counts().area_um2()
+        extra = self.extension_counts().area_um2()
+        return extra / base
+
+    def cell_overhead_fraction(self) -> float:
+        """Relative cell-count overhead of the extensions."""
+        base = self.baseline_counts().n_cells()
+        extra = self.extension_counts().n_cells()
+        return extra / base

@@ -1,0 +1,157 @@
+"""Gate-count models of the fabric's building blocks.
+
+Each function returns a :class:`~repro.hw.cells.CellCounts` multiset.
+Counts are structural (derived from the component's logic function),
+not synthesised; they track how real implementations scale with width
+and fan-in, which is what the Table II ratio depends on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.cells import CellCounts
+
+WORD_BITS = 32
+
+
+def mux_tree(n_inputs: int, width: int = 1) -> CellCounts:
+    """N:1 multiplexer per bit, built from 2:1 stages.
+
+    An ``n``-input tree needs exactly ``n - 1`` MUX2 cells per bit.
+    """
+    if n_inputs < 1:
+        raise ValueError("mux needs at least one input")
+    return CellCounts({"MUX2": max(0, n_inputs - 1) * width})
+
+
+def mux_tree_depth(n_inputs: int) -> int:
+    """Logic depth (MUX2 levels) of an ``n``-input mux tree."""
+    if n_inputs < 1:
+        raise ValueError("mux needs at least one input")
+    if n_inputs == 1:
+        return 0
+    return math.ceil(math.log2(n_inputs))
+
+
+def register(width: int) -> CellCounts:
+    """Simple register: one DFF per bit."""
+    return CellCounts({"DFF": width})
+
+
+def barrel_rotator(positions: int, width: int) -> CellCounts:
+    """Barrel rotator over ``positions`` slots of ``width`` bits each.
+
+    ``ceil(log2(positions))`` stages of 2:1 muxes across the whole
+    ``positions * width`` bus.
+    """
+    if positions < 1:
+        raise ValueError("rotator needs at least one position")
+    if positions == 1:
+        return CellCounts()
+    stages = math.ceil(math.log2(positions))
+    return CellCounts({"MUX2": stages * positions * width})
+
+
+def adder(width: int = WORD_BITS) -> CellCounts:
+    """Adder/subtractor: FA chain, operand-invert XORs and a lookahead
+    assist (modelled as extra AND/OR pairs every 4 bits)."""
+    lookahead_groups = width // 4
+    return CellCounts(
+        {
+            "FA": width,
+            "XOR2": width,
+            "AND2": lookahead_groups * 2,
+            "OR2": lookahead_groups * 2,
+        }
+    )
+
+
+def barrel_shifter(width: int = WORD_BITS) -> CellCounts:
+    """Logarithmic shifter: log2(width) mux stages, plus sign handling."""
+    stages = math.ceil(math.log2(width))
+    return CellCounts({"MUX2": stages * width, "AND2": width // 2})
+
+
+def alu32() -> CellCounts:
+    """One 32-bit fabric ALU: add/sub, full logic unit, shifter,
+    comparisons, immediate mux and the result-select network.
+
+    Structural total is ~1000 cells, in line with synthesised embedded
+    ALUs of this feature set.
+    """
+    counts = adder()
+    counts += barrel_shifter()
+    # Logic unit: AND/OR/XOR per bit.
+    counts += CellCounts(
+        {"AND2": WORD_BITS, "OR2": WORD_BITS, "XOR2": WORD_BITS}
+    )
+    # Comparator (slt/sltu/eq): sign/overflow network + zero-detect tree.
+    counts += CellCounts({"XOR2": 8, "AND2": WORD_BITS // 2, "INV": 8})
+    # Immediate operand mux and sign extension.
+    counts += mux_tree(2, WORD_BITS)
+    counts += CellCounts({"BUF": 20})
+    # Result-select: 8 function classes -> 8:1 mux per bit.
+    counts += mux_tree(8, WORD_BITS)
+    return counts
+
+
+def multiplier32() -> CellCounts:
+    """Radix-4 Booth 32x32 multiplier (one per fabric row).
+
+    Booth recoding (17 groups), a partial-product array compressed with
+    FAs, and a final carry-propagate adder.
+    """
+    booth_groups = WORD_BITS // 2 + 1
+    recode = CellCounts(
+        {"AND2": booth_groups * 3, "XOR2": booth_groups * 2,
+         "MUX2": booth_groups * WORD_BITS}
+    )
+    compress = CellCounts({"FA": booth_groups * WORD_BITS // 2})
+    final_add = adder(2 * WORD_BITS)
+    return recode + compress + final_add
+
+
+def memory_unit(kind: str = "load") -> CellCounts:
+    """One load or store unit: address adder, alignment network,
+    staging registers and handshake control."""
+    if kind not in ("load", "store"):
+        raise ValueError("kind must be 'load' or 'store'")
+    counts = adder()                       # address generation
+    counts += mux_tree(4, WORD_BITS)       # byte/half alignment
+    counts += register(2 * WORD_BITS)      # address + data staging
+    counts += CellCounts({"AND2": 24, "OR2": 16, "INV": 12})  # control
+    return counts
+
+
+def rob(entries: int, width: int = WORD_BITS) -> CellCounts:
+    """Reorder buffer for in-order result commit.
+
+    Per entry: value + destination tag registers, a valid bit and an
+    allocation comparator.
+    """
+    if entries < 1:
+        raise ValueError("rob needs at least one entry")
+    per_entry = register(width + 6)
+    per_entry += CellCounts({"XOR2": 6, "AND2": 6, "INV": 2})
+    return per_entry.scaled(entries)
+
+
+def input_context(
+    ctx_lines: int, imm_slots: int = 0, width: int = WORD_BITS
+) -> CellCounts:
+    """Input context: one register per context line plus write steering.
+
+    ``imm_slots`` extra word registers hold DBT-materialised immediate
+    values (see :mod:`repro.cgra.reconfig`).
+    """
+    counts = register((ctx_lines + imm_slots) * width)
+    counts += mux_tree(ctx_lines + imm_slots, width)
+    return counts
+
+
+def control_unit() -> CellCounts:
+    """Reconfiguration control FSM (write-enable sequencing, Fig. 5a)."""
+    return CellCounts(
+        {"DFF": 64, "AND2": 120, "OR2": 80, "NAND2": 100, "INV": 60}
+    )

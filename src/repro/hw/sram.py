@@ -1,0 +1,61 @@
+"""Analytical SRAM model (FinCACTI stand-in) for caches and the
+configuration cache.
+
+A deliberately simple bitcell-array model: area is bitcell area times
+capacity times an array-efficiency overhead; access energy scales with
+root-capacity (bitline/wordline lengths); leakage scales with capacity.
+Good enough for the lump contribution these arrays make to system
+area/energy totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: 15nm-class 6T bitcell area (um^2).
+BITCELL_AREA_UM2 = 0.0174
+#: Periphery/array-efficiency overhead multiplier.
+ARRAY_OVERHEAD = 1.45
+#: Access energy coefficient (pJ per sqrt(bit)).
+ACCESS_ENERGY_COEFF = 0.0022
+#: Leakage per bit (nW).
+LEAKAGE_PER_BIT_NW = 0.0105
+
+
+@dataclass(frozen=True)
+class SRAMModel:
+    """One SRAM array of ``capacity_bits`` bits."""
+
+    capacity_bits: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bits <= 0:
+            raise ConfigurationError("SRAM capacity must be positive")
+
+    @property
+    def area_um2(self) -> float:
+        """Placed macro area."""
+        return self.capacity_bits * BITCELL_AREA_UM2 * ARRAY_OVERHEAD
+
+    @property
+    def access_energy_pj(self) -> float:
+        """Energy of one read or write access."""
+        return ACCESS_ENERGY_COEFF * math.sqrt(self.capacity_bits)
+
+    @property
+    def leakage_nw(self) -> float:
+        """Static leakage of the array."""
+        return self.capacity_bits * LEAKAGE_PER_BIT_NW
+
+    @classmethod
+    def for_config_cache(
+        cls, entries: int, bits_per_entry: int
+    ) -> "SRAMModel":
+        """Array sized for a configuration cache."""
+        if entries < 1 or bits_per_entry < 1:
+            raise ConfigurationError("config cache size must be positive")
+        # Tag (PC) + valid overhead per entry.
+        return cls(capacity_bits=entries * (bits_per_entry + 33))

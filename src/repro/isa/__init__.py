@@ -1,0 +1,46 @@
+"""RV32IM-subset instruction set: metadata, assembler and disassembler.
+
+This package provides everything needed to express the MiBench-like
+workloads as RISC-V assembly text and turn them into an executable
+:class:`~repro.isa.program.Program`:
+
+* :mod:`repro.isa.registers` — integer register file and ABI names.
+* :mod:`repro.isa.instructions` — opcode metadata (class, format, operands).
+* :mod:`repro.isa.assembler` — two-pass assembler with labels, data
+  directives and the usual pseudo-instructions.
+* :mod:`repro.isa.program` — assembled program container.
+* :mod:`repro.isa.disasm` — textual disassembly, mostly for diagnostics.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, format_instruction
+from repro.isa.instructions import (
+    OPCODES,
+    Instruction,
+    InstrClass,
+    OperandFormat,
+    OpSpec,
+)
+from repro.isa.program import Program
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "ABI_NAMES",
+    "NUM_REGISTERS",
+    "OPCODES",
+    "Instruction",
+    "InstrClass",
+    "OperandFormat",
+    "OpSpec",
+    "Program",
+    "assemble",
+    "disassemble",
+    "format_instruction",
+    "parse_register",
+    "register_name",
+]

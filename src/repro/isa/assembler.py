@@ -1,0 +1,428 @@
+"""Two-pass assembler for the RV32IM subset.
+
+The assembler understands:
+
+* ``.text`` / ``.data`` sections, labels (``name:``);
+* data directives: ``.word``, ``.half``, ``.byte``, ``.asciiz`` /
+  ``.string``, ``.space``, ``.align``, ``.globl`` (accepted, ignored);
+* the common pseudo-instructions (``li``, ``la``, ``mv``, ``j``,
+  ``call``, ``ret``, ``beqz`` ...), expanded during the first pass;
+* comments introduced by ``#`` or ``//``.
+
+Branch and ``jal`` immediates are resolved to byte offsets relative to
+the instruction address, as in real RISC-V. ``.word`` entries may name a
+label (optionally with ``+offset``), which resolves to its absolute
+address.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import OPCODES, Instruction, OperandFormat
+from repro.isa.program import DATA_BASE, TEXT_BASE, Program
+from repro.isa.registers import parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_SYMBOL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*([+-]\s*\d+)?$")
+_MEM_OPERAND_RE = re.compile(r"^(-?[\w']*)\s*\(\s*([\w]+)\s*\)$")
+
+_INT12_MIN, _INT12_MAX = -2048, 2047
+
+
+@dataclass
+class _PendingImm:
+    """Immediate awaiting symbol resolution in pass two.
+
+    ``kind`` is one of ``"branch"`` (pc-relative byte offset), ``"hi"``
+    / ``"lo"`` (the two halves used by ``la``) and ``"abs"`` (absolute
+    address, used by ``.word label``).
+    """
+
+    kind: str
+    symbol: str
+    addend: int = 0
+
+
+@dataclass
+class _Draft:
+    """An instruction emitted by pass one, possibly with a pending imm."""
+
+    op: str
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int | _PendingImm | None = None
+    label: str | None = None
+    line: int = 0
+
+
+def _parse_int(token: str, line: int) -> int:
+    """Parse an integer literal (decimal, hex, binary, octal or char)."""
+    token = token.strip()
+    if len(token) == 3 and token[0] == token[2] == "'":
+        return ord(token[1])
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"invalid integer literal {token!r}", line) from None
+
+
+def _parse_symbol_or_int(token: str, line: int) -> int | tuple[str, int]:
+    """Parse either an integer or ``symbol[+-offset]``."""
+    token = token.strip()
+    try:
+        return _parse_int(token, line)
+    except AssemblyError:
+        pass
+    match = _SYMBOL_RE.match(token)
+    if not match:
+        raise AssemblyError(f"invalid symbol or literal {token!r}", line)
+    addend = int(match.group(2).replace(" ", "")) if match.group(2) else 0
+    return (match.group(1), addend)
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def _split_hi_lo(value: int) -> tuple[int, int]:
+    """Split a 32-bit value into ``lui``/``addi`` halves.
+
+    Returns ``(hi20, lo12)`` with ``lo12`` sign-extended, such that
+    ``(hi20 << 12) + lo12 == value (mod 2**32)``.
+    """
+    value &= 0xFFFFFFFF
+    lo = value & 0xFFF
+    if lo > _INT12_MAX:
+        lo -= 0x1000
+    hi = ((value - lo) >> 12) & 0xFFFFF
+    return hi, lo
+
+
+class _Assembler:
+    """State for one assembly run (single source string)."""
+
+    def __init__(self, source: str, name: str) -> None:
+        self._source = source
+        self._name = name
+        self._drafts: list[_Draft] = []
+        self._data: bytearray = bytearray()
+        # (offset in self._data, symbol, addend) fixups for `.word label`.
+        self._data_fixups: list[tuple[int, str, int]] = []
+        self._symbols: dict[str, int] = {}
+        self._section = "text"
+
+    def run(self) -> Program:
+        for lineno, raw in enumerate(self._source.splitlines(), start=1):
+            self._parse_line(raw, lineno)
+        return self._resolve()
+
+    # ------------------------------------------------------------------
+    # Pass one: parsing and pseudo-instruction expansion.
+    # ------------------------------------------------------------------
+
+    def _parse_line(self, raw: str, line: int) -> None:
+        text = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            self._define_label(match.group(1), line)
+            text = match.group(2).strip()
+        if not text:
+            return
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if mnemonic.startswith("."):
+            self._directive(mnemonic, rest, line)
+        else:
+            self._statement(mnemonic, _split_operands(rest), line)
+
+    def _define_label(self, name: str, line: int) -> None:
+        if name in self._symbols:
+            raise AssemblyError(f"duplicate label {name!r}", line)
+        if self._section == "text":
+            self._symbols[name] = TEXT_BASE + 4 * len(self._drafts)
+        else:
+            self._symbols[name] = DATA_BASE + len(self._data)
+
+    def _directive(self, name: str, rest: str, line: int) -> None:
+        if name == ".text":
+            self._section = "text"
+        elif name == ".data":
+            self._section = "data"
+        elif name in (".globl", ".global", ".section", ".type", ".size"):
+            pass  # accepted for compatibility, no effect
+        elif name == ".word":
+            self._emit_scalars(rest, 4, line)
+        elif name == ".half":
+            self._emit_scalars(rest, 2, line)
+        elif name == ".byte":
+            self._emit_scalars(rest, 1, line)
+        elif name in (".asciiz", ".string", ".ascii"):
+            self._emit_string(rest, line, zero_terminate=name != ".ascii")
+        elif name == ".space":
+            self._require_data(name, line)
+            self._data.extend(b"\x00" * _parse_int(rest, line))
+        elif name == ".align":
+            self._require_data(name, line)
+            boundary = 1 << _parse_int(rest, line)
+            while len(self._data) % boundary:
+                self._data.append(0)
+        else:
+            raise AssemblyError(f"unknown directive {name!r}", line)
+
+    def _require_data(self, directive: str, line: int) -> None:
+        if self._section != "data":
+            raise AssemblyError(f"{directive} outside .data section", line)
+
+    def _emit_scalars(self, rest: str, width: int, line: int) -> None:
+        self._require_data(".word/.half/.byte", line)
+        for token in _split_operands(rest):
+            value = _parse_symbol_or_int(token, line)
+            if isinstance(value, tuple):
+                if width != 4:
+                    raise AssemblyError("symbol reference needs .word", line)
+                self._data_fixups.append((len(self._data), value[0], value[1]))
+                self._data.extend(b"\x00\x00\x00\x00")
+            else:
+                self._data.extend(
+                    (value & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+                )
+
+    def _emit_string(self, rest: str, line: int, zero_terminate: bool) -> None:
+        self._require_data(".asciiz", line)
+        rest = rest.strip()
+        if len(rest) < 2 or rest[0] != '"' or rest[-1] != '"':
+            raise AssemblyError("string directive needs a quoted string", line)
+        body = rest[1:-1].encode().decode("unicode_escape").encode("latin-1")
+        self._data.extend(body)
+        if zero_terminate:
+            self._data.append(0)
+
+    # -- instruction statements ----------------------------------------
+
+    def _statement(self, op: str, operands: list[str], line: int) -> None:
+        if self._section != "text":
+            raise AssemblyError("instruction outside .text section", line)
+        if op in OPCODES:
+            self._drafts.append(self._native(op, operands, line))
+        else:
+            self._pseudo(op, operands, line)
+
+    def _native(self, op: str, operands: list[str], line: int) -> _Draft:
+        fmt = OPCODES[op].fmt
+        try:
+            return self._parse_native(op, fmt, operands, line)
+        except (IndexError, ValueError):
+            raise AssemblyError(f"bad operands for {op!r}", line) from None
+
+    def _parse_native(
+        self, op: str, fmt: OperandFormat, ops: list[str], line: int
+    ) -> _Draft:
+        if fmt is OperandFormat.R:
+            self._expect(ops, 3, op, line)
+            return _Draft(op, rd=parse_register(ops[0]),
+                          rs1=parse_register(ops[1]),
+                          rs2=parse_register(ops[2]), line=line)
+        if fmt is OperandFormat.I:
+            self._expect(ops, 3, op, line)
+            return _Draft(op, rd=parse_register(ops[0]),
+                          rs1=parse_register(ops[1]),
+                          imm=_parse_int(ops[2], line), line=line)
+        if fmt is OperandFormat.LOAD:
+            self._expect(ops, 2, op, line)
+            imm, rs1 = self._parse_mem_operand(ops[1], line)
+            return _Draft(op, rd=parse_register(ops[0]), rs1=rs1, imm=imm,
+                          line=line)
+        if fmt is OperandFormat.STORE:
+            self._expect(ops, 2, op, line)
+            imm, rs1 = self._parse_mem_operand(ops[1], line)
+            return _Draft(op, rs2=parse_register(ops[0]), rs1=rs1, imm=imm,
+                          line=line)
+        if fmt is OperandFormat.BRANCH:
+            self._expect(ops, 3, op, line)
+            return _Draft(op, rs1=parse_register(ops[0]),
+                          rs2=parse_register(ops[1]),
+                          imm=_PendingImm("branch", ops[2]), label=ops[2],
+                          line=line)
+        if fmt is OperandFormat.U:
+            self._expect(ops, 2, op, line)
+            return _Draft(op, rd=parse_register(ops[0]),
+                          imm=_parse_int(ops[1], line), line=line)
+        if fmt is OperandFormat.J:
+            self._expect(ops, 2, op, line)
+            return _Draft(op, rd=parse_register(ops[0]),
+                          imm=_PendingImm("branch", ops[1]), label=ops[1],
+                          line=line)
+        if fmt is OperandFormat.JR:
+            self._expect(ops, 3, op, line)
+            return _Draft(op, rd=parse_register(ops[0]),
+                          rs1=parse_register(ops[1]),
+                          imm=_parse_int(ops[2], line), line=line)
+        self._expect(ops, 0, op, line)
+        return _Draft(op, line=line)
+
+    @staticmethod
+    def _expect(operands: list[str], count: int, op: str, line: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                f"{op!r} expects {count} operand(s), got {len(operands)}", line
+            )
+
+    def _parse_mem_operand(self, token: str, line: int) -> tuple[int, int]:
+        match = _MEM_OPERAND_RE.match(token.strip())
+        if not match:
+            raise AssemblyError(f"invalid memory operand {token!r}", line)
+        offset = _parse_int(match.group(1), line) if match.group(1) else 0
+        return offset, parse_register(match.group(2))
+
+    # -- pseudo-instructions -------------------------------------------
+
+    def _pseudo(self, op: str, ops: list[str], line: int) -> None:
+        emit = self._drafts.append
+        if op == "nop":
+            emit(_Draft("addi", rd=0, rs1=0, imm=0, line=line))
+        elif op == "li":
+            self._expect(ops, 2, op, line)
+            self._expand_li(parse_register(ops[0]), _parse_int(ops[1], line), line)
+        elif op == "la":
+            self._expect(ops, 2, op, line)
+            rd = parse_register(ops[0])
+            emit(_Draft("lui", rd=rd, imm=_PendingImm("hi", ops[1]),
+                        label=ops[1], line=line))
+            emit(_Draft("addi", rd=rd, rs1=rd, imm=_PendingImm("lo", ops[1]),
+                        label=ops[1], line=line))
+        elif op == "mv":
+            self._expect(ops, 2, op, line)
+            emit(_Draft("addi", rd=parse_register(ops[0]),
+                        rs1=parse_register(ops[1]), imm=0, line=line))
+        elif op == "not":
+            self._expect(ops, 2, op, line)
+            emit(_Draft("xori", rd=parse_register(ops[0]),
+                        rs1=parse_register(ops[1]), imm=-1, line=line))
+        elif op == "neg":
+            self._expect(ops, 2, op, line)
+            emit(_Draft("sub", rd=parse_register(ops[0]), rs1=0,
+                        rs2=parse_register(ops[1]), line=line))
+        elif op == "seqz":
+            self._expect(ops, 2, op, line)
+            emit(_Draft("sltiu", rd=parse_register(ops[0]),
+                        rs1=parse_register(ops[1]), imm=1, line=line))
+        elif op == "snez":
+            self._expect(ops, 2, op, line)
+            emit(_Draft("sltu", rd=parse_register(ops[0]), rs1=0,
+                        rs2=parse_register(ops[1]), line=line))
+        elif op in ("beqz", "bnez", "bltz", "bgez", "blez", "bgtz"):
+            self._expect(ops, 2, op, line)
+            self._expand_branch_zero(op, parse_register(ops[0]), ops[1], line)
+        elif op in ("bgt", "ble", "bgtu", "bleu"):
+            self._expect(ops, 3, op, line)
+            swapped = {"bgt": "blt", "ble": "bge",
+                       "bgtu": "bltu", "bleu": "bgeu"}[op]
+            emit(_Draft(swapped, rs1=parse_register(ops[1]),
+                        rs2=parse_register(ops[0]),
+                        imm=_PendingImm("branch", ops[2]), label=ops[2],
+                        line=line))
+        elif op == "j":
+            self._expect(ops, 1, op, line)
+            emit(_Draft("jal", rd=0, imm=_PendingImm("branch", ops[0]),
+                        label=ops[0], line=line))
+        elif op in ("call", "tail"):
+            self._expect(ops, 1, op, line)
+            emit(_Draft("jal", rd=1 if op == "call" else 0,
+                        imm=_PendingImm("branch", ops[0]), label=ops[0],
+                        line=line))
+        elif op == "jr":
+            self._expect(ops, 1, op, line)
+            emit(_Draft("jalr", rd=0, rs1=parse_register(ops[0]), imm=0,
+                        line=line))
+        elif op == "ret":
+            self._expect(ops, 0, op, line)
+            emit(_Draft("jalr", rd=0, rs1=1, imm=0, line=line))
+        else:
+            raise AssemblyError(f"unknown instruction {op!r}", line)
+
+    def _expand_li(self, rd: int, value: int, line: int) -> None:
+        if _INT12_MIN <= value <= _INT12_MAX:
+            self._drafts.append(_Draft("addi", rd=rd, rs1=0, imm=value, line=line))
+            return
+        hi, lo = _split_hi_lo(value)
+        self._drafts.append(_Draft("lui", rd=rd, imm=hi, line=line))
+        if lo:
+            self._drafts.append(_Draft("addi", rd=rd, rs1=rd, imm=lo, line=line))
+
+    def _expand_branch_zero(
+        self, op: str, reg: int, target: str, line: int
+    ) -> None:
+        imm = _PendingImm("branch", target)
+        table = {
+            "beqz": ("beq", reg, 0), "bnez": ("bne", reg, 0),
+            "bltz": ("blt", reg, 0), "bgez": ("bge", reg, 0),
+            "blez": ("bge", 0, reg), "bgtz": ("blt", 0, reg),
+        }
+        native, rs1, rs2 = table[op]
+        self._drafts.append(
+            _Draft(native, rs1=rs1, rs2=rs2, imm=imm, label=target, line=line)
+        )
+
+    # ------------------------------------------------------------------
+    # Pass two: symbol resolution.
+    # ------------------------------------------------------------------
+
+    def _resolve(self) -> Program:
+        instructions = [
+            self._resolve_draft(draft, index)
+            for index, draft in enumerate(self._drafts)
+        ]
+        for offset, symbol, addend in self._data_fixups:
+            address = self._lookup(symbol, 0) + addend
+            self._data[offset:offset + 4] = (address & 0xFFFFFFFF).to_bytes(
+                4, "little"
+            )
+        data_segments = [(DATA_BASE, bytes(self._data))] if self._data else []
+        return Program(
+            instructions=instructions,
+            text_base=TEXT_BASE,
+            data_segments=data_segments,
+            symbols=dict(self._symbols),
+            name=self._name,
+        )
+
+    def _resolve_draft(self, draft: _Draft, index: int) -> Instruction:
+        imm = draft.imm
+        if isinstance(imm, _PendingImm):
+            target = self._lookup(imm.symbol, draft.line) + imm.addend
+            if imm.kind == "branch":
+                imm = target - (TEXT_BASE + 4 * index)
+            elif imm.kind == "hi":
+                imm = _split_hi_lo(target)[0]
+            elif imm.kind == "lo":
+                imm = _split_hi_lo(target)[1]
+            else:
+                imm = target
+        return Instruction(op=draft.op, rd=draft.rd, rs1=draft.rs1,
+                           rs2=draft.rs2, imm=imm, label=draft.label)
+
+    def _lookup(self, symbol: str, line: int) -> int:
+        address = self._symbols.get(symbol)
+        if address is None:
+            raise AssemblyError(f"undefined symbol {symbol!r}", line or None)
+        return address
+
+
+def assemble(source: str, name: str = "") -> Program:
+    """Assemble RV32IM source text into a :class:`Program`.
+
+    Args:
+        source: assembly source (see module docstring for the dialect).
+        name: optional program name recorded on the result.
+
+    Raises:
+        AssemblyError: on any syntax or resolution problem.
+    """
+    return _Assembler(source, name).run()

@@ -1,0 +1,56 @@
+"""Textual disassembly of symbolic instructions (for logs and tests)."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, OperandFormat
+from repro.isa.program import Program
+from repro.isa.registers import register_name
+
+
+def format_instruction(ins: Instruction, pc: int | None = None) -> str:
+    """Render one instruction as assembly text.
+
+    Branch/jal targets are shown as absolute addresses when ``pc`` is
+    given, otherwise as relative offsets (``pc+8`` style is avoided so
+    output remains re-assemblable when labels are present).
+    """
+    fmt = ins.spec.fmt
+    reg = register_name
+    if fmt is OperandFormat.R:
+        return f"{ins.op} {reg(ins.rd)}, {reg(ins.rs1)}, {reg(ins.rs2)}"
+    if fmt is OperandFormat.I:
+        return f"{ins.op} {reg(ins.rd)}, {reg(ins.rs1)}, {ins.imm}"
+    if fmt is OperandFormat.LOAD:
+        return f"{ins.op} {reg(ins.rd)}, {ins.imm}({reg(ins.rs1)})"
+    if fmt is OperandFormat.STORE:
+        return f"{ins.op} {reg(ins.rs2)}, {ins.imm}({reg(ins.rs1)})"
+    if fmt is OperandFormat.BRANCH:
+        target = ins.label or _target_text(ins, pc)
+        return f"{ins.op} {reg(ins.rs1)}, {reg(ins.rs2)}, {target}"
+    if fmt is OperandFormat.U:
+        return f"{ins.op} {reg(ins.rd)}, {ins.imm:#x}"
+    if fmt is OperandFormat.J:
+        target = ins.label or _target_text(ins, pc)
+        return f"{ins.op} {reg(ins.rd)}, {target}"
+    if fmt is OperandFormat.JR:
+        return f"{ins.op} {reg(ins.rd)}, {reg(ins.rs1)}, {ins.imm}"
+    return ins.op
+
+
+def _target_text(ins: Instruction, pc: int | None) -> str:
+    if pc is None:
+        return f".{ins.imm:+d}"
+    return f"{pc + ins.imm:#x}"
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program, one ``address: instruction`` line each."""
+    address_labels = {addr: name for name, addr in program.symbols.items()}
+    lines = []
+    for index, ins in enumerate(program.instructions):
+        pc = program.pc_of(index)
+        label = address_labels.get(pc)
+        if label:
+            lines.append(f"{label}:")
+        lines.append(f"  {pc:#08x}: {format_instruction(ins, pc)}")
+    return "\n".join(lines)

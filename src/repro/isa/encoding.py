@@ -1,0 +1,229 @@
+"""Binary encoding/decoding of the RV32IM subset.
+
+The simulator works on symbolic instructions, but the DBT in the real
+TransRec watches *binary* instruction words; this module provides the
+genuine RV32 encodings so traces can be serialised as flat binaries
+and decoded back (tests round-trip every opcode). Encodings follow the
+RISC-V unprivileged spec: R/I/S/B/U/J formats with the M extension on
+``funct7 = 0b0000001``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError, SimulationError
+from repro.isa.instructions import OPCODES, Instruction, OperandFormat
+from repro.isa.program import Program
+
+_OPCODE_OP = 0x33
+_OPCODE_OP_IMM = 0x13
+_OPCODE_LOAD = 0x03
+_OPCODE_STORE = 0x23
+_OPCODE_BRANCH = 0x63
+_OPCODE_LUI = 0x37
+_OPCODE_AUIPC = 0x17
+_OPCODE_JAL = 0x6F
+_OPCODE_JALR = 0x67
+_OPCODE_SYSTEM = 0x73
+
+#: R-type: mnemonic -> (funct3, funct7).
+_R_FUNCT = {
+    "add": (0b000, 0b0000000), "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000), "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000), "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000), "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000), "and": (0b111, 0b0000000),
+    "mul": (0b000, 0b0000001), "mulh": (0b001, 0b0000001),
+    "mulhsu": (0b010, 0b0000001), "mulhu": (0b011, 0b0000001),
+    "div": (0b100, 0b0000001), "divu": (0b101, 0b0000001),
+    "rem": (0b110, 0b0000001), "remu": (0b111, 0b0000001),
+}
+
+_I_FUNCT = {
+    "addi": 0b000, "slti": 0b010, "sltiu": 0b011, "xori": 0b100,
+    "ori": 0b110, "andi": 0b111,
+}
+_SHIFT_FUNCT = {"slli": (0b001, 0), "srli": (0b101, 0), "srai": (0b101, 0b0100000)}
+_LOAD_FUNCT = {"lb": 0b000, "lh": 0b001, "lw": 0b010, "lbu": 0b100, "lhu": 0b101}
+_STORE_FUNCT = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+_BRANCH_FUNCT = {
+    "beq": 0b000, "bne": 0b001, "blt": 0b100, "bge": 0b101,
+    "bltu": 0b110, "bgeu": 0b111,
+}
+
+
+def _check_range(value: int, bits: int, op: str, signed: bool = True) -> None:
+    if signed:
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        low, high = 0, (1 << bits) - 1
+    if not low <= value <= high:
+        raise AssemblyError(
+            f"immediate {value} out of {bits}-bit range for {op!r}"
+        )
+
+
+def encode(ins: Instruction) -> int:
+    """Encode one instruction to its 32-bit word."""
+    op = ins.op
+    rd = ins.rd or 0
+    rs1 = ins.rs1 or 0
+    rs2 = ins.rs2 or 0
+    imm = ins.imm or 0
+    if op in _R_FUNCT:
+        funct3, funct7 = _R_FUNCT[op]
+        return (
+            (funct7 << 25) | (rs2 << 20) | (rs1 << 15)
+            | (funct3 << 12) | (rd << 7) | _OPCODE_OP
+        )
+    if op in _I_FUNCT:
+        _check_range(imm, 12, op)
+        return (
+            ((imm & 0xFFF) << 20) | (rs1 << 15)
+            | (_I_FUNCT[op] << 12) | (rd << 7) | _OPCODE_OP_IMM
+        )
+    if op in _SHIFT_FUNCT:
+        funct3, funct7 = _SHIFT_FUNCT[op]
+        _check_range(imm, 5, op, signed=False)
+        return (
+            (funct7 << 25) | ((imm & 0x1F) << 20) | (rs1 << 15)
+            | (funct3 << 12) | (rd << 7) | _OPCODE_OP_IMM
+        )
+    if op in _LOAD_FUNCT:
+        _check_range(imm, 12, op)
+        return (
+            ((imm & 0xFFF) << 20) | (rs1 << 15)
+            | (_LOAD_FUNCT[op] << 12) | (rd << 7) | _OPCODE_LOAD
+        )
+    if op in _STORE_FUNCT:
+        _check_range(imm, 12, op)
+        imm &= 0xFFF
+        return (
+            ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15)
+            | (_STORE_FUNCT[op] << 12) | ((imm & 0x1F) << 7) | _OPCODE_STORE
+        )
+    if op in _BRANCH_FUNCT:
+        _check_range(imm, 13, op)
+        if imm % 2:
+            raise AssemblyError(f"branch offset {imm} must be even")
+        imm &= 0x1FFF
+        return (
+            (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25)
+            | (rs2 << 20) | (rs1 << 15) | (_BRANCH_FUNCT[op] << 12)
+            | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7)
+            | _OPCODE_BRANCH
+        )
+    if op == "lui" or op == "auipc":
+        _check_range(imm, 20, op, signed=False)
+        base = _OPCODE_LUI if op == "lui" else _OPCODE_AUIPC
+        return ((imm & 0xFFFFF) << 12) | (rd << 7) | base
+    if op == "jal":
+        _check_range(imm, 21, op)
+        if imm % 2:
+            raise AssemblyError(f"jal offset {imm} must be even")
+        imm &= 0x1FFFFF
+        return (
+            (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21)
+            | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12)
+            | (rd << 7) | _OPCODE_JAL
+        )
+    if op == "jalr":
+        _check_range(imm, 12, op)
+        return (
+            ((imm & 0xFFF) << 20) | (rs1 << 15) | (rd << 7) | _OPCODE_JALR
+        )
+    if op == "ecall":
+        return _OPCODE_SYSTEM
+    if op == "ebreak":
+        return (1 << 20) | _OPCODE_SYSTEM
+    raise AssemblyError(f"cannot encode unknown op {op!r}")
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back to a symbolic instruction.
+
+    Raises:
+        SimulationError: for encodings outside the supported subset.
+    """
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == _OPCODE_OP:
+        for name, (f3, f7) in _R_FUNCT.items():
+            if (f3, f7) == (funct3, funct7):
+                return Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+    elif opcode == _OPCODE_OP_IMM:
+        imm = _sign_extend(word >> 20, 12)
+        if funct3 == 0b001:
+            return Instruction("slli", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 0b101:
+            name = "srai" if funct7 == 0b0100000 else "srli"
+            return Instruction(name, rd=rd, rs1=rs1, imm=rs2)
+        for name, f3 in _I_FUNCT.items():
+            if f3 == funct3:
+                return Instruction(name, rd=rd, rs1=rs1, imm=imm)
+    elif opcode == _OPCODE_LOAD:
+        imm = _sign_extend(word >> 20, 12)
+        for name, f3 in _LOAD_FUNCT.items():
+            if f3 == funct3:
+                return Instruction(name, rd=rd, rs1=rs1, imm=imm)
+    elif opcode == _OPCODE_STORE:
+        imm = _sign_extend((funct7 << 5) | rd, 12)
+        for name, f3 in _STORE_FUNCT.items():
+            if f3 == funct3:
+                return Instruction(name, rs1=rs1, rs2=rs2, imm=imm)
+    elif opcode == _OPCODE_BRANCH:
+        imm = (
+            (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        )
+        imm = _sign_extend(imm, 13)
+        for name, f3 in _BRANCH_FUNCT.items():
+            if f3 == funct3:
+                return Instruction(name, rs1=rs1, rs2=rs2, imm=imm)
+    elif opcode == _OPCODE_LUI:
+        return Instruction("lui", rd=rd, imm=word >> 12)
+    elif opcode == _OPCODE_AUIPC:
+        return Instruction("auipc", rd=rd, imm=word >> 12)
+    elif opcode == _OPCODE_JAL:
+        imm = (
+            (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        )
+        return Instruction("jal", rd=rd, imm=_sign_extend(imm, 21))
+    elif opcode == _OPCODE_JALR and funct3 == 0:
+        return Instruction(
+            "jalr", rd=rd, rs1=rs1, imm=_sign_extend(word >> 20, 12)
+        )
+    elif opcode == _OPCODE_SYSTEM:
+        if word == _OPCODE_SYSTEM:
+            return Instruction("ecall")
+        if word == (1 << 20) | _OPCODE_SYSTEM:
+            return Instruction("ebreak")
+    raise SimulationError(f"cannot decode word {word:#010x}")
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialise a program's text segment as little-endian words."""
+    return b"".join(
+        encode(ins).to_bytes(4, "little") for ins in program.instructions
+    )
+
+
+def decode_words(blob: bytes) -> list[Instruction]:
+    """Decode a flat little-endian binary back to instructions."""
+    if len(blob) % 4:
+        raise SimulationError("binary length must be a multiple of 4")
+    return [
+        decode(int.from_bytes(blob[i:i + 4], "little"))
+        for i in range(0, len(blob), 4)
+    ]

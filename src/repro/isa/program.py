@@ -1,0 +1,68 @@
+"""Container for an assembled program (text + data + symbols)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+
+#: Default base address of the text segment.
+TEXT_BASE = 0x0000_1000
+#: Default base address of the data segment.
+DATA_BASE = 0x0001_0000
+#: Default initial stack pointer (grows down).
+STACK_TOP = 0x0080_0000
+
+
+@dataclass
+class Program:
+    """An assembled program ready for simulation.
+
+    Attributes:
+        instructions: the text segment, one entry per 4-byte slot.
+        text_base: address of ``instructions[0]``.
+        data_segments: initialised data as ``(address, bytes)`` pairs.
+        symbols: label name -> absolute address.
+        entry: initial program counter.
+        name: optional human-readable identifier (workload name).
+    """
+
+    instructions: list[Instruction]
+    text_base: int = TEXT_BASE
+    data_segments: list[tuple[int, bytes]] = field(default_factory=list)
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.entry is None:
+            self.entry = self.symbols.get(
+                "main", self.symbols.get("_start", self.text_base)
+            )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def pc_of(self, index: int) -> int:
+        """Address of the instruction at ``index``."""
+        return self.text_base + 4 * index
+
+    def index_of(self, pc: int) -> int:
+        """Instruction index for address ``pc``.
+
+        Raises:
+            KeyError: if ``pc`` is outside the text segment or misaligned.
+        """
+        offset = pc - self.text_base
+        if offset < 0 or offset % 4 or offset // 4 >= len(self.instructions):
+            raise KeyError(f"pc {pc:#x} is not a valid text address")
+        return offset // 4
+
+    def instruction_at(self, pc: int) -> Instruction:
+        """The instruction stored at address ``pc``."""
+        return self.instructions[self.index_of(pc)]
+
+    def contains_pc(self, pc: int) -> bool:
+        """Whether ``pc`` addresses an instruction of this program."""
+        offset = pc - self.text_base
+        return offset >= 0 and offset % 4 == 0 and offset // 4 < len(self.instructions)

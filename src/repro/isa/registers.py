@@ -1,0 +1,61 @@
+"""Integer register file definition and ABI naming for RV32.
+
+The simulator identifies registers by their index (0-31). This module
+maps between indices, machine names (``x0``-``x31``) and ABI names
+(``zero``, ``ra``, ``sp``, ...), following the standard RISC-V calling
+convention.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError
+
+NUM_REGISTERS = 32
+
+#: ABI register names indexed by register number.
+ABI_NAMES: tuple[str, ...] = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+# Registers that a called function must preserve (used by workload
+# authors as a convention check; the simulator does not enforce this).
+CALLEE_SAVED: frozenset[int] = frozenset(
+    i for i, name in enumerate(ABI_NAMES) if name.startswith("s") or name == "sp"
+)
+
+_NAME_TO_INDEX: dict[str, int] = {name: i for i, name in enumerate(ABI_NAMES)}
+_NAME_TO_INDEX.update({f"x{i}": i for i in range(NUM_REGISTERS)})
+# "fp" is the conventional alias for s0/x8.
+_NAME_TO_INDEX["fp"] = 8
+
+
+def parse_register(token: str) -> int:
+    """Return the register index for ``token``.
+
+    Accepts machine names (``x7``), ABI names (``t2``) and the ``fp``
+    alias, case-insensitively.
+
+    Raises:
+        AssemblyError: if the token does not name a register.
+    """
+    index = _NAME_TO_INDEX.get(token.strip().lower())
+    if index is None:
+        raise AssemblyError(f"unknown register {token!r}")
+    return index
+
+
+def register_name(index: int) -> str:
+    """Return the ABI name for a register index (e.g. ``10`` -> ``a0``)."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return ABI_NAMES[index]
+
+
+def is_register(token: str) -> bool:
+    """Return whether ``token`` names a register."""
+    return token.strip().lower() in _NAME_TO_INDEX

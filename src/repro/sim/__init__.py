@@ -1,0 +1,7 @@
+"""Functional RV32IM simulation: sparse memory, CPU and trace capture."""
+
+from repro.sim.cpu import CPU, ExecutionResult
+from repro.sim.memory import Memory
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = ["CPU", "ExecutionResult", "Memory", "Trace", "TraceRecord"]

@@ -1,0 +1,299 @@
+"""Functional RV32IM interpreter with committed-trace capture.
+
+The CPU executes an assembled :class:`~repro.isa.program.Program` to
+architectural completion and records every committed instruction as a
+:class:`~repro.sim.trace.TraceRecord`. The trace — not the CPU — is what
+the timing models consume, so this interpreter aims for correctness and
+clarity rather than cycle accuracy.
+
+Halting conventions (both supported):
+
+* ``ecall`` with ``a7 == 93`` (Linux exit) or ``a7 == 10`` (spike-style),
+  exit code taken from ``a0``;
+* returning from the entry function: ``ra`` starts at 0 and a jump to
+  address 0 halts, with the exit code in ``a0``.
+
+A small console is provided through ``ecall``: ``a7 == 1`` prints ``a0``
+as a signed integer, ``a7 == 11`` prints ``a0`` as one character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, InstrClass
+from repro.isa.program import STACK_TOP, Program
+from repro.sim.memory import Memory
+from repro.sim.trace import Trace, TraceRecord
+
+_MASK32 = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+_INT32_MIN = -(1 << 31)
+
+#: Default upper bound on committed instructions, to catch runaway loops.
+DEFAULT_MAX_STEPS = 4_000_000
+
+_SYSCALL_EXIT = (93, 10)
+_SYSCALL_PRINT_INT = 1
+_SYSCALL_PRINT_CHAR = 11
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit unsigned value as two's-complement signed."""
+    return value - 0x100000000 if value & _SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate a Python int to its 32-bit unsigned representation."""
+    return value & _MASK32
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a completed functional run."""
+
+    trace: Trace
+    exit_code: int
+    registers: list[int]
+    console: str
+    steps: int
+    memory: Memory = field(repr=False, default_factory=Memory)
+
+
+class CPU:
+    """Single-hart functional RV32IM interpreter."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Memory | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        collect_trace: bool = True,
+    ) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.max_steps = max_steps
+        self.collect_trace = collect_trace
+        self.registers = [0] * 32
+        self.registers[2] = STACK_TOP  # sp
+        self.registers[1] = 0          # ra -> return-to-zero halts
+        self.pc = program.entry
+        self.console_chunks: list[str] = []
+        self._halted = False
+        self._exit_code = 0
+        for address, data in program.data_segments:
+            self.memory.load_bytes(address, data)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        """Execute until halt; return the trace and final state.
+
+        Raises:
+            SimulationError: on illegal instructions, runaway execution
+                or control transfer outside the text segment.
+        """
+        records: list[TraceRecord] = []
+        program = self.program
+        steps = 0
+        while not self._halted:
+            if steps >= self.max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={self.max_steps} "
+                    f"(program {program.name!r}, pc={self.pc:#x})"
+                )
+            ins = program.instruction_at(self.pc)
+            record = self._execute(ins)
+            if self.collect_trace:
+                records.append(record)
+            steps += 1
+            self.pc = record.next_pc
+            if self.pc == 0:
+                self._halted = True
+                self._exit_code = to_signed(self.registers[10])
+            elif not self._halted and not program.contains_pc(self.pc):
+                raise SimulationError(
+                    f"control transfer to {self.pc:#x}, outside text segment"
+                )
+        return ExecutionResult(
+            trace=Trace(records, name=program.name),
+            exit_code=self._exit_code,
+            registers=list(self.registers),
+            console="".join(self.console_chunks),
+            steps=steps,
+            memory=self.memory,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, ins: Instruction) -> TraceRecord:
+        """Execute one instruction, returning its committed record."""
+        op = ins.op
+        regs = self.registers
+        pc = self.pc
+        next_pc = pc + 4
+        rd_value: int | None = None
+        mem_addr: int | None = None
+        mem_bytes = 0
+        taken: bool | None = None
+
+        rs1_val = regs[ins.rs1] if ins.rs1 is not None else 0
+        rs2_val = regs[ins.rs2] if ins.rs2 is not None else 0
+        imm = ins.imm if ins.imm is not None else 0
+        cls = ins.cls
+
+        if cls is InstrClass.ALU:
+            rd_value = _ALU_OPS[op](rs1_val, rs2_val, imm, pc)
+        elif cls is InstrClass.MUL:
+            rd_value = _mul(op, rs1_val, rs2_val)
+        elif cls is InstrClass.DIV:
+            rd_value = _div(op, rs1_val, rs2_val)
+        elif cls is InstrClass.LOAD:
+            mem_addr = to_unsigned(rs1_val + imm)
+            mem_bytes = ins.spec.mem_bytes
+            rd_value = self._load(op, mem_addr)
+        elif cls is InstrClass.STORE:
+            mem_addr = to_unsigned(rs1_val + imm)
+            mem_bytes = ins.spec.mem_bytes
+            self._store(op, mem_addr, rs2_val)
+        elif cls is InstrClass.BRANCH:
+            taken = _branch_taken(op, rs1_val, rs2_val)
+            if taken:
+                next_pc = to_unsigned(pc + imm)
+        elif cls is InstrClass.JUMP:
+            rd_value = to_unsigned(pc + 4)
+            taken = True
+            if op == "jal":
+                next_pc = to_unsigned(pc + imm)
+            else:  # jalr
+                next_pc = to_unsigned(rs1_val + imm) & ~1
+        elif cls is InstrClass.SYSTEM:
+            self._system(op)
+        else:  # pragma: no cover - OPCODES covers all classes
+            raise SimulationError(f"unhandled instruction class {cls}")
+
+        if rd_value is not None and ins.rd:
+            regs[ins.rd] = to_unsigned(rd_value)
+
+        rd = ins.rd if (rd_value is not None and ins.rd) else None
+        return TraceRecord(
+            pc=pc, op=op, cls=cls, rd=rd, rs1=ins.rs1, rs2=ins.rs2,
+            imm=ins.imm, rd_value=regs[rd] if rd else None,
+            mem_addr=mem_addr, mem_bytes=mem_bytes, taken=taken,
+            next_pc=next_pc,
+        )
+
+    def _load(self, op: str, address: int) -> int:
+        memory = self.memory
+        if op == "lw":
+            return memory.read_u32(address)
+        if op == "lh":
+            value = memory.read_u16(address)
+            return value - 0x10000 if value & 0x8000 else value
+        if op == "lhu":
+            return memory.read_u16(address)
+        if op == "lb":
+            value = memory.read_u8(address)
+            return value - 0x100 if value & 0x80 else value
+        return memory.read_u8(address)  # lbu
+
+    def _store(self, op: str, address: int, value: int) -> None:
+        if op == "sw":
+            self.memory.write_u32(address, value)
+        elif op == "sh":
+            self.memory.write_u16(address, value)
+        else:  # sb
+            self.memory.write_u8(address, value)
+
+    def _system(self, op: str) -> None:
+        if op == "ebreak":
+            raise SimulationError(f"ebreak at pc={self.pc:#x}")
+        service = self.registers[17]  # a7
+        arg = self.registers[10]      # a0
+        if service in _SYSCALL_EXIT:
+            self._halted = True
+            self._exit_code = to_signed(arg)
+        elif service == _SYSCALL_PRINT_INT:
+            self.console_chunks.append(str(to_signed(arg)))
+        elif service == _SYSCALL_PRINT_CHAR:
+            self.console_chunks.append(chr(arg & 0xFF))
+        else:
+            raise SimulationError(
+                f"unsupported ecall service {service} at pc={self.pc:#x}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Pure operator implementations.
+# ----------------------------------------------------------------------
+
+
+def _mul(op: str, a: int, b: int) -> int:
+    if op == "mul":
+        return (a * b) & _MASK32
+    if op == "mulh":
+        return (to_signed(a) * to_signed(b)) >> 32
+    if op == "mulhsu":
+        return (to_signed(a) * b) >> 32
+    return (a * b) >> 32  # mulhu
+
+
+def _div(op: str, a: int, b: int) -> int:
+    """RV32M division semantics, including the divide-by-zero cases."""
+    if op == "div":
+        if b == 0:
+            return _MASK32
+        sa, sb = to_signed(a), to_signed(b)
+        if sa == _INT32_MIN and sb == -1:
+            return _SIGN_BIT  # overflow: result is INT32_MIN
+        return int(sa / sb) & _MASK32  # truncate toward zero
+    if op == "divu":
+        return _MASK32 if b == 0 else (a // b)
+    if op == "rem":
+        if b == 0:
+            return a
+        sa, sb = to_signed(a), to_signed(b)
+        if sa == _INT32_MIN and sb == -1:
+            return 0
+        return (sa - int(sa / sb) * sb) & _MASK32
+    return a if b == 0 else (a % b)  # remu
+
+
+def _branch_taken(op: str, a: int, b: int) -> bool:
+    if op == "beq":
+        return a == b
+    if op == "bne":
+        return a != b
+    if op == "blt":
+        return to_signed(a) < to_signed(b)
+    if op == "bge":
+        return to_signed(a) >= to_signed(b)
+    if op == "bltu":
+        return a < b
+    return a >= b  # bgeu
+
+
+_ALU_OPS = {
+    "add": lambda a, b, imm, pc: a + b,
+    "sub": lambda a, b, imm, pc: a - b,
+    "sll": lambda a, b, imm, pc: a << (b & 31),
+    "slt": lambda a, b, imm, pc: int(to_signed(a) < to_signed(b)),
+    "sltu": lambda a, b, imm, pc: int(a < b),
+    "xor": lambda a, b, imm, pc: a ^ b,
+    "srl": lambda a, b, imm, pc: a >> (b & 31),
+    "sra": lambda a, b, imm, pc: to_signed(a) >> (b & 31),
+    "or": lambda a, b, imm, pc: a | b,
+    "and": lambda a, b, imm, pc: a & b,
+    "addi": lambda a, b, imm, pc: a + imm,
+    "slti": lambda a, b, imm, pc: int(to_signed(a) < imm),
+    "sltiu": lambda a, b, imm, pc: int(a < to_unsigned(imm)),
+    "xori": lambda a, b, imm, pc: a ^ to_unsigned(imm),
+    "ori": lambda a, b, imm, pc: a | to_unsigned(imm),
+    "andi": lambda a, b, imm, pc: a & to_unsigned(imm),
+    "slli": lambda a, b, imm, pc: a << (imm & 31),
+    "srli": lambda a, b, imm, pc: a >> (imm & 31),
+    "srai": lambda a, b, imm, pc: to_signed(a) >> (imm & 31),
+    "lui": lambda a, b, imm, pc: imm << 12,
+    "auipc": lambda a, b, imm, pc: pc + (imm << 12),
+}

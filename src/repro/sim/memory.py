@@ -1,0 +1,103 @@
+"""Sparse, paged byte-addressable memory for the functional simulator.
+
+Pages are allocated lazily on first touch so a 32-bit address space
+costs nothing until used. All multi-byte accesses are little-endian and
+must be naturally aligned (the embedded workloads in this repository
+never issue misaligned accesses; enforcing alignment catches workload
+bugs early).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryAccessError
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+_PAGE_MASK = PAGE_SIZE - 1
+_ADDR_MASK = 0xFFFFFFFF
+
+
+class Memory:
+    """Little-endian sparse memory with lazy 4 KiB pages."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> bytearray:
+        page_id = address >> PAGE_BITS
+        page = self._pages.get(page_id)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_id] = page
+        return page
+
+    @property
+    def touched_bytes(self) -> int:
+        """Total bytes in allocated pages (footprint indicator)."""
+        return len(self._pages) * PAGE_SIZE
+
+    # -- byte access -----------------------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        address &= _ADDR_MASK
+        return self._page(address)[address & _PAGE_MASK]
+
+    def write_u8(self, address: int, value: int) -> None:
+        address &= _ADDR_MASK
+        self._page(address)[address & _PAGE_MASK] = value & 0xFF
+
+    # -- halfword / word access -------------------------------------------
+
+    def read_u16(self, address: int) -> int:
+        self._check_aligned(address, 2)
+        return self.read_u8(address) | (self.read_u8(address + 1) << 8)
+
+    def write_u16(self, address: int, value: int) -> None:
+        self._check_aligned(address, 2)
+        self.write_u8(address, value)
+        self.write_u8(address + 1, value >> 8)
+
+    def read_u32(self, address: int) -> int:
+        self._check_aligned(address, 4)
+        address &= _ADDR_MASK
+        offset = address & _PAGE_MASK
+        page = self._page(address)
+        return int.from_bytes(page[offset:offset + 4], "little")
+
+    def write_u32(self, address: int, value: int) -> None:
+        self._check_aligned(address, 4)
+        address &= _ADDR_MASK
+        offset = address & _PAGE_MASK
+        self._page(address)[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(
+            4, "little"
+        )
+
+    # -- bulk access -------------------------------------------------------
+
+    def load_bytes(self, address: int, data: bytes) -> None:
+        """Copy ``data`` into memory starting at ``address``."""
+        for index, byte in enumerate(data):
+            self.write_u8(address + index, byte)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address``."""
+        return bytes(self.read_u8(address + i) for i in range(length))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated string (without the terminator)."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.read_u8(address + i)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise MemoryAccessError(
+            f"unterminated string at {address:#x} (limit {limit})"
+        )
+
+    @staticmethod
+    def _check_aligned(address: int, width: int) -> None:
+        if address % width:
+            raise MemoryAccessError(
+                f"misaligned {width}-byte access at {address:#x}"
+            )

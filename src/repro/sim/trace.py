@@ -1,0 +1,96 @@
+"""Committed-instruction trace records.
+
+A trace is the single source of truth shared by every downstream model:
+the GPP timing model, the DBT and the CGRA utilization accounting all
+walk the same committed trace, which is produced once per workload by
+the functional simulator (mirroring how the paper drives everything
+from gem5 execution).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.isa.instructions import InstrClass
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One committed instruction.
+
+    Attributes:
+        pc: address of the instruction.
+        op: mnemonic.
+        cls: functional class (ALU/MUL/DIV/LOAD/STORE/BRANCH/JUMP/SYSTEM).
+        rd: destination register index or ``None`` (x0 normalised to None).
+        rs1: first source register index or ``None`` when unused.
+        rs2: second source register index or ``None`` when unused.
+        imm: immediate value or ``None``.
+        rd_value: value written to ``rd`` (for debugging/verification).
+        mem_addr: effective address for loads/stores, else ``None``.
+        mem_bytes: access width in bytes (0 for non-memory ops).
+        taken: branch outcome; ``None`` for non-control-flow ops.
+        next_pc: address of the next committed instruction.
+    """
+
+    pc: int
+    op: str
+    cls: InstrClass
+    rd: int | None
+    rs1: int | None
+    rs2: int | None
+    imm: int | None
+    rd_value: int | None
+    mem_addr: int | None
+    mem_bytes: int
+    taken: bool | None
+    next_pc: int
+
+    @property
+    def is_control_flow(self) -> bool:
+        """Whether this record may redirect the instruction stream."""
+        return self.cls in (InstrClass.BRANCH, InstrClass.JUMP)
+
+    @property
+    def redirects(self) -> bool:
+        """Whether the instruction actually changed control flow."""
+        return self.next_pc != self.pc + 4
+
+
+class Trace(Sequence[TraceRecord]):
+    """An immutable-by-convention sequence of committed instructions."""
+
+    def __init__(self, records: list[TraceRecord], name: str = "") -> None:
+        self._records = records
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index):  # noqa: ANN001 - Sequence protocol
+        return self._records[index]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def class_counts(self) -> Counter[InstrClass]:
+        """Histogram of committed instructions by functional class."""
+        return Counter(record.cls for record in self._records)
+
+    def class_mix(self) -> dict[InstrClass, float]:
+        """Fractional instruction mix by class (sums to 1.0)."""
+        if not self._records:
+            return {}
+        total = len(self._records)
+        return {cls: count / total for cls, count in self.class_counts().items()}
+
+    def memory_fraction(self) -> float:
+        """Fraction of committed instructions that access memory."""
+        if not self._records:
+            return 0.0
+        counts = self.class_counts()
+        loads = counts.get(InstrClass.LOAD, 0)
+        stores = counts.get(InstrClass.STORE, 0)
+        return (loads + stores) / len(self._records)

@@ -1,0 +1,22 @@
+"""Full-system TransRec simulation: GPP + DBT + config cache + CGRA.
+
+:class:`TransRecSystem` consumes a committed trace and produces cycle
+counts, energy, utilization maps and cache statistics for both the
+stand-alone GPP and the accelerated system, under a chosen allocation
+policy. :mod:`repro.system.scenarios` provides the paper's BE/BP/BU
+design points.
+"""
+
+from repro.system.params import SystemParams
+from repro.system.scenarios import SCENARIOS, Scenario, make_system
+from repro.system.stats import SystemResult
+from repro.system.transrec import TransRecSystem
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "SystemParams",
+    "SystemResult",
+    "TransRecSystem",
+    "make_system",
+]

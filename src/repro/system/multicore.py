@@ -1,0 +1,198 @@
+"""Multi-core TransRec scenarios (the paper's second future-work item).
+
+Section VI: "We will also evaluate homogeneous and heterogeneous
+multi-core scenarios." This module models a cluster of TransRec tiles
+with a workload set distributed across them:
+
+* **homogeneous** — every tile has the same fabric geometry;
+* **heterogeneous** — tiles differ (e.g. one BE-class and one BU-class
+  tile), and the dispatcher can bias hot workloads to big tiles.
+
+Each tile keeps its own utilization tracker; the *cluster lifetime* is
+set by the first tile to reach the delay threshold, so imbalanced
+dispatch ages the cluster exactly the way imbalanced allocation ages a
+single fabric — the same phenomenon one level up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aging.nbti import NBTIModel
+from repro.cgra.fabric import FabricGeometry
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+from repro.system.params import SystemParams
+from repro.system.stats import SystemResult
+from repro.system.transrec import TransRecSystem
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One core + fabric tile in the cluster."""
+
+    name: str
+    geometry: FabricGeometry
+    policy: str = "rotation"
+
+    def params(self) -> SystemParams:
+        return SystemParams(geometry=self.geometry, policy=self.policy)
+
+
+@dataclass
+class TileResult:
+    """Aggregate outcome for one tile."""
+
+    spec: TileSpec
+    results: list[SystemResult]
+
+    @property
+    def utilization(self) -> np.ndarray:
+        counts = np.zeros(
+            (self.spec.geometry.rows, self.spec.geometry.cols),
+            dtype=np.int64,
+        )
+        launches = 0
+        for result in self.results:
+            counts += result.tracker.execution_counts
+            launches += result.tracker.total_executions
+        return counts / launches if launches else counts.astype(float)
+
+    @property
+    def worst_utilization(self) -> float:
+        return float(self.utilization.max()) if self.results else 0.0
+
+    @property
+    def cycles(self) -> int:
+        return sum(result.transrec_cycles for result in self.results)
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster run."""
+
+    tiles: list[TileResult]
+    model: NBTIModel
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Cycles of the busiest tile (tiles run in parallel)."""
+        return max((tile.cycles for tile in self.tiles), default=0)
+
+    @property
+    def cluster_worst_utilization(self) -> float:
+        return max((tile.worst_utilization for tile in self.tiles),
+                   default=0.0)
+
+    @property
+    def cluster_lifetime_years(self) -> float:
+        """First-tile-to-fail lifetime under the NBTI model."""
+        worst = self.cluster_worst_utilization
+        return self.model.years_to_degradation(worst)
+
+    def tile_summary(self) -> list[tuple[str, int, float]]:
+        """Per-tile (name, cycles, worst utilization)."""
+        return [
+            (tile.spec.name, tile.cycles, tile.worst_utilization)
+            for tile in self.tiles
+        ]
+
+
+class Cluster:
+    """A set of TransRec tiles plus a workload dispatcher."""
+
+    def __init__(
+        self, tiles: list[TileSpec], model: NBTIModel | None = None
+    ) -> None:
+        if not tiles:
+            raise ConfigurationError("cluster needs at least one tile")
+        self.tiles = tiles
+        self.model = model if model is not None else NBTIModel()
+        self._systems = [TransRecSystem(tile.params()) for tile in tiles]
+
+    def run(
+        self, traces: dict[str, Trace], dispatch: str = "round_robin"
+    ) -> ClusterResult:
+        """Distribute ``traces`` over the tiles and run them.
+
+        Dispatch policies:
+
+        * ``round_robin`` — cyclic assignment (homogeneous default);
+        * ``longest_to_biggest`` — longest traces to the largest
+          fabrics (a simple heterogeneous heuristic: big tiles both run
+          hot code faster and spread its stress over more FUs);
+        * ``balance_cycles`` — greedy makespan balancing by estimated
+          length.
+        """
+        assignment = self._assign(traces, dispatch)
+        tile_results: list[TileResult] = [
+            TileResult(spec=spec, results=[]) for spec in self.tiles
+        ]
+        for tile_index, names in enumerate(assignment):
+            system = self._systems[tile_index]
+            for name in names:
+                tile_results[tile_index].results.append(
+                    system.run_trace(traces[name])
+                )
+        return ClusterResult(tiles=tile_results, model=self.model)
+
+    def _assign(
+        self, traces: dict[str, Trace], dispatch: str
+    ) -> list[list[str]]:
+        names = list(traces)
+        buckets: list[list[str]] = [[] for _ in self.tiles]
+        if dispatch == "round_robin":
+            for index, name in enumerate(names):
+                buckets[index % len(self.tiles)].append(name)
+            return buckets
+        if dispatch == "longest_to_biggest":
+            by_length = sorted(
+                names, key=lambda n: len(traces[n]), reverse=True
+            )
+            tile_order = sorted(
+                range(len(self.tiles)),
+                key=lambda i: self.tiles[i].geometry.n_cells,
+                reverse=True,
+            )
+            for index, name in enumerate(by_length):
+                buckets[tile_order[index % len(tile_order)]].append(name)
+            return buckets
+        if dispatch == "balance_cycles":
+            loads = [0] * len(self.tiles)
+            for name in sorted(
+                names, key=lambda n: len(traces[n]), reverse=True
+            ):
+                lightest = loads.index(min(loads))
+                buckets[lightest].append(name)
+                loads[lightest] += len(traces[name])
+            return buckets
+        raise ConfigurationError(f"unknown dispatch policy {dispatch!r}")
+
+
+def homogeneous_cluster(
+    n_tiles: int, rows: int = 2, cols: int = 16, policy: str = "rotation"
+) -> Cluster:
+    """N identical tiles (the paper's homogeneous scenario)."""
+    if n_tiles < 1:
+        raise ConfigurationError("n_tiles must be >= 1")
+    tiles = [
+        TileSpec(
+            name=f"tile{i}",
+            geometry=FabricGeometry(rows=rows, cols=cols),
+            policy=policy,
+        )
+        for i in range(n_tiles)
+    ]
+    return Cluster(tiles)
+
+
+def heterogeneous_cluster(policy: str = "rotation") -> Cluster:
+    """A little.BIG-style pair: one BE tile and one BU tile."""
+    return Cluster(
+        [
+            TileSpec("little", FabricGeometry(rows=2, cols=16), policy),
+            TileSpec("big", FabricGeometry(rows=8, cols=32), policy),
+        ]
+    )

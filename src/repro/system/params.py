@@ -1,0 +1,50 @@
+"""System-level parameter bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cgra.datapath import DatapathParams
+from repro.cgra.fabric import FabricGeometry
+from repro.dbt.translator import DBTLimits
+from repro.gpp.params import GPPParams
+from repro.hw.energy import EnergyParams
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Everything needed to instantiate a :class:`TransRecSystem`.
+
+    Attributes:
+        geometry: CGRA fabric shape.
+        policy: allocation policy name (see
+            :func:`repro.core.policy.available_policies`).
+        policy_kwargs: constructor arguments for the policy.
+        gpp: GPP timing parameters.
+        datapath: CGRA datapath timing parameters.
+        dbt: translation-unit limits.
+        config_cache_entries: configuration-cache capacity.
+        energy: energy-model parameters.
+    """
+
+    geometry: FabricGeometry
+    policy: str = "baseline"
+    policy_kwargs: dict = field(default_factory=dict)
+    gpp: GPPParams = field(default_factory=GPPParams)
+    datapath: DatapathParams = field(default_factory=DatapathParams)
+    dbt: DBTLimits = field(default_factory=DBTLimits)
+    config_cache_entries: int = 64
+    energy: EnergyParams = field(default_factory=EnergyParams)
+
+    def with_policy(self, policy: str, **policy_kwargs) -> "SystemParams":
+        """Copy of these parameters under a different policy."""
+        return SystemParams(
+            geometry=self.geometry,
+            policy=policy,
+            policy_kwargs=policy_kwargs,
+            gpp=self.gpp,
+            datapath=self.datapath,
+            dbt=self.dbt,
+            config_cache_entries=self.config_cache_entries,
+            energy=self.energy,
+        )

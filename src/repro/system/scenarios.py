@@ -1,0 +1,62 @@
+"""The paper's named design points (Section IV-B).
+
+From the design-space exploration of Fig. 6 the paper selects:
+
+* **BE** (best energy): L=16, W=2 — 2.14x speedup, -10% energy,
+  39.7% average utilization;
+* **BP** (best performance): L=32, W=4 — 2.45x speedup, +20% energy,
+  17.8% average utilization;
+* **BU** (best/lowest utilization): L=32, W=8 — 2.45x speedup,
+  +46% energy, 8.9% average utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cgra.fabric import FabricGeometry
+from repro.errors import ConfigurationError
+from repro.system.params import SystemParams
+from repro.system.transrec import TransRecSystem
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named design point."""
+
+    name: str
+    description: str
+    cols: int
+    rows: int
+
+    @property
+    def geometry(self) -> FabricGeometry:
+        return FabricGeometry(rows=self.rows, cols=self.cols)
+
+
+SCENARIOS: dict[str, Scenario] = {
+    "BE": Scenario("BE", "best energy consumption", cols=16, rows=2),
+    "BP": Scenario("BP", "best performance", cols=32, rows=4),
+    "BU": Scenario("BU", "best (lowest) utilization", cols=32, rows=8),
+}
+
+
+def make_params(
+    scenario: str, policy: str = "baseline", **policy_kwargs
+) -> SystemParams:
+    """System parameters for a named scenario under ``policy``."""
+    spec = SCENARIOS.get(scenario)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown scenario {scenario!r}; available: {sorted(SCENARIOS)}"
+        )
+    return SystemParams(
+        geometry=spec.geometry, policy=policy, policy_kwargs=policy_kwargs
+    )
+
+
+def make_system(
+    scenario: str, policy: str = "baseline", **policy_kwargs
+) -> TransRecSystem:
+    """A ready-to-run system for a named scenario under ``policy``."""
+    return TransRecSystem(make_params(scenario, policy, **policy_kwargs))

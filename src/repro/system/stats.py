@@ -1,0 +1,74 @@
+"""Result containers for full-system runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.utilization import UtilizationTracker
+from repro.dbt.config_cache import ConfigCacheStats
+from repro.gpp.timing import GPPTimingResult
+from repro.hw.energy import EnergyReport
+
+
+@dataclass
+class CGRAStats:
+    """Fabric-side counters for one run."""
+
+    launches: int = 0
+    cold_launches: int = 0
+    committed_instructions: int = 0
+    squashed_instructions: int = 0
+    misspeculations: int = 0
+    cgra_cycles: int = 0
+
+    @property
+    def commit_efficiency(self) -> float:
+        """Committed / (committed + squashed) fabric instructions."""
+        total = self.committed_instructions + self.squashed_instructions
+        return self.committed_instructions / total if total else 0.0
+
+
+@dataclass
+class SystemResult:
+    """Complete outcome of simulating one trace on one design point.
+
+    ``speedup`` and ``energy_ratio`` are TransRec relative to the
+    stand-alone GPP (speedup > 1 and energy_ratio < 1 favour TransRec).
+    """
+
+    name: str
+    gpp: GPPTimingResult
+    transrec_cycles: int
+    cgra: CGRAStats
+    cache_stats: ConfigCacheStats
+    tracker: UtilizationTracker
+    gpp_energy: EnergyReport
+    transrec_energy: EnergyReport
+    instructions: int
+
+    @property
+    def speedup(self) -> float:
+        if self.transrec_cycles == 0:
+            return 1.0
+        return self.gpp.cycles / self.transrec_cycles
+
+    @property
+    def exec_time_ratio(self) -> float:
+        """TransRec runtime / GPP runtime (lower is faster)."""
+        if self.gpp.cycles == 0:
+            return 1.0
+        return self.transrec_cycles / self.gpp.cycles
+
+    @property
+    def energy_ratio(self) -> float:
+        """TransRec energy / GPP energy (lower is better)."""
+        if self.gpp_energy.total_pj == 0:
+            return 1.0
+        return self.transrec_energy.total_pj / self.gpp_energy.total_pj
+
+    @property
+    def offload_fraction(self) -> float:
+        """Fraction of committed instructions executed on the fabric."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cgra.committed_instructions / self.instructions

@@ -1,0 +1,69 @@
+"""gem5-style flat statistics dump for one system run.
+
+Serialises a :class:`~repro.system.stats.SystemResult` into the
+``name value  # comment`` text format gem5 users post-process, so the
+reproduction drops into existing stats tooling. Keys are stable API.
+"""
+
+from __future__ import annotations
+
+from repro.system.stats import SystemResult
+
+
+def stats_lines(result: SystemResult) -> list[tuple[str, object, str]]:
+    """(key, value, comment) triples for one run."""
+    cgra = result.cgra
+    cache = result.cache_stats
+    tracker = result.tracker
+    return [
+        ("sim.instructions", result.instructions,
+         "committed instructions"),
+        ("gpp.cycles", result.gpp.cycles, "stand-alone GPP cycles"),
+        ("gpp.cpi", round(result.gpp.cpi, 4), "GPP cycles per instruction"),
+        ("gpp.icache_misses", result.gpp.icache_misses,
+         "instruction-cache misses (GPP-only run)"),
+        ("gpp.dcache_misses", result.gpp.dcache_misses,
+         "data-cache misses (GPP-only run)"),
+        ("transrec.cycles", result.transrec_cycles,
+         "accelerated-system cycles"),
+        ("transrec.speedup", round(result.speedup, 4),
+         "GPP cycles / TransRec cycles"),
+        ("transrec.offload_fraction", round(result.offload_fraction, 4),
+         "fraction of instructions committed by the fabric"),
+        ("cgra.launches", cgra.launches, "configuration launches"),
+        ("cgra.cold_launches", cgra.cold_launches,
+         "launches that streamed configuration bits"),
+        ("cgra.misspeculations", cgra.misspeculations,
+         "launches aborted at a divergent branch"),
+        ("cgra.committed_instructions", cgra.committed_instructions,
+         "instructions committed by the fabric"),
+        ("cgra.squashed_instructions", cgra.squashed_instructions,
+         "speculative instructions squashed"),
+        ("cfgcache.hits", cache.hits, "configuration-cache hits"),
+        ("cfgcache.misses", cache.misses, "configuration-cache misses"),
+        ("cfgcache.evictions", cache.evictions,
+         "configuration-cache evictions"),
+        ("cfgcache.truncations", cache.truncations,
+         "units truncated by the misspeculation monitor"),
+        ("util.worst", round(tracker.max_utilization(), 6),
+         "highest per-FU utilization (sets end-of-life)"),
+        ("util.mean", round(tracker.mean_utilization(), 6),
+         "average per-FU utilization (occupation)"),
+        ("util.balance", round(tracker.balance_ratio(), 6),
+         "mean/worst utilization"),
+        ("energy.gpp_pj", round(result.gpp_energy.total_pj, 1),
+         "stand-alone GPP energy"),
+        ("energy.transrec_pj", round(result.transrec_energy.total_pj, 1),
+         "accelerated-system energy"),
+        ("energy.ratio", round(result.energy_ratio, 4),
+         "TransRec energy / GPP energy"),
+    ]
+
+
+def dump_stats(result: SystemResult) -> str:
+    """Render the flat stats text (one ``key value  # comment`` line)."""
+    lines = [f"---------- begin stats: {result.name or 'run'} ----------"]
+    for key, value, comment in stats_lines(result):
+        lines.append(f"{key:34s} {value!s:>14s}  # {comment}")
+    lines.append("---------- end stats ----------")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""CLI: run and verify workloads, with an optional system report.
+
+Usage::
+
+    python -m repro.workloads                 # verify the whole suite
+    python -m repro.workloads bitcount        # verify one kernel
+    python -m repro.workloads bitcount --report   # + BE system report
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.workloads.suite import run_workload, workload_names
+
+
+def main(argv: list[str]) -> int:
+    report = "--report" in argv
+    names = [arg for arg in argv if not arg.startswith("-")]
+    if not names:
+        names = list(workload_names())
+    unknown = [n for n in names if n not in workload_names()]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(workload_names())}")
+        return 1
+    for name in names:
+        trace = run_workload(name)  # raises on checksum mismatch
+        print(f"{name:18s} verified  ({len(trace):>7,} instructions)")
+        if report:
+            from repro.analysis.report import run_report
+            from repro.system.scenarios import make_system
+
+            result = make_system("BE", policy="rotation").run_trace(trace)
+            print(run_report(result))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

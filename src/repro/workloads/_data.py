@@ -1,0 +1,40 @@
+"""Deterministic input generation and assembly-data helpers."""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+
+def lcg_stream(seed: int, count: int) -> list[int]:
+    """Deterministic 32-bit LCG (Numerical Recipes constants)."""
+    values = []
+    state = seed & _MASK32
+    for _ in range(count):
+        state = (state * 1664525 + 1013904223) & _MASK32
+        values.append(state)
+    return values
+
+
+def words_directive(label: str, values: list[int], per_line: int = 8) -> str:
+    """Emit a labelled ``.word`` block for the data section."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = values[start:start + per_line]
+        rendered = ", ".join(f"{v & _MASK32:#x}" for v in chunk)
+        lines.append(f"  .word {rendered}")
+    return "\n".join(lines)
+
+
+def bytes_directive(label: str, values: bytes, per_line: int = 16) -> str:
+    """Emit a labelled ``.byte`` block for the data section."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = values[start:start + per_line]
+        rendered = ", ".join(str(b) for b in chunk)
+        lines.append(f"  .byte {rendered}")
+    return "\n".join(lines)
+
+
+def to_u32(value: int) -> int:
+    """Truncate to unsigned 32 bits (keeps Python references honest)."""
+    return value & _MASK32

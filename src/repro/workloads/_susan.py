@@ -1,0 +1,36 @@
+"""Shared synthetic image for the three susan kernels.
+
+A smooth gradient with additive noise and a few bright blobs — enough
+structure that smoothing, edge response and USAN corner counts all
+produce non-degenerate results, like the small greyscale inputs of
+MiBench's susan.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._data import lcg_stream
+
+WIDTH = 16
+HEIGHT = 16
+SEED = 0x5A5A_0001
+
+
+def image() -> list[int]:
+    """Row-major HEIGHT x WIDTH grey-scale image (0-255)."""
+    noise = lcg_stream(SEED, WIDTH * HEIGHT)
+    pixels = []
+    for r in range(HEIGHT):
+        for c in range(WIDTH):
+            value = (r * 9 + c * 13) % 200
+            value += noise[r * WIDTH + c] % 24
+            pixels.append(value & 0xFF)
+    # Bright blobs to create edges/corners.
+    for blob_r, blob_c in ((4, 4), (10, 11), (7, 8)):
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                pixels[(blob_r + dr) * WIDTH + blob_c + dc] = 250
+    return pixels
+
+
+def pixel(pixels: list[int], r: int, c: int) -> int:
+    return pixels[r * WIDTH + c]

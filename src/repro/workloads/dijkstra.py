@@ -1,0 +1,141 @@
+"""dijkstra (MiBench network): single-source shortest paths, O(V^2).
+
+Dense adjacency-matrix formulation matching MiBench's small-input
+behaviour; the checksum is the (wrapped) sum of all final distances.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._data import lcg_stream, to_u32, words_directive
+from repro.workloads.suite import Workload
+
+N_NODES = 12
+SEED = 0xD17C57A
+INF = 0x3FFFFFFF
+EDGE_PERCENT = 55
+
+
+def _graph() -> list[list[int]]:
+    stream = iter(lcg_stream(SEED, N_NODES * N_NODES))
+    matrix = [[0] * N_NODES for _ in range(N_NODES)]
+    for i in range(N_NODES):
+        for j in range(N_NODES):
+            r = next(stream)
+            if i != j and (r % 100) < EDGE_PERCENT:
+                matrix[i][j] = 1 + ((r >> 8) % 15)
+    return matrix
+
+
+def _reference(matrix: list[list[int]]) -> int:
+    dist = [INF] * N_NODES
+    visited = [False] * N_NODES
+    dist[0] = 0
+    for _ in range(N_NODES):
+        u, best = -1, INF + 1
+        for i in range(N_NODES):
+            if not visited[i] and dist[i] < best:
+                best, u = dist[i], i
+        if u < 0:
+            break
+        visited[u] = True
+        for v in range(N_NODES):
+            w = matrix[u][v]
+            if w and not visited[v] and dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+    return to_u32(sum(dist))
+
+
+def build() -> Workload:
+    matrix = _graph()
+    flat = [w for row in matrix for w in row]
+    row_bytes = 4 * N_NODES
+    source = f"""
+# dijkstra: O(V^2) single-source shortest paths, V={N_NODES}.
+main:
+    la   s0, adj
+    la   s1, dist
+    la   s2, visited
+    li   s3, {N_NODES}
+    li   s4, {INF:#x}
+    li   t0, 0
+init:                       # dist[i]=INF, visited[i]=0
+    slli t1, t0, 2
+    add  t2, s1, t1
+    sw   s4, 0(t2)
+    add  t3, s2, t1
+    sw   zero, 0(t3)
+    addi t0, t0, 1
+    blt  t0, s3, init
+    sw   zero, 0(s1)        # dist[source] = 0
+    li   s5, 0              # iteration counter
+iter:
+    li   s6, -1             # u (argmin)
+    addi s7, s4, 1          # best = INF + 1
+    li   t0, 0
+findmin:
+    slli t1, t0, 2
+    add  t2, s2, t1
+    lw   t3, 0(t2)
+    bnez t3, fm_next        # skip visited
+    add  t2, s1, t1
+    lw   t4, 0(t2)
+    bge  t4, s7, fm_next
+    mv   s7, t4
+    mv   s6, t0
+fm_next:
+    addi t0, t0, 1
+    blt  t0, s3, findmin
+    bltz s6, done           # nothing reachable left
+    slli t1, s6, 2
+    add  t2, s2, t1
+    li   t3, 1
+    sw   t3, 0(t2)          # visited[u] = 1
+    li   t4, {row_bytes}
+    mul  t5, s6, t4
+    add  t5, s0, t5         # row base: adj + u*V*4
+    add  t2, s1, t1
+    lw   s8, 0(t2)          # dist[u]
+    li   t0, 0
+relax:
+    slli t1, t0, 2
+    add  t2, t5, t1
+    lw   t3, 0(t2)          # w = adj[u][v]
+    beqz t3, rl_next
+    add  t2, s2, t1
+    lw   a1, 0(t2)
+    bnez a1, rl_next        # skip visited
+    add  a2, s8, t3         # candidate = dist[u] + w
+    add  t2, s1, t1
+    lw   a3, 0(t2)
+    bge  a2, a3, rl_next
+    sw   a2, 0(t2)          # relax
+rl_next:
+    addi t0, t0, 1
+    blt  t0, s3, relax
+    addi s5, s5, 1
+    blt  s5, s3, iter
+done:
+    li   a0, 0              # checksum: sum of distances
+    li   t0, 0
+sum:
+    slli t1, t0, 2
+    add  t2, s1, t1
+    lw   t3, 0(t2)
+    add  a0, a0, t3
+    addi t0, t0, 1
+    blt  t0, s3, sum
+    li   a7, 93
+    ecall
+
+.data
+{words_directive("adj", flat)}
+dist: .space {4 * N_NODES}
+visited: .space {4 * N_NODES}
+"""
+    return Workload(
+        name="dijkstra",
+        category="network",
+        description="dense-matrix Dijkstra single-source shortest paths",
+        source=source,
+        expected_checksum=_reference(matrix),
+    )

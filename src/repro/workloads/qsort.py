@@ -1,0 +1,114 @@
+"""qsort (MiBench automotive): iterative quicksort over a word array.
+
+Lomuto partition with an explicit segment stack (no recursion, so the
+kernel stays within the simulator's simple calling model). Elements
+compare as signed 32-bit values; the checksum is the position-weighted
+sum of the sorted array.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._data import lcg_stream, to_u32, words_directive
+from repro.workloads.suite import Workload
+
+N_ELEMENTS = 96
+SEED = 0x9507_7357
+
+
+def _reference(values: list[int]) -> int:
+    def signed(v: int) -> int:
+        return v - 0x100000000 if v & 0x80000000 else v
+
+    ordered = sorted(values, key=signed)
+    return to_u32(
+        sum((index + 1) * value for index, value in enumerate(ordered))
+    )
+
+
+def build() -> Workload:
+    values = lcg_stream(SEED, N_ELEMENTS)
+    source = f"""
+# qsort: iterative Lomuto quicksort over {N_ELEMENTS} signed words.
+main:
+    la   s0, arr
+    la   s1, stk
+    li   s2, 2              # stack top (word count); seeded below
+    sw   zero, 0(s1)        # push lo = 0
+    li   t0, {N_ELEMENTS - 1}
+    sw   t0, 4(s1)          # push hi = n-1
+qloop:
+    beqz s2, done
+    addi s2, s2, -2         # pop (lo, hi)
+    slli t0, s2, 2
+    add  t1, s1, t0
+    lw   s3, 0(t1)          # lo
+    lw   s4, 4(t1)          # hi
+    bge  s3, s4, qloop
+    slli t0, s4, 2          # partition: pivot = arr[hi]
+    add  t1, s0, t0
+    lw   s5, 0(t1)
+    addi s6, s3, -1         # i = lo - 1
+    mv   s7, s3             # j = lo
+part:
+    slli t0, s7, 2
+    add  t1, s0, t0
+    lw   t2, 0(t1)          # arr[j]
+    bgt  t2, s5, pnext
+    addi s6, s6, 1
+    slli t3, s6, 2          # swap arr[i] <-> arr[j]
+    add  t4, s0, t3
+    lw   t5, 0(t4)
+    sw   t2, 0(t4)
+    sw   t5, 0(t1)
+pnext:
+    addi s7, s7, 1
+    blt  s7, s4, part
+    addi s6, s6, 1          # pivot's final slot
+    slli t0, s6, 2          # swap arr[i] <-> arr[hi]
+    add  t1, s0, t0
+    lw   t2, 0(t1)
+    slli t3, s4, 2
+    add  t4, s0, t3
+    lw   t5, 0(t4)
+    sw   t5, 0(t1)
+    sw   t2, 0(t4)
+    slli t0, s2, 2          # push (lo, i-1)
+    add  t1, s1, t0
+    addi t2, s6, -1
+    sw   s3, 0(t1)
+    sw   t2, 4(t1)
+    addi s2, s2, 2
+    slli t0, s2, 2          # push (i+1, hi)
+    add  t1, s1, t0
+    addi t2, s6, 1
+    sw   t2, 0(t1)
+    sw   s4, 4(t1)
+    addi s2, s2, 2
+    j    qloop
+done:
+    li   a0, 0              # checksum: sum (i+1)*arr[i]
+    li   t0, 0
+    li   t6, {N_ELEMENTS}
+csum:
+    slli t1, t0, 2
+    add  t2, s0, t1
+    lw   t3, 0(t2)
+    addi t4, t0, 1
+    mul  t5, t3, t4
+    add  a0, a0, t5
+    addi t0, t0, 1
+    blt  t0, t6, csum
+    li   a7, 93
+    ecall
+
+.data
+{words_directive("arr", values)}
+stk: .space {8 * (N_ELEMENTS + 8)}
+"""
+    return Workload(
+        name="qsort",
+        category="automotive",
+        description="iterative Lomuto quicksort over signed words",
+        source=source,
+        expected_checksum=_reference(values),
+    )

@@ -1,0 +1,191 @@
+"""rijndael (MiBench security): AES-style block rounds in CBC chaining.
+
+Uses the real AES S-box (generated from the GF(2^8) inverse + affine
+transform) and ShiftRows permutation over a 16-byte state. Two paper
+-vs-build substitutions, documented in DESIGN.md: MixColumns is
+omitted and the key schedule is a simple S-box-of-(key+round) form —
+neither changes the kernel's *computational shape* (byte gathers,
+table lookups, xors in tight loops), which is what the mapping study
+exercises. Four blocks are encrypted CBC-style.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._data import bytes_directive, lcg_stream, to_u32
+from repro.workloads.suite import Workload
+
+N_BLOCKS = 4
+N_ROUNDS = 10
+SEED = 0xAE5_CAFE
+
+
+def _aes_sbox() -> list[int]:
+    """The genuine AES substitution box."""
+
+    def rotl8(x: int, n: int) -> int:
+        return ((x << n) | (x >> (8 - n))) & 0xFF
+
+    sbox = [0] * 256
+    p = q = 1
+    sbox[0] = 0x63
+    while True:
+        # p advances by multiplication with 3 in GF(2^8).
+        p = p ^ ((p << 1) & 0xFF) ^ (0x1B if p & 0x80 else 0)
+        # q advances by division by 3.
+        q ^= (q << 1) & 0xFF
+        q ^= (q << 2) & 0xFF
+        q ^= (q << 4) & 0xFF
+        if q & 0x80:
+            q ^= 0x09
+        value = q ^ rotl8(q, 1) ^ rotl8(q, 2) ^ rotl8(q, 3) ^ rotl8(q, 4)
+        sbox[p] = value ^ 0x63
+        if p == 1:
+            return sbox
+
+
+def _shift_rows_permutation() -> list[int]:
+    """perm[i] = source index feeding state[i] (column-major state)."""
+    perm = []
+    for i in range(16):
+        row, col = i % 4, i // 4
+        perm.append(4 * ((col + row) % 4) + row)
+    return perm
+
+
+def _inputs() -> tuple[bytes, bytes]:
+    stream = lcg_stream(SEED, N_BLOCKS * 16 + 16)
+    message = bytes(v & 0xFF for v in stream[: N_BLOCKS * 16])
+    key = bytes(v & 0xFF for v in stream[N_BLOCKS * 16:])
+    return message, key
+
+
+def _reference(message: bytes, key: bytes) -> int:
+    sbox = _aes_sbox()
+    perm = _shift_rows_permutation()
+    prev = [0] * 16
+    checksum = 0
+    for block in range(N_BLOCKS):
+        state = [
+            message[16 * block + i] ^ prev[i] for i in range(16)
+        ]
+        for rnd in range(1, N_ROUNDS + 1):
+            substituted = [sbox[state[perm[i]]] for i in range(16)]
+            state = [
+                substituted[i] ^ sbox[(key[i] + rnd) & 0xFF]
+                for i in range(16)
+            ]
+        prev = state
+        for word_index in range(4):
+            word = int.from_bytes(
+                bytes(state[4 * word_index:4 * word_index + 4]), "little"
+            )
+            checksum = to_u32(checksum * 33) ^ word
+    return to_u32(checksum)
+
+
+def build() -> Workload:
+    message, key = _inputs()
+    sbox = bytes(_aes_sbox())
+    perm = bytes(_shift_rows_permutation())
+    source = f"""
+# rijndael: AES-style SubBytes/ShiftRows/AddRoundKey rounds, CBC over
+# {N_BLOCKS} blocks.
+main:
+    la   s0, input
+    la   s1, state
+    la   s2, tmpst
+    la   s3, sbox
+    la   s4, perm
+    la   s5, key
+    la   s6, prev
+    li   a0, 0
+    li   s7, 0              # block index
+block_loop:
+    li   t0, 16             # state = input_block xor prev
+    li   t1, 0
+ld_state:
+    add  t2, s0, t1
+    lbu  t3, 0(t2)
+    add  t4, s6, t1
+    lbu  t5, 0(t4)
+    xor  t3, t3, t5
+    add  t6, s1, t1
+    sb   t3, 0(t6)
+    addi t1, t1, 1
+    blt  t1, t0, ld_state
+    li   s8, 1              # round counter 1..{N_ROUNDS}
+round_loop:
+    li   t1, 0              # SubBytes + ShiftRows combined gather
+sub_shift:
+    add  t2, s4, t1
+    lbu  t3, 0(t2)          # perm[i]
+    add  t4, s1, t3
+    lbu  t5, 0(t4)          # state[perm[i]]
+    add  t6, s3, t5
+    lbu  a1, 0(t6)          # sbox lookup
+    add  a2, s2, t1
+    sb   a1, 0(a2)
+    addi t1, t1, 1
+    li   t0, 16
+    blt  t1, t0, sub_shift
+    li   t1, 0              # AddRoundKey with derived round key
+addkey:
+    add  t2, s5, t1
+    lbu  t3, 0(t2)          # key[i]
+    add  t3, t3, s8
+    andi t3, t3, 0xff
+    add  t4, s3, t3
+    lbu  t5, 0(t4)          # sbox[(key[i]+round) & 0xff]
+    add  t6, s2, t1
+    lbu  a1, 0(t6)
+    xor  a1, a1, t5
+    add  a2, s1, t1
+    sb   a1, 0(a2)
+    addi t1, t1, 1
+    li   t0, 16
+    blt  t1, t0, addkey
+    addi s8, s8, 1
+    li   t0, {N_ROUNDS + 1}
+    blt  s8, t0, round_loop
+    li   t1, 0              # prev = state (CBC chaining)
+copyprev:
+    add  t2, s1, t1
+    lbu  t3, 0(t2)
+    add  t4, s6, t1
+    sb   t3, 0(t4)
+    addi t1, t1, 1
+    li   t0, 16
+    blt  t1, t0, copyprev
+    li   t1, 0              # fold the state into the checksum
+ckw:
+    add  t2, s1, t1
+    lw   t3, 0(t2)
+    li   t4, 33
+    mul  a0, a0, t4
+    xor  a0, a0, t3
+    addi t1, t1, 4
+    li   t0, 16
+    blt  t1, t0, ckw
+    addi s0, s0, 16
+    addi s7, s7, 1
+    li   t0, {N_BLOCKS}
+    blt  s7, t0, block_loop
+    li   a7, 93
+    ecall
+
+.data
+state: .space 16
+tmpst: .space 16
+prev:  .space 16
+{bytes_directive("input", message)}
+{bytes_directive("key", key)}
+{bytes_directive("perm", perm)}
+{bytes_directive("sbox", sbox)}
+"""
+    return Workload(
+        name="rijndael",
+        category="security",
+        description="AES-style rounds (real S-box) with CBC chaining",
+        source=source,
+        expected_checksum=_reference(message, key),
+    )

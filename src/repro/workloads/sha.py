@@ -1,0 +1,185 @@
+"""sha (MiBench security): genuine SHA-1 compression over two blocks.
+
+Full message-schedule expansion (80 words) and all four round
+functions. The message is interpreted as little-endian words (we are
+not matching FIPS test vectors — the Python reference uses the same
+convention). Checksum: xor of the five chaining words.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._data import lcg_stream, to_u32, words_directive
+from repro.workloads.suite import Workload
+
+N_BLOCKS = 2
+SHA_SEED = 0x5EED_5A1
+
+
+def _rotl(x: int, n: int) -> int:
+    return to_u32((x << n) | (x >> (32 - n)))
+
+
+H_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _reference(words: list[int]) -> int:
+    h = list(H_INIT)
+    for block in range(N_BLOCKS):
+        w = list(words[16 * block:16 * (block + 1)])
+        for i in range(16, 80):
+            w.append(_rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        a, b, c, d, e = h
+        for i in range(80):
+            if i < 20:
+                f, k = (b & c) | (~b & d & 0xFFFFFFFF), 0x5A827999
+            elif i < 40:
+                f, k = b ^ c ^ d, 0x6ED9EBA1
+            elif i < 60:
+                f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+            else:
+                f, k = b ^ c ^ d, 0xCA62C1D6
+            temp = to_u32(_rotl(a, 5) + f + e + k + w[i])
+            e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+        h = [to_u32(x + y) for x, y in zip(h, (a, b, c, d, e))]
+    return h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4]
+
+
+def build() -> Workload:
+    words = lcg_stream(SHA_SEED, 16 * N_BLOCKS)
+    source = f"""
+# sha: SHA-1 compression, {N_BLOCKS} blocks, full 80-round schedule.
+main:
+    la   s0, msg
+    la   s1, wbuf
+    la   s2, hbuf
+    li   s3, 0              # block index
+blk:
+    li   t0, 0              # w[0..15] = message words
+cpw:
+    slli t1, t0, 2
+    add  t2, s0, t1
+    lw   t3, 0(t2)
+    add  t4, s1, t1
+    sw   t3, 0(t4)
+    addi t0, t0, 1
+    li   t5, 16
+    blt  t0, t5, cpw
+    li   t0, 16             # schedule expansion
+expand:
+    slli t1, t0, 2
+    add  t2, s1, t1
+    lw   t3, -12(t2)        # w[i-3]
+    lw   t4, -32(t2)        # w[i-8]
+    lw   t5, -56(t2)        # w[i-14]
+    lw   t6, -64(t2)        # w[i-16]
+    xor  t3, t3, t4
+    xor  t3, t3, t5
+    xor  t3, t3, t6
+    slli t4, t3, 1          # rotl 1
+    srli t5, t3, 31
+    or   t3, t4, t5
+    sw   t3, 0(t2)
+    addi t0, t0, 1
+    li   t5, 80
+    blt  t0, t5, expand
+    lw   s4, 0(s2)          # a..e
+    lw   s5, 4(s2)
+    lw   s6, 8(s2)
+    lw   s7, 12(s2)
+    lw   s8, 16(s2)
+    li   t0, 0              # round index
+rounds:
+    li   t1, 20
+    blt  t0, t1, f0
+    li   t1, 40
+    blt  t0, t1, f1
+    li   t1, 60
+    blt  t0, t1, f2
+    xor  t2, s5, s6         # f3: parity
+    xor  t2, t2, s7
+    li   t3, 0xca62c1d6
+    j    fdone
+f0:
+    and  t2, s5, s6         # choose: (b&c) | (~b&d)
+    not  t3, s5
+    and  t3, t3, s7
+    or   t2, t2, t3
+    li   t3, 0x5a827999
+    j    fdone
+f1:
+    xor  t2, s5, s6         # parity
+    xor  t2, t2, s7
+    li   t3, 0x6ed9eba1
+    j    fdone
+f2:
+    and  t2, s5, s6         # majority
+    and  t4, s5, s7
+    or   t2, t2, t4
+    and  t4, s6, s7
+    or   t2, t2, t4
+    li   t3, 0x8f1bbcdc
+fdone:
+    slli t4, s4, 5          # temp = rotl(a,5)+f+e+k+w[i]
+    srli t5, s4, 27
+    or   t4, t4, t5
+    add  t4, t4, t2
+    add  t4, t4, s8
+    add  t4, t4, t3
+    slli t5, t0, 2
+    add  t6, s1, t5
+    lw   a1, 0(t6)
+    add  t4, t4, a1
+    mv   s8, s7             # e = d
+    mv   s7, s6             # d = c
+    slli t5, s5, 30         # c = rotl(b, 30)
+    srli t6, s5, 2
+    or   s6, t5, t6
+    mv   s5, s4             # b = a
+    mv   s4, t4             # a = temp
+    addi t0, t0, 1
+    li   t1, 80
+    blt  t0, t1, rounds
+    lw   t0, 0(s2)          # h += (a..e)
+    add  t0, t0, s4
+    sw   t0, 0(s2)
+    lw   t0, 4(s2)
+    add  t0, t0, s5
+    sw   t0, 4(s2)
+    lw   t0, 8(s2)
+    add  t0, t0, s6
+    sw   t0, 8(s2)
+    lw   t0, 12(s2)
+    add  t0, t0, s7
+    sw   t0, 12(s2)
+    lw   t0, 16(s2)
+    add  t0, t0, s8
+    sw   t0, 16(s2)
+    addi s0, s0, 64
+    addi s3, s3, 1
+    li   t0, {N_BLOCKS}
+    blt  s3, t0, blk
+    lw   a0, 0(s2)          # checksum: xor of h0..h4
+    lw   t0, 4(s2)
+    xor  a0, a0, t0
+    lw   t0, 8(s2)
+    xor  a0, a0, t0
+    lw   t0, 12(s2)
+    xor  a0, a0, t0
+    lw   t0, 16(s2)
+    xor  a0, a0, t0
+    li   a7, 93
+    ecall
+
+.data
+{words_directive("msg", words)}
+wbuf: .space 320
+hbuf:
+  .word {H_INIT[0]:#x}, {H_INIT[1]:#x}, {H_INIT[2]:#x}, {H_INIT[3]:#x}, {H_INIT[4]:#x}
+"""
+    return Workload(
+        name="sha",
+        category="security",
+        description="SHA-1 compression with full message schedule",
+        source=source,
+        expected_checksum=_reference(words),
+    )

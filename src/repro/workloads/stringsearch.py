@@ -1,0 +1,110 @@
+"""stringsearch (MiBench office): first-occurrence substring search.
+
+Naive byte-compare search of six patterns (three guaranteed present,
+three random) over a 320-byte text on a small alphabet. The checksum
+folds each pattern's first match position.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._data import bytes_directive, lcg_stream, to_u32, words_directive
+from repro.workloads.suite import Workload
+
+TEXT_LEN = 320
+SEED = 0x57216_5EA
+ALPHABET = b"abcdefgh"
+N_PATTERNS = 6
+
+
+def _inputs() -> tuple[bytes, list[bytes]]:
+    stream = lcg_stream(SEED, TEXT_LEN + 64)
+    text = bytes(ALPHABET[v % len(ALPHABET)] for v in stream[:TEXT_LEN])
+    extra = stream[TEXT_LEN:]
+    patterns = [
+        text[41:45],             # present
+        text[200:206],           # present
+        text[318:320],           # present (at the very end)
+        bytes(ALPHABET[v % len(ALPHABET)] for v in extra[0:5]),
+        bytes(ALPHABET[v % len(ALPHABET)] for v in extra[5:8]),
+        b"zzzz",                 # alphabet-disjoint: never present
+    ]
+    return text, patterns
+
+
+def _reference(text: bytes, patterns: list[bytes]) -> int:
+    checksum = 0
+    for pattern in patterns:
+        position = text.find(pattern)
+        checksum = to_u32(checksum * 31 + (position + 1))
+    return checksum
+
+
+def build() -> Workload:
+    text, patterns = _inputs()
+    blob = b"".join(patterns)
+    offsets = []
+    cursor = 0
+    for pattern in patterns:
+        offsets.append(cursor)
+        cursor += len(pattern)
+    source = f"""
+# stringsearch: naive first-occurrence search, {N_PATTERNS} patterns.
+main:
+    la   s0, text
+    li   s1, {TEXT_LEN}
+    la   s2, plens
+    la   s3, poffs
+    la   s4, pats
+    li   a0, 0
+    li   s5, 0              # pattern index
+pat_loop:
+    slli t0, s5, 2
+    add  t1, s2, t0
+    lw   s6, 0(t1)          # pattern length
+    add  t1, s3, t0
+    lw   t2, 0(t1)
+    add  s7, s4, t2         # pattern base
+    sub  s8, s1, s6         # last valid start
+    li   s9, -1             # found position (-1 = none)
+    li   t3, 0              # candidate start
+search:
+    bgt  t3, s8, fold
+    li   t4, 0              # matched bytes
+cmp:
+    add  t5, s0, t3
+    add  t5, t5, t4
+    lbu  t6, 0(t5)
+    add  a1, s7, t4
+    lbu  a2, 0(a1)
+    bne  t6, a2, mismatch
+    addi t4, t4, 1
+    blt  t4, s6, cmp
+    mv   s9, t3             # full match
+    j    fold
+mismatch:
+    addi t3, t3, 1
+    j    search
+fold:
+    li   t0, 31             # checksum = checksum*31 + (pos+1)
+    mul  a0, a0, t0
+    addi t1, s9, 1
+    add  a0, a0, t1
+    addi s5, s5, 1
+    li   t0, {N_PATTERNS}
+    blt  s5, t0, pat_loop
+    li   a7, 93
+    ecall
+
+.data
+{words_directive("plens", [len(p) for p in patterns])}
+{words_directive("poffs", offsets)}
+{bytes_directive("text", text)}
+{bytes_directive("pats", blob)}
+"""
+    return Workload(
+        name="stringsearch",
+        category="office",
+        description="naive substring search of six patterns",
+        source=source,
+        expected_checksum=_reference(text, patterns),
+    )

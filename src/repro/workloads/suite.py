@@ -1,0 +1,101 @@
+"""Workload container and suite registry."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.sim.cpu import CPU
+from repro.sim.trace import Trace
+
+#: Module name (under repro.workloads) of every suite member.
+_SUITE_MODULES = (
+    "bitcount",
+    "crc32",
+    "dijkstra",
+    "qsort",
+    "rijndael",
+    "sha",
+    "stringsearch",
+    "susan_smoothing",
+    "susan_edges",
+    "susan_corners",
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark kernel.
+
+    Attributes:
+        name: suite identifier.
+        category: MiBench category (automotive/network/security/...).
+        description: one-line summary of the kernel.
+        source: assembly text.
+        expected_checksum: value the kernel must return in ``a0``
+            (computed by the Python reference implementation).
+    """
+
+    name: str
+    category: str
+    description: str
+    source: str
+    expected_checksum: int
+
+    def program(self) -> Program:
+        """Assemble the kernel."""
+        return assemble(self.source, name=self.name)
+
+
+def workload_names() -> tuple[str, ...]:
+    """Names of all suite members, in canonical order."""
+    return _SUITE_MODULES
+
+
+@lru_cache(maxsize=None)
+def get_workload(name: str) -> Workload:
+    """Build one workload by name."""
+    if name not in _SUITE_MODULES:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: {list(_SUITE_MODULES)}"
+        )
+    module = importlib.import_module(f"repro.workloads.{name}")
+    return module.build()
+
+
+def all_workloads() -> tuple[Workload, ...]:
+    """All suite members, in canonical order."""
+    return tuple(get_workload(name) for name in _SUITE_MODULES)
+
+
+@lru_cache(maxsize=None)
+def run_workload(name: str) -> Trace:
+    """Execute one workload, verify its checksum, return the trace.
+
+    Traces are design-independent (the functional behaviour does not
+    depend on the CGRA), so they are cached per process and shared by
+    every experiment.
+
+    Raises:
+        SimulationError: if the kernel's checksum does not match its
+            Python reference — a workload-porting bug, never expected.
+    """
+    workload = get_workload(name)
+    result = CPU(workload.program()).run()
+    actual = result.exit_code & 0xFFFFFFFF
+    expected = workload.expected_checksum & 0xFFFFFFFF
+    if actual != expected:
+        raise SimulationError(
+            f"workload {name!r} checksum mismatch: "
+            f"expected {expected:#x}, got {actual:#x}"
+        )
+    return result.trace
+
+
+def suite_traces() -> dict[str, Trace]:
+    """Verified traces for the whole suite (cached)."""
+    return {name: run_workload(name) for name in _SUITE_MODULES}

@@ -1,0 +1,95 @@
+"""susan-corners (MiBench automotive): USAN-style corner detection.
+
+For every interior pixel, count 8-neighbours whose brightness is
+within the similarity threshold of the centre (the USAN area); pixels
+with a small USAN are corners. Fully branchless inner step (slti +
+mul), which maps well onto the fabric. Checksum: fold of corner
+positions.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._data import bytes_directive, to_u32
+from repro.workloads._susan import HEIGHT, WIDTH, image, pixel
+from repro.workloads.suite import Workload
+
+SIMILARITY = 20
+USAN_CORNER_MAX = 2
+
+_NEIGHBOURS = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+
+
+def _reference(pixels: list[int]) -> int:
+    checksum = 0
+    for r in range(1, HEIGHT - 1):
+        for c in range(1, WIDTH - 1):
+            centre = pixel(pixels, r, c)
+            usan = sum(
+                1
+                for dr, dc in _NEIGHBOURS
+                if abs(pixel(pixels, r + dr, c + dc) - centre) <= SIMILARITY
+            )
+            is_corner = 1 if usan <= USAN_CORNER_MAX else 0
+            checksum += is_corner * (r * WIDTH + c + 1)
+    return to_u32(checksum)
+
+
+def _abs_diff_block(offset: int) -> str:
+    """Asm for: t6 += (|img[center+offset] - center_px| <= SIMILARITY)."""
+    return f"""
+    lbu  t3, {offset}(t1)
+    sub  t3, t3, t2
+    srai t4, t3, 31
+    xor  t3, t3, t4
+    sub  t3, t3, t4
+    slti t4, t3, {SIMILARITY + 1}
+    add  t6, t6, t4"""
+
+
+def build() -> Workload:
+    pixels = image()
+    offsets = (-17, -16, -15, -1, 1, 15, 16, 17)
+    usan_blocks = "".join(_abs_diff_block(o) for o in offsets)
+    source = f"""
+# susan_corners: USAN corner detection, similarity {SIMILARITY},
+# corner when USAN <= {USAN_CORNER_MAX}.
+main:
+    la   s0, img
+    li   a0, 0
+    li   s2, 1              # row
+row:
+    li   s3, 1              # col
+col:
+    slli t0, s2, 4
+    add  t0, t0, s3
+    add  t1, s0, t0         # center address
+    lbu  t2, 0(t1)          # center pixel
+    li   t6, 0              # USAN counter
+{usan_blocks}
+    slti t5, t6, {USAN_CORNER_MAX + 1}   # corner predicate
+    addi t0, t0, 1          # position fold value: r*16 + c + 1
+    mul  t5, t5, t0
+    add  a0, a0, t5
+    addi s3, s3, 1
+    li   t0, {WIDTH - 1}
+    blt  s3, t0, col
+    addi s2, s2, 1
+    li   t0, {HEIGHT - 1}
+    blt  s2, t0, row
+    li   a7, 93
+    ecall
+
+.data
+{bytes_directive("img", bytes(pixels))}
+"""
+    return Workload(
+        name="susan_corners",
+        category="automotive",
+        description="USAN corner detector (branchless inner loop)",
+        source=source,
+        expected_checksum=_reference(pixels),
+    )

@@ -1,0 +1,83 @@
+"""susan-edges (MiBench automotive): gradient-magnitude edge response.
+
+Central-difference |dx| + |dy| per interior pixel with branchless
+absolute values; responses above the threshold accumulate. Checksum:
+accumulated response plus edge count.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._data import bytes_directive, to_u32
+from repro.workloads._susan import HEIGHT, WIDTH, image, pixel
+from repro.workloads.suite import Workload
+
+THRESHOLD = 60
+
+
+def _reference(pixels: list[int]) -> int:
+    acc = 0
+    count = 0
+    for r in range(1, HEIGHT - 1):
+        for c in range(1, WIDTH - 1):
+            dx = abs(pixel(pixels, r, c + 1) - pixel(pixels, r, c - 1))
+            dy = abs(pixel(pixels, r + 1, c) - pixel(pixels, r - 1, c))
+            response = dx + dy
+            if response >= THRESHOLD:
+                acc += response
+                count += 1
+    return to_u32(acc + count)
+
+
+def build() -> Workload:
+    pixels = image()
+    source = f"""
+# susan_edges: |dx|+|dy| edge response with threshold {THRESHOLD}.
+main:
+    la   s0, img
+    li   a0, 0              # response accumulator
+    li   s4, 0              # edge count
+    li   s2, 1              # row
+row:
+    li   s3, 1              # col
+col:
+    slli t0, s2, 4
+    add  t0, t0, s3
+    add  t1, s0, t0         # center address
+    lbu  t2, 1(t1)          # dx = right - left, branchless abs
+    lbu  t3, -1(t1)
+    sub  t2, t2, t3
+    srai t3, t2, 31
+    xor  t2, t2, t3
+    sub  t2, t2, t3
+    lbu  t4, 16(t1)         # dy = below - above, branchless abs
+    lbu  t5, -16(t1)
+    sub  t4, t4, t5
+    srai t5, t4, 31
+    xor  t4, t4, t5
+    sub  t4, t4, t5
+    add  t2, t2, t4         # response
+    li   t3, {THRESHOLD}
+    blt  t2, t3, noedge
+    add  a0, a0, t2
+    addi s4, s4, 1
+noedge:
+    addi s3, s3, 1
+    li   t0, {WIDTH - 1}
+    blt  s3, t0, col
+    addi s2, s2, 1
+    li   t0, {HEIGHT - 1}
+    blt  s2, t0, row
+    add  a0, a0, s4         # checksum = acc + count
+    li   a7, 93
+    ecall
+
+.data
+{bytes_directive("img", bytes(pixels))}
+"""
+    return Workload(
+        name="susan_edges",
+        category="automotive",
+        description="gradient-magnitude edge detector with threshold",
+        source=source,
+        expected_checksum=_reference(pixels),
+    )

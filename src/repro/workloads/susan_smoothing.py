@@ -1,0 +1,81 @@
+"""susan-smoothing (MiBench automotive): 3x3 box filter.
+
+Mean of the 3x3 neighbourhood over every interior pixel; the division
+keeps the kernel realistically un-mappable at that point (DIV executes
+on the GPP), as in MiBench's smoothing path. Checksum: sum of output
+pixels.
+"""
+
+from __future__ import annotations
+
+from repro.workloads._data import bytes_directive, to_u32
+from repro.workloads._susan import HEIGHT, WIDTH, image, pixel
+from repro.workloads.suite import Workload
+
+
+def _reference(pixels: list[int]) -> int:
+    total = 0
+    for r in range(1, HEIGHT - 1):
+        for c in range(1, WIDTH - 1):
+            window = sum(
+                pixel(pixels, r + dr, c + dc)
+                for dr in (-1, 0, 1)
+                for dc in (-1, 0, 1)
+            )
+            total += window // 9
+    return to_u32(total)
+
+
+def build() -> Workload:
+    pixels = image()
+    source = f"""
+# susan_smoothing: 3x3 box filter over the interior of a {WIDTH}x{HEIGHT} image.
+main:
+    la   s0, img
+    li   a0, 0
+    li   s2, 1              # row
+row:
+    li   s3, 1              # col
+col:
+    slli t0, s2, 4          # center address: img + r*16 + c
+    add  t0, t0, s3
+    add  t1, s0, t0
+    lbu  t2, -17(t1)        # 3x3 window sum
+    lbu  t3, -16(t1)
+    add  t2, t2, t3
+    lbu  t3, -15(t1)
+    add  t2, t2, t3
+    lbu  t3, -1(t1)
+    add  t2, t2, t3
+    lbu  t3, 0(t1)
+    add  t2, t2, t3
+    lbu  t3, 1(t1)
+    add  t2, t2, t3
+    lbu  t3, 15(t1)
+    add  t2, t2, t3
+    lbu  t3, 16(t1)
+    add  t2, t2, t3
+    lbu  t3, 17(t1)
+    add  t2, t2, t3
+    li   t3, 9
+    divu t4, t2, t3         # mean
+    add  a0, a0, t4
+    addi s3, s3, 1
+    li   t0, {WIDTH - 1}
+    blt  s3, t0, col
+    addi s2, s2, 1
+    li   t0, {HEIGHT - 1}
+    blt  s2, t0, row
+    li   a7, 93
+    ecall
+
+.data
+{bytes_directive("img", bytes(pixels))}
+"""
+    return Workload(
+        name="susan_smoothing",
+        category="automotive",
+        description="3x3 box filter (mean) over a synthetic image",
+        source=source,
+        expected_checksum=_reference(pixels),
+    )

@@ -1,0 +1,138 @@
+"""Synthetic workload generators for stress tests and ablations.
+
+Real kernels fix their instruction mix; these generators let tests and
+ablation studies dial ILP, memory intensity and branch predictability
+independently — e.g. to find where the rotation's balancing headroom
+disappears (fully serial code) or how misspeculation scales with
+branch entropy.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads._data import lcg_stream, words_directive
+
+
+def chain_kernel(length: int = 64, iterations: int = 50) -> Program:
+    """Fully serial ALU chain: ILP = 1, the rotation's worst case.
+
+    Every instruction depends on the previous one, so configurations
+    are long and thin (single row) regardless of fabric width.
+    """
+    body = "\n".join(
+        f"    addi t1, t1, {1 + (i % 7)}" if i % 2 == 0
+        else "    xor  t1, t1, t0"
+        for i in range(length)
+    )
+    source = f"""
+main:
+    li t0, 0x5a5a
+    li t1, 1
+    li t2, {iterations}
+loop:
+{body}
+    addi t2, t2, -1
+    bnez t2, loop
+    mv a0, t1
+    li a7, 93
+    ecall
+"""
+    return assemble(source, name=f"chain{length}")
+
+
+def parallel_kernel(lanes: int = 6, iterations: int = 50) -> Program:
+    """Embarrassingly parallel ALU lanes: ILP = ``lanes``.
+
+    Wide, short configurations that exercise many rows at once.
+    """
+    if not 2 <= lanes <= 6:
+        raise ValueError("lanes must be in [2, 6] (register budget)")
+    regs = ["t0", "t1", "t2", "t3", "t4", "t5"][:lanes]
+    init = "\n".join(
+        f"    li {reg}, {index + 1}" for index, reg in enumerate(regs)
+    )
+    body = "\n".join(
+        f"    addi {reg}, {reg}, {index + 1}"
+        for index, reg in enumerate(regs)
+    )
+    accumulate = "\n".join(f"    add a0, a0, {reg}" for reg in regs)
+    source = f"""
+main:
+{init}
+    li a0, 0
+    li s0, {iterations}
+loop:
+{body}
+{body}
+    addi s0, s0, -1
+    bnez s0, loop
+{accumulate}
+    li a7, 93
+    ecall
+"""
+    return assemble(source, name=f"parallel{lanes}")
+
+
+def memory_kernel(n_words: int = 64, iterations: int = 20) -> Program:
+    """Streaming loads/stores: exercises the cache-port constraints."""
+    values = lcg_stream(0xBEEF, n_words)
+    source = f"""
+main:
+    li s0, {iterations}
+    li a0, 0
+outer:
+    la t0, buf
+    li t1, {n_words}
+inner:
+    lw t2, 0(t0)
+    addi t2, t2, 1
+    sw t2, 0(t0)
+    add a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, inner
+    addi s0, s0, -1
+    bnez s0, outer
+    li a7, 93
+    ecall
+
+.data
+{words_directive("buf", values)}
+"""
+    return assemble(source, name=f"memory{n_words}")
+
+
+def branchy_kernel(
+    iterations: int = 200, period: int = 2
+) -> Program:
+    """Data-dependent branch with a configurable flip period.
+
+    ``period=2`` alternates every iteration (worst case for path
+    speculation); large periods approach fully predictable behaviour.
+    """
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    source = f"""
+main:
+    li t0, {iterations}
+    li t1, 0
+    li t3, 0
+loop:
+    addi t3, t3, 1
+    li t4, {period}
+    rem t5, t3, t4
+    slti t5, t5, {(period + 1) // 2}
+    beqz t5, other
+    addi t1, t1, 3
+    j next
+other:
+    addi t1, t1, 5
+next:
+    addi t0, t0, -1
+    bnez t0, loop
+    mv a0, t1
+    li a7, 93
+    ecall
+"""
+    return assemble(source, name=f"branchy{period}")

@@ -1,0 +1,60 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import OPCODES, InstrClass
+from repro.sim.cpu import CPU
+from repro.sim.trace import Trace, TraceRecord
+
+
+def run_asm(source: str, max_steps: int = 500_000):
+    """Assemble and functionally execute a snippet."""
+    return CPU(assemble(source), max_steps=max_steps).run()
+
+
+def trace_of(source: str, max_steps: int = 500_000) -> Trace:
+    """Committed trace of an assembly snippet."""
+    return run_asm(source, max_steps=max_steps).trace
+
+
+_NEXT_PC = 0x1000
+
+
+def rec(
+    op: str,
+    rd: int | None = None,
+    rs1: int | None = None,
+    rs2: int | None = None,
+    imm: int | None = None,
+    pc: int | None = None,
+    mem_addr: int | None = None,
+    mem_bytes: int | None = None,
+    taken: bool | None = None,
+    next_pc: int | None = None,
+) -> TraceRecord:
+    """Hand-build a TraceRecord with sensible defaults for tests."""
+    global _NEXT_PC
+    if pc is None:
+        pc = _NEXT_PC
+        _NEXT_PC += 4
+    spec = OPCODES[op]
+    if mem_bytes is None:
+        mem_bytes = spec.mem_bytes if mem_addr is not None else 0
+    if taken is None and spec.cls is InstrClass.BRANCH:
+        taken = False
+    if next_pc is None:
+        next_pc = pc + 4
+    if rd == 0:
+        rd = None
+    return TraceRecord(
+        pc=pc, op=op, cls=spec.cls, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+        rd_value=None, mem_addr=mem_addr, mem_bytes=mem_bytes,
+        taken=taken, next_pc=next_pc,
+    )
+
+
+def reset_rec_pcs(base: int = 0x1000) -> None:
+    """Reset the automatic PC counter used by :func:`rec`."""
+    global _NEXT_PC
+    _NEXT_PC = base

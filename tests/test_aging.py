@@ -1,0 +1,191 @@
+"""Tests for the NBTI model, lifetime analysis and stress history."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aging.guardband import (
+    guardband_for_lifetime,
+    lifetime_under_guardband,
+)
+from repro.aging.history import StressHistory
+from repro.aging.lifetime import (
+    delay_curve,
+    failure_order,
+    lifetime_improvement,
+    lifetime_years,
+    surviving_fraction,
+)
+from repro.aging.nbti import NBTIModel
+from repro.errors import ConfigurationError
+
+utils = st.floats(min_value=0.01, max_value=1.0)
+
+
+@pytest.fixture
+def model():
+    return NBTIModel()
+
+
+class TestEquationOne:
+    def test_calibration_point(self, model):
+        """10% delay increase at 3 years, u=1 (paper Section IV-A)."""
+        assert model.delay_increase(3.0, 1.0) == pytest.approx(0.10)
+
+    def test_delta_vt_scales_with_vdd_fourth_power(self):
+        low = NBTIModel(vdd=0.6)
+        high = NBTIModel(vdd=1.2)
+        ratio = high.delta_vt(1.0, 1.0) / low.delta_vt(1.0, 1.0)
+        assert ratio == pytest.approx(2.0**4)
+
+    def test_delta_vt_temperature_dependence(self):
+        cold = NBTIModel(temperature_k=300.0)
+        hot = NBTIModel(temperature_k=400.0)
+        assert hot.delta_vt(1.0, 1.0) > cold.delta_vt(1.0, 1.0)
+
+    def test_sixth_root_time_dependence(self, model):
+        one = model.delta_vt(1.0, 1.0)
+        sixty_four = model.delta_vt(64.0, 1.0)
+        assert sixty_four / one == pytest.approx(2.0)
+
+    def test_sixth_root_utilization_dependence(self, model):
+        full = model.delta_vt(1.0, 1.0)
+        fraction = model.delta_vt(1.0, 1.0 / 64.0)
+        assert full / fraction == pytest.approx(2.0)
+
+    def test_zero_utilization_means_no_aging(self, model):
+        assert model.delta_vt(10.0, 0.0) == 0.0
+        assert model.years_to_degradation(0.0) == math.inf
+
+    def test_input_validation(self, model):
+        with pytest.raises(ValueError):
+            model.delta_vt(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            model.delta_vt(1.0, 1.5)
+        with pytest.raises(ValueError):
+            model.years_to_degradation(0.5, threshold=-0.1)
+        with pytest.raises(ConfigurationError):
+            NBTIModel(temperature_k=-2)
+        with pytest.raises(ConfigurationError):
+            NBTIModel(vdd=0)
+
+    @given(u=utils)
+    def test_monotonic_in_utilization(self, u):
+        model = NBTIModel()
+        assert model.delay_increase(3.0, u) <= model.delay_increase(3.0, 1.0)
+
+    @given(u=utils, years=st.floats(min_value=0.1, max_value=30.0))
+    def test_inversion_round_trip(self, u, years):
+        model = NBTIModel()
+        degradation = model.delay_increase(years, u)
+        recovered = model.years_to_degradation(u, threshold=degradation)
+        assert recovered == pytest.approx(years, rel=1e-6)
+
+
+class TestLifetime:
+    def test_closed_form(self, model):
+        """lifetime(u) = 3 years / u under default calibration."""
+        assert lifetime_years(model, 1.0) == pytest.approx(3.0)
+        assert lifetime_years(model, 0.5) == pytest.approx(6.0)
+        assert lifetime_years(model, 0.25) == pytest.approx(12.0)
+
+    def test_improvement_equals_util_ratio_table1(self, model):
+        """The three Table I rows compose as worst-util ratios."""
+        assert lifetime_improvement(model, 0.945, 0.411) == pytest.approx(
+            2.29, abs=0.01
+        )
+        assert lifetime_improvement(model, 0.981, 0.224) == pytest.approx(
+            4.37, abs=0.02
+        )
+        assert lifetime_improvement(model, 0.981, 0.123) == pytest.approx(
+            7.97, abs=0.03
+        )
+
+    @given(u_base=utils, u_prop=utils)
+    def test_improvement_ratio_property(self, u_base, u_prop):
+        model = NBTIModel()
+        improvement = lifetime_improvement(model, u_base, u_prop)
+        assert improvement == pytest.approx(u_base / u_prop, rel=1e-9)
+
+    def test_delay_curve_monotonic(self, model):
+        years = np.linspace(0.1, 10, 25)
+        curve = delay_curve(model, 0.9, years)
+        assert (np.diff(curve) > 0).all()
+
+    def test_be_scenario_lifetimes(self, model):
+        """BE: 10% degradation at ~3 years baseline vs ~7 proposed."""
+        baseline_years = lifetime_years(model, 0.945)
+        proposed_years = lifetime_years(model, 0.411)
+        assert baseline_years == pytest.approx(3.17, abs=0.01)
+        assert proposed_years == pytest.approx(7.30, abs=0.01)
+
+    def test_failure_order_and_survival(self, model):
+        utilization = np.array([[1.0, 0.5], [0.25, 0.0]])
+        lifetimes = failure_order(model, utilization)
+        assert lifetimes[0, 0] == pytest.approx(3.0)
+        assert lifetimes[1, 1] == math.inf
+        assert surviving_fraction(model, utilization, 4.0) == 0.75
+
+
+class TestGuardband:
+    def test_round_trip(self, model):
+        guardband = guardband_for_lifetime(model, 0.8, 5.0)
+        assert lifetime_under_guardband(model, 0.8, guardband) == (
+            pytest.approx(5.0)
+        )
+
+    def test_larger_guardband_longer_life(self, model):
+        small = lifetime_under_guardband(model, 0.9, 0.05)
+        large = lifetime_under_guardband(model, 0.9, 0.10)
+        assert large > small
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            guardband_for_lifetime(model, 0.5, -1.0)
+        with pytest.raises(ValueError):
+            lifetime_under_guardband(model, 0.5, 0.0)
+
+
+class TestStressHistory:
+    def test_effective_stress_accumulates(self):
+        history = StressHistory()
+        history.add_epoch(2.0, 0.5)
+        history.add_epoch(1.0, 1.0)
+        assert history.elapsed_years == 3.0
+        assert history.effective_stress_years == 2.0
+        assert history.equivalent_utilization() == pytest.approx(2 / 3)
+
+    def test_equivalent_to_constant_duty(self, model):
+        """Epochs at varying duty equal one epoch at the average duty."""
+        history = StressHistory()
+        history.add_epoch(1.5, 0.2)
+        history.add_epoch(1.5, 0.8)
+        constant = model.delay_increase(3.0, 0.5)
+        assert history.delay_increase(model) == pytest.approx(constant)
+
+    def test_remaining_years(self, model):
+        history = StressHistory()
+        history.add_epoch(1.5, 1.0)  # half the 3-year budget burned
+        assert history.remaining_years(model, 1.0) == pytest.approx(1.5)
+        assert history.remaining_years(model, 0.5) == pytest.approx(3.0)
+        assert history.remaining_years(model, 0.0) == math.inf
+
+    def test_exhausted_budget(self, model):
+        history = StressHistory()
+        history.add_epoch(5.0, 1.0)
+        assert history.remaining_years(model, 0.5) == 0.0
+
+    def test_validation(self):
+        history = StressHistory()
+        with pytest.raises(ValueError):
+            history.add_epoch(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            history.add_epoch(1.0, 2.0)
+
+    def test_empty_history(self, model):
+        history = StressHistory()
+        assert history.equivalent_utilization() == 0.0
+        assert history.delay_increase(model) == 0.0

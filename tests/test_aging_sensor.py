@@ -1,0 +1,89 @@
+"""Tests for the aging-sensor model and sensor-driven allocation."""
+
+import numpy as np
+import pytest
+
+from repro.aging.sensor import SensorArray
+from repro.cgra.fabric import FabricGeometry
+from repro.core.allocator import ConfigurationAllocator
+from repro.core.stress_aware import StressAwarePolicy
+from repro.errors import ConfigurationError
+
+from tests.test_core_allocator import config
+
+
+class TestQuantization:
+    def test_zero_counts(self):
+        sensor = SensorArray(levels=8)
+        counts = np.zeros((2, 4), dtype=np.int64)
+        assert (sensor.quantize(counts) == 0).all()
+
+    def test_peak_maps_to_top_level(self):
+        sensor = SensorArray(levels=8)
+        counts = np.array([[0, 50], [100, 25]])
+        quantized = sensor.quantize(counts)
+        assert quantized[1, 0] == 7
+        assert quantized[0, 0] == 0
+
+    def test_monotone(self):
+        sensor = SensorArray(levels=4)
+        counts = np.array([[0, 10, 20, 30]])
+        quantized = sensor.quantize(counts)
+        assert (np.diff(quantized[0]) >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SensorArray(levels=1)
+        with pytest.raises(ConfigurationError):
+            SensorArray(sample_period=0)
+
+
+class TestSampling:
+    def test_reading_is_stale_between_samples(self):
+        sensor = SensorArray(levels=8, sample_period=3)
+        first = sensor.read(np.array([[100, 0]]))
+        # Counts change, but within the sample period the old snapshot
+        # is returned.
+        second = sensor.read(np.array([[0, 100]]))
+        assert (first == second).all()
+
+    def test_reading_refreshes_after_period(self):
+        sensor = SensorArray(levels=8, sample_period=2)
+        sensor.read(np.array([[100, 0]]))
+        sensor.read(np.array([[100, 0]]))
+        refreshed = sensor.read(np.array([[0, 100]]))
+        assert refreshed[0, 1] == 7
+
+    def test_reset(self):
+        sensor = SensorArray(levels=8, sample_period=100)
+        sensor.read(np.array([[100, 0]]))
+        sensor.reset()
+        fresh = sensor.read(np.array([[0, 100]]))
+        assert fresh[0, 1] == 7
+
+
+class TestSensorDrivenPolicy:
+    def _worst_util(self, sensor):
+        geometry = FabricGeometry(rows=2, cols=4)
+        policy = StressAwarePolicy(interval=1, sensor=sensor)
+        allocator = ConfigurationAllocator(geometry, policy)
+        c = config([(0, 0)], rows=2, cols=4)
+        for _ in range(64):
+            allocator.allocate(c)
+        return allocator.tracker.max_utilization()
+
+    def test_oracle_policy_balances_best(self):
+        oracle = self._worst_util(sensor=None)
+        assert oracle <= 64 / 8 / 64 + 1e-9  # perfectly even
+
+    def test_coarse_sensor_still_balances(self):
+        coarse = self._worst_util(SensorArray(levels=4, sample_period=8))
+        baseline_worst = 1.0  # everything at one cell without balancing
+        assert coarse < baseline_worst / 2
+
+    def test_sensor_resets_on_bind(self):
+        sensor = SensorArray(levels=4, sample_period=1000)
+        sensor.read(np.array([[5, 0], [0, 0]]))
+        policy = StressAwarePolicy(interval=1, sensor=sensor)
+        policy.bind(FabricGeometry(rows=2, cols=4))
+        assert sensor._reading is None

@@ -1,0 +1,102 @@
+"""Tests for the utilization-coupled thermal aging extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aging.nbti import NBTIModel
+from repro.aging.thermal import (
+    ThermalModel,
+    thermal_lifetime_improvement,
+    thermal_lifetime_map,
+    thermal_lifetime_years,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def base():
+    return NBTIModel()
+
+
+@pytest.fixture
+def thermal():
+    return ThermalModel(ambient_k=320.0, max_rise_k=45.0)
+
+
+class TestThermalModel:
+    def test_temperature_interpolates(self, thermal):
+        assert thermal.temperature(0.0) == 320.0
+        assert thermal.temperature(1.0) == 365.0
+        assert thermal.temperature(0.5) == pytest.approx(342.5)
+
+    def test_temperature_map(self, thermal):
+        util = np.array([[0.0, 1.0]])
+        temps = thermal.temperature_map(util)
+        assert temps[0, 0] == 320.0
+        assert temps[0, 1] == 365.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(ambient_k=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalModel(max_rise_k=-1.0)
+        with pytest.raises(ValueError):
+            ThermalModel().temperature(1.5)
+
+
+class TestThermalLifetime:
+    def test_full_stress_matches_fixed_t_calibration(self, base, thermal):
+        """At u=1 the thermal model coincides with the fixed-T closed
+        form (the calibration is anchored at worst-case temperature)."""
+        assert thermal_lifetime_years(base, thermal, 1.0) == pytest.approx(
+            base.reference_years
+        )
+
+    def test_cool_fus_outlive_fixed_t_model(self, base, thermal):
+        """The double benefit: lower u means both less stress time and
+        a cooler, slower-aging device."""
+        fixed = base.years_to_degradation(0.4)
+        coupled = thermal_lifetime_years(base, thermal, 0.4)
+        assert coupled > fixed
+
+    def test_zero_utilization_immortal(self, base, thermal):
+        assert thermal_lifetime_years(base, thermal, 0.0) == math.inf
+
+    def test_monotone_in_utilization(self, base, thermal):
+        lifetimes = [
+            thermal_lifetime_years(base, thermal, u)
+            for u in (0.2, 0.4, 0.6, 0.8, 1.0)
+        ]
+        assert all(a > b for a, b in zip(lifetimes, lifetimes[1:]))
+
+    def test_zero_rise_recovers_fixed_t(self, base):
+        flat = ThermalModel(ambient_k=365.0, max_rise_k=0.0)
+        assert thermal_lifetime_years(base, flat, 0.5) == pytest.approx(
+            NBTIModel(temperature_k=365.0).years_to_degradation(0.5)
+        )
+
+    def test_lifetime_map_shape(self, base, thermal):
+        util = np.array([[1.0, 0.5], [0.25, 0.0]])
+        lifetimes = thermal_lifetime_map(base, thermal, util)
+        assert lifetimes.shape == util.shape
+        assert lifetimes[0, 0] == pytest.approx(3.0)
+        assert lifetimes[1, 1] == math.inf
+
+
+class TestThermalImprovement:
+    def test_exceeds_fixed_t_improvement(self, base, thermal):
+        """Balancing pays twice under thermal coupling, so the
+        improvement must beat the fixed-T worst-util ratio."""
+        baseline_worst, proposed_worst = 0.95, 0.45
+        fixed_ratio = baseline_worst / proposed_worst
+        coupled = thermal_lifetime_improvement(
+            base, thermal, baseline_worst, proposed_worst
+        )
+        assert coupled > fixed_ratio
+
+    def test_identity_when_nothing_changes(self, base, thermal):
+        assert thermal_lifetime_improvement(
+            base, thermal, 0.8, 0.8
+        ) == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Tests for the process-variation Monte Carlo extension."""
+
+import numpy as np
+import pytest
+
+from repro.aging.nbti import NBTIModel
+from repro.aging.variability import (
+    VariationModel,
+    balancing_yield_gain,
+    lifetime_distribution,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return NBTIModel()
+
+
+BASELINE_MAP = np.array([[1.0, 0.6, 0.3, 0.1]])
+BALANCED_MAP = np.full((1, 4), 0.5)
+
+
+class TestVariationModel:
+    def test_zero_sigma_is_deterministic(self):
+        factors = VariationModel(sigma=0.0).sample_rate_factors((4,), 10)
+        assert np.allclose(factors, 1.0)
+
+    def test_median_near_one(self):
+        factors = VariationModel(sigma=0.1, seed=1).sample_rate_factors(
+            (64,), 200
+        )
+        assert np.median(factors) == pytest.approx(1.0, abs=0.05)
+
+    def test_reproducible_under_seed(self):
+        a = VariationModel(sigma=0.1, seed=7).sample_rate_factors((8,), 5)
+        b = VariationModel(sigma=0.1, seed=7).sample_rate_factors((8,), 5)
+        assert (a == b).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VariationModel(sigma=-0.1)
+
+
+class TestLifetimeDistribution:
+    def test_no_variation_recovers_point_estimate(self, model):
+        dist = lifetime_distribution(
+            model, VariationModel(sigma=0.0), BASELINE_MAP, samples=10
+        )
+        assert dist.std == pytest.approx(0.0)
+        assert dist.mean == pytest.approx(
+            model.years_to_degradation(1.0)
+        )
+
+    def test_variation_widens_spread(self, model):
+        tight = lifetime_distribution(
+            model, VariationModel(sigma=0.02, seed=3), BASELINE_MAP, 500
+        )
+        wide = lifetime_distribution(
+            model, VariationModel(sigma=0.15, seed=3), BASELINE_MAP, 500
+        )
+        assert wide.std > tight.std
+
+    def test_first_failure_below_nominal_mean(self, model):
+        """Min over FUs with variation cannot beat the deterministic
+        worst-FU lifetime on average by much — and p1 < p99."""
+        dist = lifetime_distribution(
+            model, VariationModel(sigma=0.1, seed=2), BASELINE_MAP, 500
+        )
+        assert dist.percentile(1) < dist.percentile(99)
+
+    def test_sample_count_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            lifetime_distribution(
+                model, VariationModel(), BASELINE_MAP, samples=0
+            )
+
+
+class TestYieldGain:
+    def test_balancing_improves_mission_yield(self, model):
+        variation = VariationModel(sigma=0.1, seed=5)
+        baseline_yield, proposed_yield = balancing_yield_gain(
+            model, variation, BASELINE_MAP, BALANCED_MAP,
+            mission_years=4.0, samples=800,
+        )
+        assert proposed_yield > baseline_yield
+
+    def test_yields_are_probabilities(self, model):
+        variation = VariationModel(sigma=0.1, seed=5)
+        for y in balancing_yield_gain(
+            model, variation, BASELINE_MAP, BALANCED_MAP, 3.0, samples=200
+        ):
+            assert 0.0 <= y <= 1.0
+
+    def test_balancing_shrinks_spread(self, model):
+        """The headline variability effect: balanced stress narrows the
+        first-failure distribution."""
+        variation = VariationModel(sigma=0.1, seed=9)
+        baseline = lifetime_distribution(
+            model, variation, BASELINE_MAP, 800
+        )
+        proposed = lifetime_distribution(
+            model, variation, BALANCED_MAP, 800
+        )
+        assert proposed.std / proposed.mean < baseline.std / baseline.mean + 0.05
+        assert proposed.percentile(1) > baseline.percentile(1)

@@ -1,0 +1,112 @@
+"""Tests for heatmaps, distributions and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.distribution import (
+    gini,
+    histogram,
+    summary_statistics,
+    text_histogram,
+)
+from repro.analysis.heatmap import render_heatmap
+from repro.analysis.tables import render_table
+
+
+class TestHeatmap:
+    def test_contains_all_values(self):
+        util = np.array([[0.25, 0.5], [0.75, 1.0]])
+        rendered = render_heatmap(util)
+        for value in ("25.0%", "50.0%", "75.0%", "100.0%"):
+            assert value in rendered
+
+    def test_row_one_at_bottom(self):
+        util = np.array([[1.0, 1.0], [0.0, 0.0]])
+        rendered = render_heatmap(util)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("R2")
+        assert lines[1].startswith("R1")
+        assert "100.0%" in lines[1]
+
+    def test_title_and_header(self):
+        rendered = render_heatmap(np.zeros((1, 3)), title="demo")
+        assert rendered.splitlines()[0] == "demo"
+        assert "C3" in rendered
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(4))
+
+
+class TestHistogram:
+    def test_density_sums_to_one(self):
+        values = np.array([0.1, 0.2, 0.3, 0.9])
+        density, edges = histogram(values, bins=5)
+        assert density.sum() == pytest.approx(1.0)
+        assert len(edges) == 6
+
+    def test_empty_values(self):
+        density, _ = histogram(np.array([]), bins=4)
+        assert density.sum() == 0.0
+
+    def test_text_histogram_renders(self):
+        values = np.array([0.05, 0.1, 0.9, 0.95])
+        rendered = text_histogram(values, bins=4, title="pdf")
+        assert rendered.startswith("pdf")
+        assert "#" in rendered
+
+    def test_summary_statistics(self):
+        values = np.array([0.0, 0.5, 1.0])
+        stats = summary_statistics(values)
+        assert stats["mean"] == pytest.approx(0.5)
+        assert stats["max"] == 1.0
+        assert stats["min"] == 0.0
+
+    def test_summary_statistics_empty(self):
+        stats = summary_statistics(np.array([]))
+        assert stats["mean"] == 0.0
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(16, 0.5)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_is_high(self):
+        values = np.zeros(16)
+        values[0] = 1.0
+        assert gini(values) > 0.9
+
+    def test_all_zero(self):
+        assert gini(np.zeros(8)) == 0.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=64
+        )
+    )
+    def test_bounded(self, values):
+        coefficient = gini(np.array(values))
+        assert -1e-9 <= coefficient <= 1.0
+
+    def test_balancing_lowers_gini(self):
+        biased = np.array([1.0, 0.8, 0.2, 0.0])
+        balanced = np.array([0.5, 0.5, 0.5, 0.5])
+        assert gini(balanced) < gini(biased)
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        rendered = render_table(
+            ("name", "value"), [("a", 1), ("long-name", 22)], title="t"
+        )
+        lines = rendered.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1]
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+        assert "long-name" in rendered
+
+    def test_empty_rows(self):
+        rendered = render_table(("a", "b"), [])
+        assert "a" in rendered

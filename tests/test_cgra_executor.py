@@ -1,0 +1,139 @@
+"""Tests for the configuration dataflow validator."""
+
+import pytest
+
+from repro.cgra.configuration import PlacedOp, VirtualConfiguration
+from repro.cgra.executor import validate_unit
+from repro.cgra.fabric import FabricGeometry
+from repro.cgra.fu import FUKind
+from repro.dbt.window import build_unit
+from repro.workloads.suite import run_workload, workload_names
+
+from tests.support import trace_of
+
+
+def window_of(trace, unit):
+    return [trace[i] for i in range(unit.n_instructions)]
+
+
+class TestValidUnits:
+    def test_straight_line_validates(self):
+        trace = trace_of(
+            """
+            li t0, 5
+            li t1, 7
+            add t2, t0, t1
+            xor t3, t2, t0
+            sub t4, t3, t1
+            li a7, 93
+            ecall
+            """
+        )
+        unit = build_unit(trace, 0, FabricGeometry(rows=2, cols=16))
+        report = validate_unit(unit, window_of(trace, unit))
+        assert report.ok
+        assert report.values_checked >= 3
+        assert report.operands_resolved >= 5
+
+    def test_loop_window_validates(self):
+        trace = trace_of(
+            """
+            li t0, 30
+            li t1, 0
+            loop:
+              add t1, t1, t0
+              slli t2, t1, 1
+              xor t1, t1, t2
+              addi t0, t0, -1
+              bnez t0, loop
+            mv a0, t1
+            li a7, 93
+            ecall
+            """
+        )
+        unit = build_unit(trace, 2, FabricGeometry(rows=2, cols=32))
+        report = validate_unit(unit, [trace[2 + i] for i in
+                                      range(unit.n_instructions)])
+        assert report.ok
+        assert report.values_checked > 0
+
+    @pytest.mark.parametrize("name", workload_names()[:5])
+    def test_real_workload_units_validate(self, name):
+        """Every unit built from real workload heads passes both the
+        ordering and the value cross-check."""
+        trace = run_workload(name)
+        geometry = FabricGeometry(rows=2, cols=16)
+        checked_units = 0
+        position = 0
+        while position < len(trace) - 4 and checked_units < 25:
+            unit = build_unit(trace, position, geometry)
+            if unit is None:
+                position += 1
+                continue
+            window = [trace[position + i] for i in
+                      range(unit.n_instructions)]
+            report = validate_unit(unit, window)
+            assert report.ok, f"{name} unit at {position}: {report}"
+            checked_units += 1
+            position += unit.n_instructions
+        assert checked_units > 0
+
+
+class TestDetection:
+    """The validator must actually catch broken placements."""
+
+    def _window(self):
+        trace = trace_of(
+            """
+            li t0, 5
+            addi t1, t0, 2
+            add t2, t1, t0
+            li a7, 93
+            ecall
+            """
+        )
+        return [trace[i] for i in range(3)]
+
+    def test_catches_reversed_dependence(self):
+        # Hand-build a unit where the consumer sits *before* its
+        # producer in column order.
+        window = self._window()
+        ops = (
+            PlacedOp("addi", FUKind.ALU, row=0, col=5, width=1,
+                     trace_offset=0),
+            PlacedOp("addi", FUKind.ALU, row=0, col=6, width=1,
+                     trace_offset=1),
+            PlacedOp("add", FUKind.ALU, row=0, col=0, width=1,
+                     trace_offset=2),  # before both producers
+        )
+        unit = VirtualConfiguration(
+            start_pc=window[0].pc,
+            pc_path=tuple(r.pc for r in window),
+            ops=ops, n_instructions=3, geometry_rows=2, geometry_cols=16,
+        )
+        report = validate_unit(unit, window)
+        assert not report.ok
+        assert report.ordering_violations
+
+    def test_catches_wrong_value(self):
+        # Corrupt the oracle: claim the add produced a wrong value.
+        window = self._window()
+        bad_record = window[2]
+        from dataclasses import replace
+
+        window[2] = replace(bad_record, rd_value=0xDEAD)
+        ops = (
+            PlacedOp("addi", FUKind.ALU, row=0, col=0, width=1,
+                     trace_offset=0),
+            PlacedOp("addi", FUKind.ALU, row=0, col=1, width=1,
+                     trace_offset=1),
+            PlacedOp("add", FUKind.ALU, row=0, col=2, width=1,
+                     trace_offset=2),
+        )
+        unit = VirtualConfiguration(
+            start_pc=window[0].pc,
+            pc_path=tuple(r.pc for r in window),
+            ops=ops, n_instructions=3, geometry_rows=2, geometry_cols=16,
+        )
+        report = validate_unit(unit, window)
+        assert report.value_mismatches == [2]

@@ -1,0 +1,73 @@
+"""Tests for the interconnect and reconfiguration-logic structural models."""
+
+from repro.cgra.fabric import FabricGeometry
+from repro.cgra.interconnect import InterconnectSpec, _select_bits
+from repro.cgra.reconfig import ReconfigLogicSpec
+
+
+class TestSelectBits:
+    def test_powers_of_two(self):
+        assert _select_bits(2) == 1
+        assert _select_bits(4) == 2
+        assert _select_bits(8) == 3
+
+    def test_non_powers(self):
+        assert _select_bits(3) == 2
+        assert _select_bits(5) == 3
+
+    def test_degenerate(self):
+        assert _select_bits(1) == 1
+
+
+class TestInterconnect:
+    def test_counts_for_be_geometry(self):
+        spec = InterconnectSpec(FabricGeometry(rows=2, cols=16))
+        assert spec.input_muxes_per_column == 4      # 2 FUs x 2 operands
+        assert spec.input_mux_inputs == 4            # ctx lines
+        assert spec.output_muxes_per_column == 4     # one per ctx line
+        assert spec.output_mux_inputs == 3           # keep + 2 rows
+        assert spec.wrap_muxes_per_column == 4
+        assert spec.wrap_mux_inputs == 2
+
+    def test_select_bit_totals(self):
+        spec = InterconnectSpec(FabricGeometry(rows=2, cols=16))
+        assert spec.input_select_bits() == 4 * 2
+        assert spec.output_select_bits() == 4 * 2
+
+    def test_scaling_with_rows(self):
+        small = InterconnectSpec(FabricGeometry(rows=2, cols=16))
+        large = InterconnectSpec(FabricGeometry(rows=8, cols=16))
+        assert large.input_muxes_per_column > small.input_muxes_per_column
+        assert large.output_mux_inputs > small.output_mux_inputs
+
+
+class TestReconfigLogic:
+    def test_config_bits_positive_and_scale(self):
+        small = ReconfigLogicSpec(FabricGeometry(rows=2, cols=8))
+        large = ReconfigLogicSpec(FabricGeometry(rows=8, cols=32))
+        assert small.config_bits_per_column > 0
+        assert large.config_bits_per_column > small.config_bits_per_column
+        assert large.total_config_bits > small.total_config_bits
+
+    def test_total_is_per_column_times_cols(self):
+        spec = ReconfigLogicSpec(FabricGeometry(rows=2, cols=16))
+        assert spec.total_config_bits == 16 * spec.config_bits_per_column
+
+    def test_barrel_rotator_stages(self):
+        assert ReconfigLogicSpec(
+            FabricGeometry(rows=2, cols=8)
+        ).barrel_rotator_stages == 1
+        assert ReconfigLogicSpec(
+            FabricGeometry(rows=4, cols=8)
+        ).barrel_rotator_stages == 2
+        assert ReconfigLogicSpec(
+            FabricGeometry(rows=8, cols=8)
+        ).barrel_rotator_stages == 3
+
+    def test_line_mux_matches_config_lines(self):
+        geometry = FabricGeometry(rows=2, cols=16, n_config_lines=4)
+        assert ReconfigLogicSpec(geometry).line_mux_inputs == 4
+
+    def test_rotated_bits_subset_of_column_bits(self):
+        spec = ReconfigLogicSpec(FabricGeometry(rows=4, cols=16))
+        assert spec.rotated_bits_per_column() <= spec.config_bits_per_column

@@ -1,0 +1,67 @@
+"""Tests (incl. property-based) for the pivot movement patterns."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.patterns import (
+    MOVEMENT_PATTERNS,
+    movement_pattern,
+    snake_pattern,
+)
+from repro.errors import ConfigurationError
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=32),
+)
+
+
+class TestCoverageProperties:
+    @given(shape=shapes, name=st.sampled_from(sorted(MOVEMENT_PATTERNS)))
+    def test_every_pattern_covers_every_cell_exactly_once(self, shape, name):
+        rows, cols = shape
+        pattern = movement_pattern(name, rows, cols)
+        assert len(pattern) == rows * cols
+        assert set(pattern) == {(r, c) for r in range(rows) for c in range(cols)}
+
+    @given(shape=shapes)
+    def test_snake_moves_one_step_at_a_time(self, shape):
+        rows, cols = shape
+        pattern = snake_pattern(rows, cols)
+        for (r0, c0), (r1, c1) in zip(pattern, pattern[1:]):
+            assert abs(r0 - r1) + abs(c0 - c1) == 1
+
+    @given(shape=shapes)
+    def test_patterns_start_at_origin(self, shape):
+        rows, cols = shape
+        for name in MOVEMENT_PATTERNS:
+            assert movement_pattern(name, rows, cols)[0] == (0, 0)
+
+
+class TestSpecificShapes:
+    def test_snake_4x2(self):
+        assert snake_pattern(2, 4) == [
+            (0, 0), (0, 1), (0, 2), (0, 3),
+            (1, 3), (1, 2), (1, 1), (1, 0),
+        ]
+
+    def test_raster_2x2(self):
+        assert movement_pattern("raster", 2, 2) == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+
+    def test_column_snake_2x2(self):
+        assert movement_pattern("column_snake", 2, 2) == [
+            (0, 0), (1, 0), (1, 1), (0, 1)
+        ]
+
+
+class TestErrors:
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigurationError, match="unknown movement"):
+            movement_pattern("spiral", 2, 2)
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            movement_pattern("snake", 0, 4)

@@ -1,0 +1,71 @@
+"""Edge-case tests for the policy registry and base classes."""
+
+import pytest
+
+from repro.cgra.fabric import FabricGeometry
+from repro.core.policy import (
+    AllocationPolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            @register_policy
+            class Duplicate(AllocationPolicy):  # noqa: N801
+                name = "baseline"
+
+    def test_policy_kwargs_forwarded(self):
+        policy = make_policy("rotation", pattern="diagonal", stride=3)
+        assert policy.pattern_name == "diagonal"
+        assert policy.stride == 3
+
+    def test_available_policies_sorted(self):
+        names = available_policies()
+        assert list(names) == sorted(names)
+        assert "static_remap" in names
+
+    def test_base_class_is_abstract(self):
+        policy = AllocationPolicy()
+        policy.bind(FabricGeometry(rows=2, cols=8))
+        with pytest.raises(NotImplementedError):
+            policy.next_pivot(None, None)
+
+
+class TestDescriptions:
+    @pytest.mark.parametrize(
+        "name,kwargs,needle",
+        [
+            ("baseline", {}, "baseline"),
+            ("rotation", {"pattern": "raster"}, "raster"),
+            ("random", {"seed": 9}, "seed=9"),
+            ("stress_aware", {"interval": 5}, "interval=5"),
+        ],
+    )
+    def test_describe_mentions_configuration(self, name, kwargs, needle):
+        assert needle in make_policy(name, **kwargs).describe()
+
+    def test_observe_hook_is_optional(self):
+        policy = make_policy("baseline")
+        policy.bind(FabricGeometry(rows=2, cols=8))
+        policy.observe(None, (0, 0))  # must not raise
+
+
+class TestRotationStride:
+    def test_non_coprime_stride_still_covers_over_time(self):
+        """Stride 2 on an even-size pattern halves per-sweep coverage;
+        the policy must still cycle (never crash) and revisit cells."""
+        from repro.core.allocator import ConfigurationAllocator
+        from tests.test_core_allocator import config
+
+        geometry = FabricGeometry(rows=2, cols=4)
+        allocator = ConfigurationAllocator(
+            geometry, make_policy("rotation", stride=2)
+        )
+        c = config([(0, 0)], rows=2, cols=4)
+        pivots = [allocator.allocate(c).pivot for _ in range(16)]
+        assert len(set(pivots)) == 4  # half of the 8 cells, repeated

@@ -1,0 +1,140 @@
+"""Shape tests for the experiment drivers (figures and tables).
+
+These run the real experiments on the real suite — slower than unit
+tests but they are the reproduction's acceptance criteria, so they
+assert the paper's qualitative claims directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1, fig7, fig8, table1, table2
+from repro.experiments.common import run_suite
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return fig1.run()
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return fig7.run()
+
+
+@pytest.fixture(scope="module")
+def fig8_result():
+    return fig8.run()
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return table1.run()
+
+
+class TestFig1:
+    def test_corner_bias(self, fig1_result):
+        assert fig1_result.top_left >= 0.95
+        assert fig1_result.bottom_right <= 0.05
+
+    def test_monotone_row_decay(self, fig1_result):
+        row_means = fig1_result.utilization.mean(axis=1)
+        assert all(a >= b for a, b in zip(row_means, row_means[1:]))
+
+    def test_render_mentions_paper(self, fig1_result):
+        rendered = fig1.render(fig1_result)
+        assert "paper" in rendered
+        assert "100" in rendered
+
+
+class TestFig7:
+    def test_baseline_peak_and_proposed_flat(self, fig7_result):
+        assert fig7_result.baseline_max >= 0.90
+        assert fig7_result.flatness >= 0.90
+        assert 0.35 <= fig7_result.proposed_max <= 0.60
+
+    def test_mean_stress_conserved(self, fig7_result):
+        np.testing.assert_allclose(
+            fig7_result.baseline.mean(),
+            fig7_result.proposed.mean(),
+            rtol=1e-9,
+        )
+
+    def test_render_has_both_maps(self, fig7_result):
+        rendered = fig7.render(fig7_result)
+        assert "Baseline" in rendered
+        assert "Proposed" in rendered
+
+
+class TestFig8:
+    def test_delay_ordering(self, fig8_result):
+        for curves in fig8_result.scenarios.values():
+            assert (curves.proposed_delay < curves.baseline_delay).all()
+
+    def test_lifetime_trend_with_size(self, fig8_result):
+        improvements = [
+            c.proposed_lifetime / c.baseline_lifetime
+            for c in (
+                fig8_result.scenarios["BE"],
+                fig8_result.scenarios["BP"],
+                fig8_result.scenarios["BU"],
+            )
+        ]
+        assert improvements[0] < improvements[1] < improvements[2]
+
+    def test_three_scenarios(self, fig8_result):
+        assert set(fig8_result.scenarios) == {"BE", "BP", "BU"}
+
+
+class TestTable1:
+    def test_improvement_bands(self, table1_result):
+        rows = {r.scenario: r for r in table1_result.rows}
+        assert 1.7 <= rows["BE"].lifetime_improvement <= 3.2
+        assert 3.3 <= rows["BP"].lifetime_improvement <= 6.5
+        assert 6.0 <= rows["BU"].lifetime_improvement <= 12.0
+
+    def test_closed_form(self, table1_result):
+        for row in table1_result.rows:
+            assert row.lifetime_improvement == pytest.approx(
+                row.baseline_worst / row.proposed_worst, rel=1e-9
+            )
+
+    def test_render_contains_scenarios(self, table1_result):
+        rendered = table1.render(table1_result)
+        for name in ("BE", "BP", "BU"):
+            assert name in rendered
+
+
+class TestTable2:
+    def test_overheads_under_ten_percent(self):
+        result = table2.run()
+        assert result.area_overhead < 0.10
+        assert result.cell_overhead < 0.10
+        assert result.latency_unchanged
+
+    def test_render(self):
+        rendered = table2.render(table2.run())
+        assert "um^2" in rendered
+        assert "120 ps" in rendered
+
+
+class TestSuiteRunHelpers:
+    def test_memoisation_returns_same_object(self):
+        first = run_suite(2, 16, policy="baseline")
+        second = run_suite(2, 16, policy="baseline")
+        assert first is second
+
+    def test_weighting_merges(self):
+        from repro.core.utilization import Weighting
+
+        run = run_suite(2, 16, policy="baseline")
+        for weighting in Weighting:
+            util = run.utilization(weighting)
+            assert util.shape == (2, 16)
+            assert util.min() >= 0.0
+            assert util.max() <= 1.0
+
+    def test_speedup_and_energy_aggregate(self):
+        run = run_suite(2, 16, policy="baseline")
+        assert run.geomean_speedup() > 1.0
+        assert 0.3 < run.energy_ratio() < 1.5

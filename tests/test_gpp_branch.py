@@ -1,0 +1,61 @@
+"""Tests for the branch predictors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpp.branch import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BTFNPredictor,
+)
+
+
+class TestStaticPredictors:
+    def test_btfn(self):
+        predictor = BTFNPredictor()
+        assert predictor.predict(0x1000, -8)       # backward -> taken
+        assert not predictor.predict(0x1000, 12)   # forward -> not taken
+
+    def test_always_taken(self):
+        predictor = AlwaysTakenPredictor()
+        assert predictor.predict(0x1000, -8)
+        assert predictor.predict(0x1000, 8)
+
+
+class TestBimodal:
+    def test_initially_weakly_taken(self):
+        predictor = BimodalPredictor(entries=16)
+        assert predictor.predict(0x1000, 4)
+
+    def test_learns_not_taken(self):
+        predictor = BimodalPredictor(entries=16)
+        pc = 0x2000
+        predictor.update(pc, False)
+        predictor.update(pc, False)
+        assert not predictor.predict(pc, 4)
+
+    def test_saturates(self):
+        predictor = BimodalPredictor(entries=16)
+        pc = 0x2000
+        for _ in range(10):
+            predictor.update(pc, True)
+        predictor.update(pc, False)
+        assert predictor.predict(pc, 4)  # one not-taken cannot flip it
+
+    def test_aliasing_uses_distinct_entries(self):
+        predictor = BimodalPredictor(entries=16)
+        a, b = 0x1000, 0x1004
+        predictor.update(a, False)
+        predictor.update(a, False)
+        assert predictor.predict(b, 4)  # b untouched
+
+    def test_reset(self):
+        predictor = BimodalPredictor(entries=16)
+        predictor.update(0x1000, False)
+        predictor.update(0x1000, False)
+        predictor.reset()
+        assert predictor.predict(0x1000, 4)
+
+    def test_bad_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor(entries=12)

@@ -1,0 +1,102 @@
+"""Tests for the area model (Table II) and the critical-path model."""
+
+import pytest
+
+from repro.cgra.fabric import FabricGeometry
+from repro.hw.area import CGRAAreaModel
+from repro.hw.timing_model import ColumnTimingModel
+
+
+def model(rows=2, cols=16, **kwargs):
+    return CGRAAreaModel(FabricGeometry(rows=rows, cols=cols), **kwargs)
+
+
+class TestTableIICalibration:
+    def test_be_baseline_in_paper_band(self):
+        baseline = model().baseline()
+        # Paper: 28,995 um^2 and 79,540 cells.
+        assert baseline.area_um2 == pytest.approx(28_995, rel=0.05)
+        assert baseline.n_cells == pytest.approx(79_540, rel=0.05)
+
+    def test_be_overhead_in_paper_band(self):
+        m = model()
+        # Paper: +4.15% area, +4.45% cells; claim: below 10%.
+        assert 0.02 < m.overhead_fraction() < 0.08
+        assert 0.02 < m.cell_overhead_fraction() < 0.08
+
+    def test_modified_strictly_larger(self):
+        m = model()
+        assert m.modified().area_um2 > m.baseline().area_um2
+        assert m.modified().n_cells > m.baseline().n_cells
+
+    def test_counts_compose(self):
+        m = model()
+        assert (
+            m.baseline_counts().n_cells() + m.extension_counts().n_cells()
+            == m.modified_counts().n_cells()
+        )
+
+
+class TestOverheadAcrossDesignSpace:
+    @pytest.mark.parametrize("rows", [2, 4, 8])
+    @pytest.mark.parametrize("cols", [8, 16, 24, 32])
+    def test_under_ten_percent_everywhere(self, rows, cols):
+        m = model(rows=rows, cols=cols)
+        assert m.overhead_fraction() < 0.10
+        assert m.cell_overhead_fraction() < 0.10
+
+    def test_area_grows_with_fabric(self):
+        small = model(rows=2, cols=8).baseline().area_um2
+        wide = model(rows=2, cols=32).baseline().area_um2
+        tall = model(rows=8, cols=8).baseline().area_um2
+        assert wide > small
+        assert tall > small
+
+    def test_calibration_scales_cancel_in_ratio(self):
+        default = model()
+        rescaled = model(cell_scale=1.0, area_scale=1.0)
+        assert default.overhead_fraction() == pytest.approx(
+            rescaled.overhead_fraction()
+        )
+        assert default.cell_overhead_fraction() == pytest.approx(
+            rescaled.cell_overhead_fraction()
+        )
+
+    def test_leakage_positive(self):
+        assert model().baseline().leakage_nw > 0
+
+
+class TestColumnTiming:
+    @pytest.mark.parametrize("rows", [2, 4, 8])
+    def test_latency_unchanged_in_design_space(self, rows):
+        timing = ColumnTimingModel(FabricGeometry(rows=rows, cols=16))
+        assert timing.latency_unchanged()
+
+    def test_be_latency_is_120ps(self):
+        timing = ColumnTimingModel(FabricGeometry(rows=2, cols=16))
+        assert timing.baseline().column_latency_ps == pytest.approx(120.0)
+        assert timing.modified().column_latency_ps == pytest.approx(120.0)
+
+    def test_wider_fabric_slower_column(self):
+        narrow = ColumnTimingModel(FabricGeometry(rows=2, cols=16))
+        wide = ColumnTimingModel(FabricGeometry(rows=8, cols=16))
+        assert (
+            wide.baseline().column_latency_ps
+            > narrow.baseline().column_latency_ps
+        )
+
+    def test_report_composition(self):
+        report = ColumnTimingModel(FabricGeometry(rows=2, cols=16)).baseline()
+        assert report.column_latency_ps == pytest.approx(
+            report.input_xbar_ps
+            + report.alu_ps
+            + report.output_xbar_ps
+            + report.margin_ps
+        )
+
+    def test_latency_would_change_for_power_of_two_minus_one(self):
+        """The wrap fold is free exactly because W+1 is not a power of
+        two in the design space; W=3 (out-tree 4 -> 5 inputs) is the
+        counterexample documenting the boundary."""
+        timing = ColumnTimingModel(FabricGeometry(rows=3, cols=16))
+        assert not timing.latency_unchanged()

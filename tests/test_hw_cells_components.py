@@ -1,0 +1,146 @@
+"""Tests for the cell library and gate-count component models."""
+
+import pytest
+
+from repro.hw.cells import CELL_LIBRARY, CellCounts
+from repro.hw.components import (
+    adder,
+    alu32,
+    barrel_rotator,
+    barrel_shifter,
+    control_unit,
+    input_context,
+    memory_unit,
+    multiplier32,
+    mux_tree,
+    mux_tree_depth,
+    register,
+    rob,
+)
+
+
+class TestCellLibrary:
+    def test_expected_cells_present(self):
+        for name in ("INV", "NAND2", "MUX2", "DFF", "FA", "XOR2"):
+            assert name in CELL_LIBRARY
+
+    def test_areas_positive_and_ordered(self):
+        lib = CELL_LIBRARY
+        assert 0 < lib["INV"].area_um2 < lib["MUX2"].area_um2
+        assert lib["MUX2"].area_um2 < lib["FA"].area_um2
+
+    def test_names_consistent(self):
+        for name, cell in CELL_LIBRARY.items():
+            assert cell.name == name
+
+
+class TestCellCounts:
+    def test_area_rollup(self):
+        counts = CellCounts({"MUX2": 10, "DFF": 2})
+        expected = (
+            10 * CELL_LIBRARY["MUX2"].area_um2
+            + 2 * CELL_LIBRARY["DFF"].area_um2
+        )
+        assert counts.area_um2() == pytest.approx(expected)
+
+    def test_leakage_rollup(self):
+        counts = CellCounts({"INV": 5})
+        assert counts.leakage_nw() == pytest.approx(
+            5 * CELL_LIBRARY["INV"].leakage_nw
+        )
+
+    def test_addition(self):
+        a = CellCounts({"MUX2": 1})
+        b = CellCounts({"MUX2": 2, "DFF": 3})
+        combined = a + b
+        assert combined["MUX2"] == 3
+        assert combined["DFF"] == 3
+        assert a["MUX2"] == 1  # inputs untouched
+
+    def test_scaling(self):
+        counts = CellCounts({"FA": 4}).scaled(3)
+        assert counts["FA"] == 12
+        assert CellCounts({"FA": 4}).scaled(0).n_cells() == 0
+        with pytest.raises(ValueError):
+            CellCounts({"FA": 1}).scaled(-1)
+
+    def test_n_cells(self):
+        assert CellCounts({"INV": 2, "DFF": 5}).n_cells() == 7
+
+
+class TestMuxTree:
+    def test_counts(self):
+        assert mux_tree(2, 1)["MUX2"] == 1
+        assert mux_tree(4, 1)["MUX2"] == 3
+        assert mux_tree(8, 32)["MUX2"] == 7 * 32
+
+    def test_degenerate(self):
+        assert mux_tree(1, 32).n_cells() == 0
+        with pytest.raises(ValueError):
+            mux_tree(0)
+
+    def test_depth(self):
+        assert mux_tree_depth(1) == 0
+        assert mux_tree_depth(2) == 1
+        assert mux_tree_depth(3) == 2
+        assert mux_tree_depth(8) == 3
+        assert mux_tree_depth(9) == 4
+        with pytest.raises(ValueError):
+            mux_tree_depth(0)
+
+
+class TestBarrelRotator:
+    def test_stage_scaling(self):
+        two = barrel_rotator(2, 16)["MUX2"]
+        four = barrel_rotator(4, 16)["MUX2"]
+        eight = barrel_rotator(8, 16)["MUX2"]
+        assert two == 1 * 2 * 16
+        assert four == 2 * 4 * 16
+        assert eight == 3 * 8 * 16
+
+    def test_single_position_free(self):
+        assert barrel_rotator(1, 64).n_cells() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barrel_rotator(0, 8)
+
+
+class TestDatapathComponents:
+    def test_adder_has_fa_per_bit(self):
+        assert adder(32)["FA"] == 32
+        assert adder(64)["FA"] == 64
+
+    def test_barrel_shifter_log_stages(self):
+        assert barrel_shifter(32)["MUX2"] == 5 * 32
+
+    def test_alu_is_substantial(self):
+        counts = alu32()
+        assert 400 < counts.n_cells() < 1500
+        assert counts["FA"] >= 32
+
+    def test_multiplier_bigger_than_alu(self):
+        assert multiplier32().n_cells() > alu32().n_cells()
+
+    def test_memory_unit_kinds(self):
+        load = memory_unit("load")
+        store = memory_unit("store")
+        assert load.n_cells() == store.n_cells()
+        with pytest.raises(ValueError):
+            memory_unit("prefetch")
+
+    def test_register(self):
+        assert register(32)["DFF"] == 32
+
+    def test_rob_scales_with_entries(self):
+        assert rob(8).n_cells() == 2 * rob(4).n_cells()
+        with pytest.raises(ValueError):
+            rob(0)
+
+    def test_input_context_with_imm_slots(self):
+        plain = input_context(4)
+        extended = input_context(4, imm_slots=2)
+        assert extended["DFF"] - plain["DFF"] == 2 * 32
+
+    def test_control_unit_nonempty(self):
+        assert control_unit().n_cells() > 100

@@ -1,0 +1,176 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the exact pipelines the paper's evaluation relies on:
+assembly -> functional trace -> DBT -> fabric -> utilization -> aging,
+asserting cross-cutting invariants no single module can check alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CPU,
+    FabricGeometry,
+    NBTIModel,
+    SystemParams,
+    TransRecSystem,
+    assemble,
+    lifetime_improvement,
+)
+from repro.core.utilization import Weighting
+from repro.dbt.window import build_unit
+from repro.workloads.suite import run_workload, workload_names
+
+MATMUL = """
+# 4x4 integer matrix multiply, checksum = sum of C
+main:
+    la   s0, mat_a
+    la   s1, mat_b
+    li   a0, 0
+    li   s3, 0              # i
+iloop:
+    li   s4, 0              # j
+jloop:
+    li   s5, 0              # k
+    li   s6, 0              # acc
+kloop:
+    slli t0, s3, 4          # &A[i][k]
+    slli t1, s5, 2
+    add  t0, t0, t1
+    add  t0, s0, t0
+    lw   t2, 0(t0)
+    slli t0, s5, 4          # &B[k][j]
+    slli t1, s4, 2
+    add  t0, t0, t1
+    add  t0, s1, t0
+    lw   t3, 0(t0)
+    mul  t4, t2, t3
+    add  s6, s6, t4
+    addi s5, s5, 1
+    li   t0, 4
+    blt  s5, t0, kloop
+    add  a0, a0, s6
+    addi s4, s4, 1
+    li   t0, 4
+    blt  s4, t0, jloop
+    addi s3, s3, 1
+    li   t0, 4
+    blt  s3, t0, iloop
+    li   a7, 93
+    ecall
+
+.data
+mat_a: .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+mat_b: .word 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1
+"""
+
+
+def matmul_reference():
+    a = [[4 * r + c + 1 for c in range(4)] for r in range(4)]
+    b = [[16 - (4 * r + c) for c in range(4)] for r in range(4)]
+    return sum(
+        sum(a[i][k] * b[k][j] for k in range(4))
+        for i in range(4)
+        for j in range(4)
+    )
+
+
+class TestFullPipeline:
+    def test_matmul_functional_correctness(self):
+        result = CPU(assemble(MATMUL)).run()
+        assert result.exit_code == matmul_reference()
+
+    def test_matmul_through_system(self):
+        trace = CPU(assemble(MATMUL)).run().trace
+        system = TransRecSystem(
+            SystemParams(geometry=FabricGeometry(rows=2, cols=16),
+                         policy="rotation")
+        )
+        result = system.run_trace(trace)
+        assert result.speedup > 1.0
+        assert result.offload_fraction > 0.5
+        assert result.tracker.total_executions == result.cgra.launches
+
+    def test_unit_ops_map_only_real_instructions(self):
+        trace = CPU(assemble(MATMUL)).run().trace
+        unit = build_unit(trace, 0, FabricGeometry(rows=4, cols=32))
+        for op in unit.ops:
+            record = trace[op.trace_offset]
+            assert record.pc == unit.pc_path[op.trace_offset]
+
+
+class TestCrossPolicyInvariants:
+    """Invariants that must hold across the whole suite."""
+
+    @pytest.fixture(scope="class")
+    def both_runs(self):
+        geometry = FabricGeometry(rows=2, cols=16)
+        trace = run_workload("sha")
+        runs = {}
+        for policy in ("baseline", "rotation"):
+            system = TransRecSystem(
+                SystemParams(geometry=geometry, policy=policy)
+            )
+            runs[policy] = system.run_trace(trace)
+        return runs
+
+    def test_total_stress_conserved(self, both_runs):
+        baseline = both_runs["baseline"].tracker
+        rotation = both_runs["rotation"].tracker
+        assert (
+            baseline.execution_counts.sum()
+            == rotation.execution_counts.sum()
+        )
+        assert baseline.total_cycles == rotation.total_cycles
+
+    def test_mean_utilization_identical(self, both_runs):
+        assert both_runs["baseline"].tracker.mean_utilization() == (
+            pytest.approx(both_runs["rotation"].tracker.mean_utilization())
+        )
+
+    def test_rotation_reduces_gini(self, both_runs):
+        from repro.analysis.distribution import gini
+
+        base = gini(both_runs["baseline"].tracker.utilization().ravel())
+        prop = gini(both_runs["rotation"].tracker.utilization().ravel())
+        assert prop < base
+
+    def test_energy_identical_across_policies(self, both_runs):
+        assert both_runs["baseline"].transrec_energy.total_pj == (
+            pytest.approx(both_runs["rotation"].transrec_energy.total_pj)
+        )
+
+
+class TestAgingPipeline:
+    def test_end_to_end_lifetime_claim(self):
+        """The headline claim: rotation extends lifetime ~2x+ on BE."""
+        geometry = FabricGeometry(rows=2, cols=16)
+        model = NBTIModel()
+        worst = {}
+        for policy in ("baseline", "rotation"):
+            counts = np.zeros((2, 16), dtype=np.int64)
+            launches = 0
+            system = TransRecSystem(
+                SystemParams(geometry=geometry, policy=policy)
+            )
+            for name in workload_names()[:4]:  # subset for speed
+                result = system.run_trace(run_workload(name))
+                counts += result.tracker.execution_counts
+                launches += result.tracker.total_executions
+            worst[policy] = float(counts.max()) / launches
+        improvement = lifetime_improvement(
+            model, worst["baseline"], worst["rotation"]
+        )
+        assert improvement > 1.5
+
+    def test_utilization_weighting_consistency(self):
+        """Cycle- and execution-weighted maps agree on who is hottest
+        for the baseline policy (everything is anchored at the origin)."""
+        geometry = FabricGeometry(rows=2, cols=16)
+        system = TransRecSystem(SystemParams(geometry=geometry))
+        result = system.run_trace(run_workload("bitcount"))
+        by_exec = result.tracker.utilization(Weighting.EXECUTIONS)
+        by_cycle = result.tracker.utilization(Weighting.CYCLES)
+        assert np.unravel_index(by_exec.argmax(), by_exec.shape) == (
+            np.unravel_index(by_cycle.argmax(), by_cycle.shape)
+        )

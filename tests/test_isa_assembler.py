@@ -1,0 +1,268 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import _split_hi_lo, assemble
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+def ops(program):
+    return [ins.op for ins in program.instructions]
+
+
+class TestBasicParsing:
+    def test_empty_source(self):
+        program = assemble("")
+        assert len(program) == 0
+
+    def test_comments_are_ignored(self):
+        program = assemble(
+            """
+            # full-line comment
+            add a0, a1, a2  # trailing comment
+            // C++-style comment
+            sub a0, a0, a1  // another
+            """
+        )
+        assert ops(program) == ["add", "sub"]
+
+    def test_r_format(self):
+        program = assemble("xor t0, t1, t2")
+        ins = program.instructions[0]
+        assert (ins.op, ins.rd, ins.rs1, ins.rs2) == ("xor", 5, 6, 7)
+
+    def test_i_format(self):
+        ins = assemble("addi sp, sp, -16").instructions[0]
+        assert (ins.op, ins.rd, ins.rs1, ins.imm) == ("addi", 2, 2, -16)
+
+    def test_load_store_operands(self):
+        program = assemble(
+            """
+            lw a0, 8(sp)
+            sw a1, -4(s0)
+            lb t0, (a2)
+            """
+        )
+        lw, sw, lb = program.instructions
+        assert (lw.rd, lw.rs1, lw.imm) == (10, 2, 8)
+        assert (sw.rs2, sw.rs1, sw.imm) == (11, 8, -4)
+        assert (lb.rs1, lb.imm) == (12, 0)
+
+    def test_hex_and_char_immediates(self):
+        program = assemble(
+            """
+            addi a0, zero, 0x7f
+            addi a1, zero, 'A'
+            """
+        )
+        assert program.instructions[0].imm == 127
+        assert program.instructions[1].imm == 65
+
+    def test_unknown_mnemonic_raises_with_line(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("nop\nfrobnicate a0, a1\n")
+
+    def test_wrong_operand_count_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble("add a0, a1")
+
+    def test_instruction_in_data_section_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nadd a0, a1, a2")
+
+
+class TestLabelsAndBranches:
+    def test_branch_offset_backward(self):
+        program = assemble(
+            """
+            loop:
+              addi a0, a0, -1
+              bnez a0, loop
+            """
+        )
+        branch = program.instructions[1]
+        assert branch.op == "bne"
+        assert branch.imm == -4
+
+    def test_branch_offset_forward(self):
+        program = assemble(
+            """
+              beq a0, a1, done
+              nop
+              nop
+            done:
+              nop
+            """
+        )
+        assert program.instructions[0].imm == 12
+
+    def test_jal_and_call(self):
+        program = assemble(
+            """
+            main:
+              call helper
+              ret
+            helper:
+              ret
+            """
+        )
+        call = program.instructions[0]
+        assert call.op == "jal"
+        assert call.rd == 1
+        assert call.imm == 8
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_undefined_symbol_raises(self):
+        with pytest.raises(AssemblyError, match="undefined"):
+            assemble("j nowhere")
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("start: addi a0, zero, 1")
+        assert program.symbols["start"] == TEXT_BASE
+        assert len(program) == 1
+
+    def test_entry_prefers_main(self):
+        program = assemble(
+            """
+            helper:
+              ret
+            main:
+              nop
+            """
+        )
+        assert program.entry == program.symbols["main"]
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        program = assemble("li a0, 42")
+        assert ops(program) == ["addi"]
+        assert program.instructions[0].imm == 42
+
+    def test_li_large_positive(self):
+        program = assemble("li a0, 0x12345678")
+        assert ops(program) == ["lui", "addi"]
+
+    def test_li_large_negative(self):
+        program = assemble("li a0, -100000")
+        assert ops(program) == ["lui", "addi"]
+
+    def test_li_multiple_of_4096(self):
+        program = assemble("li a0, 0x10000")
+        assert ops(program) == ["lui"]
+
+    def test_mv_not_neg(self):
+        program = assemble("mv a0, a1\nnot a2, a3\nneg a4, a5")
+        assert ops(program) == ["addi", "xori", "sub"]
+        assert program.instructions[1].imm == -1
+
+    def test_branch_zero_family(self):
+        program = assemble(
+            """
+            t:
+              beqz a0, t
+              bnez a0, t
+              bltz a0, t
+              bgez a0, t
+              blez a0, t
+              bgtz a0, t
+            """
+        )
+        assert ops(program) == ["beq", "bne", "blt", "bge", "bge", "blt"]
+        blez = program.instructions[4]
+        assert (blez.rs1, blez.rs2) == (0, 10)
+
+    def test_swapped_compare_branches(self):
+        program = assemble("x:\nbgt a0, a1, x\nble a2, a3, x")
+        bgt, ble = program.instructions
+        assert (bgt.op, bgt.rs1, bgt.rs2) == ("blt", 11, 10)
+        assert (ble.op, ble.rs1, ble.rs2) == ("bge", 13, 12)
+
+    def test_ret_and_jr(self):
+        program = assemble("jr t0\nret")
+        jr, ret = program.instructions
+        assert (jr.op, jr.rd, jr.rs1) == ("jalr", 0, 5)
+        assert (ret.op, ret.rd, ret.rs1) == ("jalr", 0, 1)
+
+    def test_seqz_snez(self):
+        program = assemble("seqz a0, a1\nsnez a2, a3")
+        assert ops(program) == ["sltiu", "sltu"]
+
+
+class TestDataSection:
+    def test_word_data(self):
+        program = assemble(
+            """
+            .data
+            values: .word 1, 2, 0xdeadbeef
+            """
+        )
+        base, data = program.data_segments[0]
+        assert base == DATA_BASE
+        assert data[0:4] == (1).to_bytes(4, "little")
+        assert data[8:12] == (0xDEADBEEF).to_bytes(4, "little")
+        assert program.symbols["values"] == DATA_BASE
+
+    def test_byte_half_and_space(self):
+        program = assemble(
+            """
+            .data
+            b: .byte 1, 2, 255
+            .align 2
+            h: .half 0x1234
+            gap: .space 3
+            """
+        )
+        _, data = program.data_segments[0]
+        assert data[0:3] == bytes([1, 2, 255])
+        assert program.symbols["h"] == DATA_BASE + 4
+        assert data[4:6] == (0x1234).to_bytes(2, "little")
+
+    def test_asciiz(self):
+        program = assemble('.data\nmsg: .asciiz "hi\\n"')
+        _, data = program.data_segments[0]
+        assert data == b"hi\n\x00"
+
+    def test_word_with_symbol_reference(self):
+        program = assemble(
+            """
+            .data
+            target: .word 7
+            ptr: .word target, target+4
+            """
+        )
+        _, data = program.data_segments[0]
+        assert int.from_bytes(data[4:8], "little") == DATA_BASE
+        assert int.from_bytes(data[8:12], "little") == DATA_BASE + 4
+
+    def test_la_resolves_hi_lo(self):
+        program = assemble(
+            """
+            la a0, buf
+            .data
+            buf: .word 0
+            """
+        )
+        lui, addi = program.instructions
+        assert (lui.imm << 12) + addi.imm == DATA_BASE
+
+    def test_data_directive_in_text_raises(self):
+        with pytest.raises(AssemblyError):
+            assemble('.word 4')
+
+
+class TestHiLoSplit:
+    @pytest.mark.parametrize(
+        "value",
+        [0, 1, -1, 0x800, 0x7FF, 0xFFF, 0x1000, 0x12345678, -100000,
+         0x7FFFFFFF, -0x80000000, 0xFFFFFFFF],
+    )
+    def test_recombination(self, value):
+        hi, lo = _split_hi_lo(value)
+        assert 0 <= hi < (1 << 20)
+        assert -2048 <= lo <= 2047
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == value & 0xFFFFFFFF

@@ -1,0 +1,147 @@
+"""Tests (incl. round-trip properties) for RV32IM binary encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError, SimulationError
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode, decode_words, encode, encode_program
+from repro.isa.instructions import Instruction
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+shamt = st.integers(min_value=0, max_value=31)
+imm20 = st.integers(min_value=0, max_value=(1 << 20) - 1)
+
+
+class TestKnownEncodings:
+    """Golden values cross-checked against the RISC-V spec examples."""
+
+    def test_addi(self):
+        # addi x1, x0, 1  ->  0x00100093
+        assert encode(Instruction("addi", rd=1, rs1=0, imm=1)) == 0x00100093
+
+    def test_add(self):
+        # add x3, x1, x2  ->  0x002081B3
+        assert encode(Instruction("add", rd=3, rs1=1, rs2=2)) == 0x002081B3
+
+    def test_sub(self):
+        # sub x5, x6, x7 -> 0x407302B3
+        assert encode(Instruction("sub", rd=5, rs1=6, rs2=7)) == 0x407302B3
+
+    def test_lw(self):
+        # lw x5, 8(x2) -> 0x00812283
+        assert encode(Instruction("lw", rd=5, rs1=2, imm=8)) == 0x00812283
+
+    def test_sw(self):
+        # sw x5, 8(x2) -> 0x00512423
+        assert encode(Instruction("sw", rs1=2, rs2=5, imm=8)) == 0x00512423
+
+    def test_ecall(self):
+        assert encode(Instruction("ecall")) == 0x00000073
+
+    def test_ebreak(self):
+        assert encode(Instruction("ebreak")) == 0x00100073
+
+    def test_mul_uses_m_extension_funct7(self):
+        word = encode(Instruction("mul", rd=1, rs1=2, rs2=3))
+        assert (word >> 25) == 0b0000001
+
+
+class TestValidation:
+    def test_immediate_overflow(self):
+        with pytest.raises(AssemblyError):
+            encode(Instruction("addi", rd=1, rs1=0, imm=5000))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(AssemblyError):
+            encode(Instruction("beq", rs1=0, rs2=0, imm=3))
+
+    def test_decode_garbage(self):
+        with pytest.raises(SimulationError):
+            decode(0xFFFFFFFF)
+
+    def test_decode_misaligned_blob(self):
+        with pytest.raises(SimulationError):
+            decode_words(b"\x13\x00\x00")
+
+
+def assert_round_trip(ins: Instruction):
+    decoded = decode(encode(ins))
+    assert decoded.op == ins.op
+    assert (decoded.rd or 0) == (ins.rd or 0)
+    assert (decoded.rs1 or 0) == (ins.rs1 or 0)
+    if ins.spec.fmt.value == "r":
+        assert (decoded.rs2 or 0) == (ins.rs2 or 0)
+    if ins.imm is not None:
+        assert decoded.imm == ins.imm
+
+
+class TestRoundTripProperties:
+    @given(rd=regs, rs1=regs, rs2=regs)
+    def test_r_type(self, rd, rs1, rs2):
+        for op in ("add", "sub", "xor", "sltu", "mul", "divu", "rem"):
+            assert_round_trip(Instruction(op, rd=rd, rs1=rs1, rs2=rs2))
+
+    @given(rd=regs, rs1=regs, imm=imm12)
+    def test_i_type(self, rd, rs1, imm):
+        for op in ("addi", "andi", "xori", "sltiu"):
+            assert_round_trip(Instruction(op, rd=rd, rs1=rs1, imm=imm))
+
+    @given(rd=regs, rs1=regs, imm=shamt)
+    def test_shifts(self, rd, rs1, imm):
+        for op in ("slli", "srli", "srai"):
+            assert_round_trip(Instruction(op, rd=rd, rs1=rs1, imm=imm))
+
+    @given(rd=regs, rs1=regs, imm=imm12)
+    def test_loads_jalr(self, rd, rs1, imm):
+        for op in ("lw", "lh", "lb", "lbu", "lhu", "jalr"):
+            assert_round_trip(Instruction(op, rd=rd, rs1=rs1, imm=imm))
+
+    @given(rs1=regs, rs2=regs, imm=imm12)
+    def test_stores(self, rs1, rs2, imm):
+        for op in ("sw", "sh", "sb"):
+            assert_round_trip(Instruction(op, rs1=rs1, rs2=rs2, imm=imm))
+
+    @given(
+        rs1=regs, rs2=regs,
+        imm=st.integers(min_value=-2048, max_value=2047).map(lambda v: v * 2),
+    )
+    def test_branches(self, rs1, rs2, imm):
+        for op in ("beq", "bne", "blt", "bgeu"):
+            assert_round_trip(Instruction(op, rs1=rs1, rs2=rs2, imm=imm))
+
+    @given(rd=regs, imm=imm20)
+    def test_u_type(self, rd, imm):
+        assert_round_trip(Instruction("lui", rd=rd, imm=imm))
+        assert_round_trip(Instruction("auipc", rd=rd, imm=imm))
+
+    @given(
+        rd=regs,
+        imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1).map(
+            lambda v: v * 2
+        ),
+    )
+    def test_jal(self, rd, imm):
+        assert_round_trip(Instruction("jal", rd=rd, imm=imm))
+
+
+class TestProgramSerialisation:
+    def test_whole_workload_round_trips(self):
+        from repro.workloads.suite import get_workload
+
+        program = get_workload("sha").program()
+        blob = encode_program(program)
+        assert len(blob) == 4 * len(program)
+        decoded = decode_words(blob)
+        for original, restored in zip(program.instructions, decoded):
+            assert restored.op == original.op
+            assert (restored.imm or 0) == (original.imm or 0)
+
+    def test_every_suite_program_encodes(self):
+        from repro.workloads.suite import all_workloads
+
+        for workload in all_workloads():
+            blob = encode_program(workload.program())
+            assert len(blob) % 4 == 0

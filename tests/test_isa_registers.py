@@ -1,0 +1,65 @@
+"""Tests for register naming and parsing."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    is_register,
+    parse_register,
+    register_name,
+)
+
+
+def test_abi_names_count():
+    assert len(ABI_NAMES) == NUM_REGISTERS == 32
+
+
+def test_parse_machine_names():
+    for i in range(32):
+        assert parse_register(f"x{i}") == i
+
+
+def test_parse_abi_names():
+    assert parse_register("zero") == 0
+    assert parse_register("ra") == 1
+    assert parse_register("sp") == 2
+    assert parse_register("a0") == 10
+    assert parse_register("a7") == 17
+    assert parse_register("t6") == 31
+    assert parse_register("s11") == 27
+
+
+def test_parse_fp_alias():
+    assert parse_register("fp") == parse_register("s0") == 8
+
+
+def test_parse_is_case_insensitive_and_strips():
+    assert parse_register(" A0 ") == 10
+    assert parse_register("X5") == 5
+
+
+def test_parse_unknown_register_raises():
+    with pytest.raises(AssemblyError):
+        parse_register("q7")
+    with pytest.raises(AssemblyError):
+        parse_register("x32")
+
+
+def test_register_name_round_trip():
+    for i in range(32):
+        assert parse_register(register_name(i)) == i
+
+
+def test_register_name_out_of_range():
+    with pytest.raises(ValueError):
+        register_name(32)
+    with pytest.raises(ValueError):
+        register_name(-1)
+
+
+def test_is_register():
+    assert is_register("t0")
+    assert is_register("x31")
+    assert not is_register("foo")

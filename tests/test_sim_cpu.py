@@ -1,0 +1,363 @@
+"""Tests for the functional RV32IM interpreter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import InstrClass
+from repro.sim.cpu import CPU, to_signed
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def run_asm(source, max_steps=200_000):
+    return CPU(assemble(source), max_steps=max_steps).run()
+
+
+def exit_value(source):
+    """Run a snippet that ends with `ret`; return signed a0."""
+    return run_asm(source).exit_code
+
+
+class TestHaltConventions:
+    def test_return_to_zero_halts(self):
+        result = run_asm("li a0, 7\nret")
+        assert result.exit_code == 7
+
+    def test_ecall_exit_halts(self):
+        result = run_asm("li a0, 9\nli a7, 93\necall")
+        assert result.exit_code == 9
+
+    def test_spike_style_exit(self):
+        result = run_asm("li a0, 3\nli a7, 10\necall")
+        assert result.exit_code == 3
+
+    def test_runaway_guard(self):
+        with pytest.raises(SimulationError, match="max_steps"):
+            run_asm("loop: j loop", max_steps=100)
+
+    def test_jump_outside_text_raises(self):
+        with pytest.raises(SimulationError, match="outside text"):
+            run_asm("li t0, 0x90000000\njr t0")
+
+    def test_ebreak_raises(self):
+        with pytest.raises(SimulationError, match="ebreak"):
+            run_asm("ebreak")
+
+    def test_unknown_syscall_raises(self):
+        with pytest.raises(SimulationError, match="ecall"):
+            run_asm("li a7, 999\necall")
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert exit_value("li a1, 40\nli a2, 2\nadd a0, a1, a2\nret") == 42
+        assert exit_value("li a1, 40\nli a2, 2\nsub a0, a1, a2\nret") == 38
+
+    def test_add_wraps(self):
+        assert exit_value(
+            "li a1, 0x7fffffff\nli a2, 1\nadd a0, a1, a2\nret"
+        ) == -0x80000000
+
+    def test_logic_ops(self):
+        assert exit_value("li a1, 0xf0\nli a2, 0x0f\nor a0, a1, a2\nret") == 0xFF
+        assert exit_value("li a1, 0xf0\nli a2, 0xff\nand a0, a1, a2\nret") == 0xF0
+        assert exit_value("li a1, 0xff\nli a2, 0x0f\nxor a0, a1, a2\nret") == 0xF0
+
+    def test_shifts(self):
+        assert exit_value("li a1, 1\nli a2, 4\nsll a0, a1, a2\nret") == 16
+        assert exit_value("li a1, -16\nli a2, 2\nsra a0, a1, a2\nret") == -4
+        assert exit_value("li a1, -16\nli a2, 2\nsrl a0, a1, a2\nret") == (
+            to_signed((0xFFFFFFF0 >> 2))
+        )
+
+    def test_shift_amount_masked_to_5_bits(self):
+        assert exit_value("li a1, 1\nli a2, 33\nsll a0, a1, a2\nret") == 2
+
+    def test_set_less_than(self):
+        assert exit_value("li a1, -1\nli a2, 1\nslt a0, a1, a2\nret") == 1
+        assert exit_value("li a1, -1\nli a2, 1\nsltu a0, a1, a2\nret") == 0
+        assert exit_value("li a1, 5\nslti a0, a1, 6\nret") == 1
+        assert exit_value("li a1, -1\nsltiu a0, a1, 1\nret") == 0
+
+    def test_immediates(self):
+        assert exit_value("li a1, 0xf0\nxori a0, a1, 0xff\nret") == 0x0F
+        assert exit_value("li a1, 0x3c\nsrli a0, a1, 2\nret") == 0x0F
+        assert exit_value("li a1, -8\nsrai a0, a1, 1\nret") == -4
+
+    def test_lui_auipc(self):
+        assert exit_value("lui a0, 0x12345\nsrli a0, a0, 12\nret") == 0x12345
+        result = run_asm("auipc a0, 0\nret")
+        assert result.exit_code == 0x1000  # TEXT_BASE
+
+    def test_x0_is_hardwired_zero(self):
+        assert exit_value("li a1, 5\nadd x0, a1, a1\nmv a0, x0\nret") == 0
+
+
+class TestMulDiv:
+    def test_mul(self):
+        assert exit_value("li a1, 7\nli a2, -3\nmul a0, a1, a2\nret") == -21
+
+    def test_mulh_signed(self):
+        assert exit_value("li a1, -1\nli a2, -1\nmulh a0, a1, a2\nret") == 0
+
+    def test_mulhu(self):
+        assert exit_value("li a1, -1\nli a2, -1\nmulhu a0, a1, a2\nret") == (
+            to_signed(0xFFFFFFFE)
+        )
+
+    def test_mulhsu(self):
+        assert exit_value("li a1, -1\nli a2, -1\nmulhsu a0, a1, a2\nret") == -1
+
+    def test_div_truncates_toward_zero(self):
+        assert exit_value("li a1, -7\nli a2, 2\ndiv a0, a1, a2\nret") == -3
+        assert exit_value("li a1, 7\nli a2, -2\ndiv a0, a1, a2\nret") == -3
+
+    def test_div_by_zero(self):
+        assert exit_value("li a1, 5\nli a2, 0\ndiv a0, a1, a2\nret") == -1
+        assert exit_value("li a1, 5\nli a2, 0\ndivu a0, a1, a2\nret") == -1
+
+    def test_div_overflow(self):
+        assert exit_value(
+            "li a1, -0x80000000\nli a2, -1\ndiv a0, a1, a2\nret"
+        ) == -0x80000000
+
+    def test_rem(self):
+        assert exit_value("li a1, -7\nli a2, 2\nrem a0, a1, a2\nret") == -1
+        assert exit_value("li a1, 7\nli a2, -2\nrem a0, a1, a2\nret") == 1
+
+    def test_rem_by_zero_returns_dividend(self):
+        assert exit_value("li a1, 42\nli a2, 0\nrem a0, a1, a2\nret") == 42
+        assert exit_value("li a1, 42\nli a2, 0\nremu a0, a1, a2\nret") == 42
+
+    def test_rem_overflow(self):
+        assert exit_value(
+            "li a1, -0x80000000\nli a2, -1\nrem a0, a1, a2\nret"
+        ) == 0
+
+
+class TestMemoryInstructions:
+    def test_store_load_word(self):
+        assert exit_value(
+            """
+            la t0, buf
+            li t1, 0x1234abcd
+            sw t1, 0(t0)
+            lw a0, 0(t0)
+            ret
+            .data
+            buf: .word 0
+            """
+        ) == to_signed(0x1234ABCD)
+
+    def test_signed_byte_load(self):
+        assert exit_value(
+            """
+            la t0, buf
+            lb a0, 0(t0)
+            ret
+            .data
+            buf: .byte 0x80
+            """
+        ) == -128
+
+    def test_unsigned_byte_load(self):
+        assert exit_value(
+            """
+            la t0, buf
+            lbu a0, 0(t0)
+            ret
+            .data
+            buf: .byte 0x80
+            """
+        ) == 128
+
+    def test_signed_half_load(self):
+        assert exit_value(
+            """
+            la t0, buf
+            lh a0, 0(t0)
+            ret
+            .data
+            buf: .half 0x8000
+            """
+        ) == -32768
+
+    def test_store_byte_does_not_clobber(self):
+        assert exit_value(
+            """
+            la t0, buf
+            li t1, 0x55
+            sb t1, 1(t0)
+            lw a0, 0(t0)
+            ret
+            .data
+            buf: .word 0x11223344
+            """
+        ) == to_signed(0x11225544)
+
+    def test_data_preloaded(self):
+        assert exit_value(
+            """
+            la t0, vals
+            lw a0, 4(t0)
+            ret
+            .data
+            vals: .word 10, 20, 30
+            """
+        ) == 20
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        # sum 1..10 = 55
+        assert exit_value(
+            """
+            li a0, 0
+            li t0, 10
+            loop:
+              add a0, a0, t0
+              addi t0, t0, -1
+              bnez t0, loop
+            ret
+            """
+        ) == 55
+
+    def test_call_and_return(self):
+        assert exit_value(
+            """
+            main:
+              li a0, 5
+              call double
+              call double
+              li a7, 93
+              ecall
+            double:
+              add a0, a0, a0
+              ret
+            """
+        ) == 20
+
+    def test_branch_comparisons(self):
+        # bltu treats -1 as large
+        assert exit_value(
+            """
+            li t0, -1
+            li t1, 1
+            li a0, 0
+            bltu t0, t1, no
+            li a0, 1
+            no:
+            ret
+            """
+        ) == 1
+
+    def test_console_output(self):
+        result = run_asm(
+            """
+            li a0, 123
+            li a7, 1
+            ecall
+            li a0, 10
+            li a7, 11
+            ecall
+            li a0, 0
+            ret
+            """
+        )
+        assert result.console == "123\n"
+
+
+class TestTraceCapture:
+    def test_trace_records_basic_fields(self):
+        result = run_asm("li a0, 1\nli a1, 2\nadd a0, a0, a1\nret")
+        trace = result.trace
+        add = trace[2]
+        assert add.op == "add"
+        assert add.cls is InstrClass.ALU
+        assert add.rd == 10
+        assert add.rd_value == 3
+        assert add.next_pc == add.pc + 4
+
+    def test_trace_branch_taken_flag(self):
+        result = run_asm(
+            """
+            li t0, 2
+            loop:
+              addi t0, t0, -1
+              bnez t0, loop
+            li a0, 0
+            ret
+            """
+        )
+        branches = [r for r in result.trace if r.cls is InstrClass.BRANCH]
+        assert [b.taken for b in branches] == [True, False]
+        assert branches[0].redirects
+        assert not branches[1].redirects
+
+    def test_trace_memory_fields(self):
+        result = run_asm(
+            """
+            la t0, buf
+            li t1, 5
+            sw t1, 0(t0)
+            lw a0, 0(t0)
+            ret
+            .data
+            buf: .word 0
+            """
+        )
+        stores = [r for r in result.trace if r.op == "sw"]
+        loads = [r for r in result.trace if r.op == "lw"]
+        assert stores[0].mem_addr == loads[0].mem_addr
+        assert stores[0].mem_bytes == 4
+
+    def test_x0_destination_not_recorded(self):
+        result = run_asm("add x0, x0, x0\nli a0, 0\nret")
+        assert result.trace[0].rd is None
+
+    def test_class_mix_sums_to_one(self):
+        result = run_asm("li a0, 1\nli a1, 2\nadd a0, a0, a1\nret")
+        assert sum(result.trace.class_mix().values()) == pytest.approx(1.0)
+
+
+class TestPropertyBased:
+    @given(a=u32, b=u32)
+    def test_add_matches_python(self, a, b):
+        result = run_asm(
+            f"li a1, {to_signed(a)}\nli a2, {to_signed(b)}\n"
+            "add a0, a1, a2\nret"
+        )
+        assert result.exit_code == to_signed((a + b) & 0xFFFFFFFF)
+
+    @given(a=u32, b=u32)
+    def test_xor_matches_python(self, a, b):
+        result = run_asm(
+            f"li a1, {to_signed(a)}\nli a2, {to_signed(b)}\n"
+            "xor a0, a1, a2\nret"
+        )
+        assert result.exit_code == to_signed(a ^ b)
+
+    @given(a=u32, b=st.integers(min_value=1, max_value=0xFFFFFFFF))
+    def test_divu_remu_invariant(self, a, b):
+        result = run_asm(
+            f"""
+            li a1, {to_signed(a)}
+            li a2, {to_signed(b)}
+            divu t0, a1, a2
+            remu t1, a1, a2
+            mul t0, t0, a2
+            add a0, t0, t1
+            ret
+            """
+        )
+        assert result.exit_code == to_signed(a)
+
+    @given(a=u32, shift=st.integers(min_value=0, max_value=31))
+    def test_srl_matches_python(self, a, shift):
+        result = run_asm(
+            f"li a1, {to_signed(a)}\nsrli a0, a1, {shift}\nret"
+        )
+        assert result.exit_code == to_signed(a >> shift)

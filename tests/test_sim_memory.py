@@ -1,0 +1,96 @@
+"""Tests for the sparse memory model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.sim.memory import PAGE_SIZE, Memory
+
+
+class TestScalarAccess:
+    def test_default_zero(self):
+        memory = Memory()
+        assert memory.read_u8(0x1234) == 0
+        assert memory.read_u32(0x1000) == 0
+
+    def test_byte_round_trip(self):
+        memory = Memory()
+        memory.write_u8(10, 0xAB)
+        assert memory.read_u8(10) == 0xAB
+
+    def test_byte_truncates(self):
+        memory = Memory()
+        memory.write_u8(0, 0x1FF)
+        assert memory.read_u8(0) == 0xFF
+
+    def test_word_little_endian(self):
+        memory = Memory()
+        memory.write_u32(0x100, 0x11223344)
+        assert memory.read_u8(0x100) == 0x44
+        assert memory.read_u8(0x103) == 0x11
+
+    def test_half_round_trip(self):
+        memory = Memory()
+        memory.write_u16(0x200, 0xBEEF)
+        assert memory.read_u16(0x200) == 0xBEEF
+
+    def test_word_masks_to_32_bits(self):
+        memory = Memory()
+        memory.write_u32(0, 0x1_0000_0001)
+        assert memory.read_u32(0) == 1
+
+    def test_misaligned_word_raises(self):
+        memory = Memory()
+        with pytest.raises(MemoryAccessError):
+            memory.read_u32(2)
+        with pytest.raises(MemoryAccessError):
+            memory.write_u32(1, 0)
+
+    def test_misaligned_half_raises(self):
+        memory = Memory()
+        with pytest.raises(MemoryAccessError):
+            memory.read_u16(1)
+
+    def test_cross_page_bytes(self):
+        memory = Memory()
+        boundary = PAGE_SIZE - 1
+        memory.write_u8(boundary, 1)
+        memory.write_u8(boundary + 1, 2)
+        assert memory.read_u8(boundary) == 1
+        assert memory.read_u8(boundary + 1) == 2
+
+
+class TestBulkAccess:
+    def test_load_and_read_bytes(self):
+        memory = Memory()
+        memory.load_bytes(0x500, b"hello world")
+        assert memory.read_bytes(0x500, 11) == b"hello world"
+
+    def test_read_cstring(self):
+        memory = Memory()
+        memory.load_bytes(0x600, b"abc\x00def")
+        assert memory.read_cstring(0x600) == b"abc"
+
+    def test_read_cstring_unterminated_raises(self):
+        memory = Memory()
+        memory.load_bytes(0, b"\x01" * 16)
+        with pytest.raises(MemoryAccessError):
+            memory.read_cstring(0, limit=8)
+
+    def test_touched_bytes_grows_lazily(self):
+        memory = Memory()
+        assert memory.touched_bytes == 0
+        memory.write_u8(0, 1)
+        assert memory.touched_bytes == PAGE_SIZE
+
+
+@given(
+    address=st.integers(min_value=0, max_value=0xFFFF_FFF0),
+    value=st.integers(min_value=0, max_value=0xFFFF_FFFF),
+)
+def test_word_round_trip_property(address, value):
+    address &= ~3
+    memory = Memory()
+    memory.write_u32(address, value)
+    assert memory.read_u32(address) == value

@@ -1,0 +1,103 @@
+"""Tests for the multi-core (cluster) future-work extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.multicore import (
+    Cluster,
+    TileSpec,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+)
+from repro.cgra.fabric import FabricGeometry
+from repro.workloads.suite import run_workload
+
+
+@pytest.fixture(scope="module")
+def mini_traces():
+    return {
+        name: run_workload(name)
+        for name in ("bitcount", "sha", "dijkstra", "stringsearch")
+    }
+
+
+class TestConstruction:
+    def test_homogeneous(self):
+        cluster = homogeneous_cluster(4)
+        assert len(cluster.tiles) == 4
+        shapes = {t.geometry for t in cluster.tiles}
+        assert len(shapes) == 1
+
+    def test_heterogeneous(self):
+        cluster = heterogeneous_cluster()
+        sizes = {t.geometry.n_cells for t in cluster.tiles}
+        assert len(sizes) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Cluster([])
+        with pytest.raises(ConfigurationError):
+            homogeneous_cluster(0)
+
+
+class TestDispatch:
+    def test_round_robin_spreads(self, mini_traces):
+        cluster = homogeneous_cluster(2)
+        result = cluster.run(mini_traces, dispatch="round_robin")
+        per_tile = [len(tile.results) for tile in result.tiles]
+        assert per_tile == [2, 2]
+
+    def test_unknown_dispatch(self, mini_traces):
+        cluster = homogeneous_cluster(2)
+        with pytest.raises(ConfigurationError):
+            cluster.run(mini_traces, dispatch="magic")
+
+    def test_longest_to_biggest(self, mini_traces):
+        cluster = heterogeneous_cluster()
+        result = cluster.run(mini_traces, dispatch="longest_to_biggest")
+        by_name = {tile.spec.name: tile for tile in result.tiles}
+        longest = max(mini_traces, key=lambda n: len(mini_traces[n]))
+        big_names = {r.name for r in by_name["big"].results}
+        assert longest in big_names
+
+    def test_balance_cycles_reduces_makespan(self, mini_traces):
+        cluster = homogeneous_cluster(2)
+        balanced = cluster.run(mini_traces, dispatch="balance_cycles")
+        # With 4 workloads on 2 tiles the balanced makespan can't exceed
+        # the serial sum, and each tile must have some work.
+        total = sum(tile.cycles for tile in balanced.tiles)
+        assert balanced.makespan_cycles < total
+        assert all(tile.results for tile in balanced.tiles)
+
+
+class TestClusterAging:
+    def test_lifetime_set_by_worst_tile(self, mini_traces):
+        cluster = homogeneous_cluster(2)
+        result = cluster.run(mini_traces)
+        worst = max(tile.worst_utilization for tile in result.tiles)
+        assert result.cluster_worst_utilization == worst
+        assert result.cluster_lifetime_years == pytest.approx(
+            result.model.years_to_degradation(worst)
+        )
+
+    def test_rotation_cluster_outlives_baseline_cluster(self, mini_traces):
+        baseline = Cluster(
+            [
+                TileSpec("a", FabricGeometry(rows=2, cols=16), "baseline"),
+                TileSpec("b", FabricGeometry(rows=2, cols=16), "baseline"),
+            ]
+        ).run(mini_traces)
+        rotated = homogeneous_cluster(2).run(mini_traces)
+        assert (
+            rotated.cluster_lifetime_years
+            > baseline.cluster_lifetime_years
+        )
+
+    def test_tile_summary_shape(self, mini_traces):
+        result = homogeneous_cluster(3).run(mini_traces)
+        summary = result.tile_summary()
+        assert len(summary) == 3
+        for name, cycles, worst in summary:
+            assert name.startswith("tile")
+            assert cycles >= 0
+            assert 0.0 <= worst <= 1.0

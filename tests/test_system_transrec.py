@@ -1,0 +1,190 @@
+"""Tests for the full-system TransRec simulation."""
+
+import pytest
+
+from repro.cgra.fabric import FabricGeometry
+from repro.dbt.translator import DBTLimits
+from repro.system.params import SystemParams
+from repro.system.scenarios import SCENARIOS, make_params, make_system
+from repro.system.transrec import TransRecSystem
+from repro.errors import ConfigurationError
+
+from tests.support import trace_of
+
+HOT_LOOP = """
+    li t0, 120
+    li t1, 0
+loop:
+    addi t2, t1, 3
+    xor  t1, t1, t2
+    andi t1, t1, 0xff
+    add  t1, t1, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    mv a0, t1
+    li a7, 93
+    ecall
+"""
+
+BRANCHY_LOOP = """
+    li t0, 200
+    li t1, 0
+loop:
+    andi t2, t0, 1
+    beqz t2, even
+    addi t1, t1, 3
+    j next
+even:
+    addi t1, t1, 5
+next:
+    addi t0, t0, -1
+    bnez t0, loop
+    mv a0, t1
+    li a7, 93
+    ecall
+"""
+
+
+def system(rows=2, cols=16, policy="baseline", **kwargs):
+    return TransRecSystem(
+        SystemParams(
+            geometry=FabricGeometry(rows=rows, cols=cols),
+            policy=policy,
+            **kwargs,
+        )
+    )
+
+
+class TestBasicExecution:
+    def test_hot_loop_accelerates(self):
+        result = system().run_trace(trace_of(HOT_LOOP))
+        assert result.speedup > 1.3
+        assert result.offload_fraction > 0.8
+        assert result.cgra.launches > 0
+
+    def test_instruction_conservation(self):
+        trace = trace_of(HOT_LOOP)
+        result = system().run_trace(trace)
+        assert result.instructions == len(trace)
+        assert 0.0 <= result.offload_fraction <= 1.0
+
+    def test_run_program_equals_run_trace(self):
+        from repro.isa.assembler import assemble
+
+        program = assemble(HOT_LOOP)
+        sys_ = system()
+        by_program = sys_.run_program(program)
+        by_trace = system().run_trace(trace_of(HOT_LOOP))
+        assert by_program.transrec_cycles == by_trace.transrec_cycles
+        assert by_program.gpp.cycles == by_trace.gpp.cycles
+
+    def test_determinism(self):
+        trace = trace_of(HOT_LOOP)
+        first = system().run_trace(trace)
+        second = system().run_trace(trace)
+        assert first.transrec_cycles == second.transrec_cycles
+        assert (
+            first.tracker.execution_counts
+            == second.tracker.execution_counts
+        ).all()
+
+    def test_energy_reports_populated(self):
+        result = system().run_trace(trace_of(HOT_LOOP))
+        assert result.gpp_energy.total_pj > 0
+        assert result.transrec_energy.total_pj > 0
+        assert result.transrec_energy.fabric_background_pj > 0
+        assert result.gpp_energy.fabric_background_pj == 0
+
+
+class TestPolicyIndependence:
+    """Where the configuration lands must not change what executes."""
+
+    @pytest.mark.parametrize("policy", ["rotation", "random", "stress_aware"])
+    def test_cycles_identical_to_baseline(self, policy):
+        trace = trace_of(HOT_LOOP)
+        baseline = system(policy="baseline").run_trace(trace)
+        other = system(policy=policy).run_trace(trace)
+        assert other.transrec_cycles == baseline.transrec_cycles
+        assert other.cgra.launches == baseline.cgra.launches
+        assert (
+            other.cgra.committed_instructions
+            == baseline.cgra.committed_instructions
+        )
+
+    def test_rotation_balances_stress(self):
+        trace = trace_of(HOT_LOOP)
+        baseline = system(policy="baseline").run_trace(trace)
+        rotation = system(policy="rotation").run_trace(trace)
+        assert (
+            rotation.tracker.max_utilization()
+            <= baseline.tracker.max_utilization()
+        )
+        assert rotation.tracker.balance_ratio() > (
+            baseline.tracker.balance_ratio()
+        )
+
+    def test_stress_conservation_across_policies(self):
+        trace = trace_of(HOT_LOOP)
+        baseline = system(policy="baseline").run_trace(trace)
+        rotation = system(policy="rotation").run_trace(trace)
+        assert (
+            baseline.tracker.execution_counts.sum()
+            == rotation.tracker.execution_counts.sum()
+        )
+
+
+class TestMisspeculation:
+    def test_branchy_loop_misspeculates_then_adapts(self):
+        result = system().run_trace(trace_of(BRANCHY_LOOP))
+        # The alternating branch must diverge at least once...
+        assert result.cgra.misspeculations > 0
+        # ...but the monitor keeps it bounded (truncation/blacklist).
+        assert result.cgra.misspeculations < result.cgra.launches
+        assert result.cache_stats.truncations + result.cache_stats.blacklisted > 0
+
+    def test_commit_efficiency_reasonable(self):
+        result = system().run_trace(trace_of(BRANCHY_LOOP))
+        assert result.cgra.commit_efficiency > 0.5
+
+    def test_monitor_disabled_by_large_threshold(self):
+        params = SystemParams(
+            geometry=FabricGeometry(rows=2, cols=16),
+            dbt=DBTLimits(misspec_monitor_launches=10**9),
+        )
+        result = TransRecSystem(params).run_trace(trace_of(BRANCHY_LOOP))
+        assert result.cache_stats.truncations == 0
+        assert result.cache_stats.blacklisted == 0
+
+
+class TestScenarios:
+    def test_all_scenarios_construct(self):
+        for name in SCENARIOS:
+            result = make_system(name).run_trace(trace_of(HOT_LOOP))
+            assert result.transrec_cycles > 0
+
+    def test_scenario_shapes(self):
+        assert SCENARIOS["BE"].geometry.cols == 16
+        assert SCENARIOS["BE"].geometry.rows == 2
+        assert SCENARIOS["BP"].geometry.cols == 32
+        assert SCENARIOS["BP"].geometry.rows == 4
+        assert SCENARIOS["BU"].geometry.rows == 8
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            make_params("XXL")
+
+    def test_params_with_policy(self):
+        params = make_params("BE").with_policy("rotation", pattern="raster")
+        assert params.policy == "rotation"
+        assert params.policy_kwargs == {"pattern": "raster"}
+        assert params.geometry == make_params("BE").geometry
+
+
+class TestColdLaunches:
+    def test_single_hot_loop_mostly_warm(self):
+        result = system().run_trace(trace_of(HOT_LOOP))
+        assert result.cgra.cold_launches < result.cgra.launches
+
+    def test_cold_bits_accounted(self):
+        result = system().run_trace(trace_of(HOT_LOOP))
+        assert result.cgra.cold_launches > 0  # at least the first launch

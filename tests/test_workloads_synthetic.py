@@ -1,0 +1,111 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.cgra.fabric import FabricGeometry
+from repro.dbt.window import build_unit
+from repro.sim.cpu import CPU
+from repro.system.params import SystemParams
+from repro.system.transrec import TransRecSystem
+from repro.workloads.synthetic import (
+    branchy_kernel,
+    chain_kernel,
+    memory_kernel,
+    parallel_kernel,
+)
+
+
+def trace_of(program):
+    return CPU(program).run().trace
+
+
+class TestGenerators:
+    def test_chain_runs(self):
+        trace = trace_of(chain_kernel(length=16, iterations=5))
+        assert len(trace) > 16 * 5
+
+    def test_parallel_runs(self):
+        trace = trace_of(parallel_kernel(lanes=4, iterations=5))
+        assert len(trace) > 0
+
+    def test_parallel_validates_lanes(self):
+        with pytest.raises(ValueError):
+            parallel_kernel(lanes=1)
+        with pytest.raises(ValueError):
+            parallel_kernel(lanes=9)
+
+    def test_memory_checksum_deterministic(self):
+        first = CPU(memory_kernel(n_words=16, iterations=3)).run()
+        second = CPU(memory_kernel(n_words=16, iterations=3)).run()
+        assert first.exit_code == second.exit_code
+
+    def test_branchy_validates_period(self):
+        with pytest.raises(ValueError):
+            branchy_kernel(period=0)
+
+
+class TestShapeProperties:
+    """The generators must actually produce the shapes they promise."""
+
+    def test_chain_maps_to_single_row(self):
+        trace = trace_of(chain_kernel(length=20, iterations=2))
+        # Schedule from the loop head (target of the backward branch),
+        # past the independent li prologue.
+        backward = next(
+            r for r in trace if r.taken and r.imm is not None and r.imm < 0
+        )
+        loop_head = next(
+            i for i, r in enumerate(trace) if r.pc == backward.pc + backward.imm
+        )
+        unit = build_unit(trace, loop_head, FabricGeometry(rows=4, cols=32))
+        assert unit is not None
+        # Long and thin: the serial chain fills columns; only the loop
+        # counter/branch lane sits beside it.
+        assert unit.used_rows <= 2
+        assert unit.used_cols >= unit.n_ops - 4
+
+    def test_parallel_uses_multiple_rows(self):
+        trace = trace_of(parallel_kernel(lanes=4, iterations=2))
+        # Skip the li prologue; schedule from the loop body.
+        loop_start = next(
+            i for i, r in enumerate(trace) if r.op == "addi" and i > 4
+        )
+        unit = build_unit(trace, loop_start, FabricGeometry(rows=4, cols=32))
+        assert unit is not None
+        assert unit.used_rows >= 3
+
+    def test_memory_kernel_is_memory_bound(self):
+        trace = trace_of(memory_kernel(n_words=16, iterations=2))
+        assert trace.memory_fraction() > 0.2
+
+    def test_branchy_period_controls_misspeculation(self):
+        from repro.dbt.translator import DBTLimits
+
+        geometry = FabricGeometry(rows=2, cols=16)
+
+        def run(period, monitor_launches=4):
+            program = branchy_kernel(iterations=150, period=period)
+            system = TransRecSystem(
+                SystemParams(
+                    geometry=geometry,
+                    dbt=DBTLimits(
+                        misspec_monitor_launches=monitor_launches
+                    ),
+                )
+            )
+            result = system.run_trace(trace_of(program))
+            return result.cgra.misspeculations, result.cgra.launches
+
+        unmonitored = 10**9
+        # A 50%-duty branch diverges from any static recorded path on
+        # roughly half of the launches that cross it, whatever the
+        # flip period.
+        for period in (2, 50):
+            misses, launches = run(period, unmonitored)
+            assert 0.2 * launches < misses < 0.7 * launches
+        # The adaptive monitor exists exactly to curb that: it must
+        # cut misspeculations by a large factor for both periods.
+        for period in (2, 50):
+            monitored, _ = run(period)
+            raw, _ = run(period, unmonitored)
+            assert monitored < raw / 2
