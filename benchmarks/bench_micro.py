@@ -50,6 +50,25 @@ def test_rotation_allocation_throughput(benchmark):
     assert len(placement.cells) == len(unit.cells)
 
 
+def test_rotation_allocation_batch_throughput(benchmark):
+    """Same launches through the vectorized batch API (compare per-
+    launch time against ``test_rotation_allocation_throughput``: the
+    reported time covers ``batch_size`` launches)."""
+    geometry = FabricGeometry(rows=4, cols=32)
+    trace = run_workload("sha")
+    unit = build_unit(trace, 0, geometry)
+    allocator = ConfigurationAllocator(geometry, make_policy("rotation"))
+    batch_size = 4096
+    sequence = [unit] * batch_size
+
+    def launch_batch():
+        return allocator.allocate_batch(sequence)
+
+    batch = benchmark(launch_batch)
+    assert batch.n_launches == batch_size
+    benchmark.extra_info["batch_size"] = batch_size
+
+
 def test_stress_aware_allocation_throughput(benchmark):
     """The adaptive policy's pivot search (future-work variant)."""
     geometry = FabricGeometry(rows=4, cols=32)

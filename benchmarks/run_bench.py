@@ -1,0 +1,96 @@
+"""Allocation-throughput tracking benchmark.
+
+Times rotation-policy configuration launches through the scalar API and
+the vectorized batch API on a real ``sha`` translation unit, and writes
+the launches/sec numbers to ``BENCH_alloc.json`` so successive PRs can
+track the hot path's perf trajectory::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--output PATH]
+
+The JSON payload is flat on purpose — diff-friendly and trivially
+plottable across revisions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.cgra.fabric import FabricGeometry
+from repro.core.allocator import ConfigurationAllocator
+from repro.core.policy import make_policy
+from repro.dbt.window import build_unit
+from repro.workloads.suite import run_workload
+
+ROWS, COLS = 4, 32
+
+
+def _scalar_launches_per_sec(unit, n_launches: int) -> float:
+    allocator = ConfigurationAllocator(
+        FabricGeometry(rows=ROWS, cols=COLS), make_policy("rotation")
+    )
+    start = time.perf_counter()
+    for _ in range(n_launches):
+        allocator.allocate(unit)
+    elapsed = time.perf_counter() - start
+    return n_launches / elapsed
+
+
+def _batch_launches_per_sec(unit, n_launches: int) -> float:
+    allocator = ConfigurationAllocator(
+        FabricGeometry(rows=ROWS, cols=COLS), make_policy("rotation")
+    )
+    sequence = [unit] * n_launches
+    start = time.perf_counter()
+    allocator.allocate_batch(sequence)
+    elapsed = time.perf_counter() - start
+    return n_launches / elapsed
+
+
+def run(scalar_launches: int = 50_000, batch_launches: int = 500_000) -> dict:
+    """Measure both paths; returns the JSON payload."""
+    unit = build_unit(
+        run_workload("sha"), 0, FabricGeometry(rows=ROWS, cols=COLS)
+    )
+    assert unit is not None
+    # Warm-up pass so one-time costs (trace cache, numpy footprint
+    # caching) stay out of the measurement.
+    _scalar_launches_per_sec(unit, 1_000)
+    _batch_launches_per_sec(unit, 10_000)
+    scalar = _scalar_launches_per_sec(unit, scalar_launches)
+    batch = _batch_launches_per_sec(unit, batch_launches)
+    return {
+        "benchmark": "rotation_allocation",
+        "fabric": f"L{COLS}xW{ROWS}",
+        "unit_cells": len(unit.cells),
+        "scalar_launches": scalar_launches,
+        "batch_launches": batch_launches,
+        "scalar_launches_per_sec": round(scalar, 1),
+        "batch_launches_per_sec": round(batch, 1),
+        "batch_speedup": round(batch / scalar, 2),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_alloc.json"),
+        help="where to write the JSON payload (default: ./BENCH_alloc.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run()
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"[wrote {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,8 +48,8 @@ def delay_curve(
     years: Sequence[float] | np.ndarray,
 ) -> np.ndarray:
     """Relative delay increase over time (Fig. 8 bottom curves)."""
-    return np.array(
-        [model.delay_increase(float(t), utilization) for t in years]
+    return np.asarray(
+        model.delay_increase(np.asarray(years, dtype=float), utilization)
     )
 
 
@@ -58,14 +58,11 @@ def failure_order(
 ) -> np.ndarray:
     """Per-FU time-to-failure (years), same shape as ``utilizations``.
 
-    Useful for studying how many FUs survive a given mission time and
-    which region of the fabric dies first.
+    One batched model call over the whole matrix — useful for studying
+    how many FUs survive a given mission time and which region of the
+    fabric dies first.
     """
-    flat = utilizations.ravel()
-    lifetimes = np.array(
-        [model.years_to_degradation(float(u), threshold) for u in flat]
-    )
-    return lifetimes.reshape(utilizations.shape)
+    return np.asarray(model.years_to_degradation(utilizations, threshold))
 
 
 def surviving_fraction(

@@ -5,12 +5,19 @@ to first order as proportional to the Vt increase; the proportionality
 constant is fixed by a calibration point rather than device parameters,
 following the paper's methodology ("a worst-case delay degradation of
 10% over 3 years was considered as estimated in the literature").
+
+Every model method is batched: ``years`` and ``utilization`` may be
+scalars or numpy arrays (e.g. a whole per-FU utilization matrix), and
+broadcast against each other elementwise. Scalar inputs return plain
+floats, array inputs return arrays of the broadcast shape.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -60,29 +67,52 @@ class NBTIModel:
             self, "_delay_scale", self.reference_degradation / reference_dvt
         )
 
-    def delta_vt(self, years: float, utilization: float) -> float:
+    def delta_vt(
+        self,
+        years: float | np.ndarray,
+        utilization: float | np.ndarray,
+    ) -> float | np.ndarray:
         """Threshold-voltage increase (volts) after ``years`` at duty
-        cycle ``utilization`` — Eq. 1 with ``t`` in hours."""
-        if years < 0:
+        cycle ``utilization`` — Eq. 1 with ``t`` in hours.
+
+        Batched: both arguments broadcast elementwise.
+        """
+        years_arr = np.asarray(years, dtype=float)
+        util_arr = np.asarray(utilization, dtype=float)
+        # `not all(valid)` (rather than `any(invalid)`) so NaN fails
+        # validation instead of slipping through both comparisons.
+        if not np.all(years_arr >= 0):
             raise ValueError("time must be non-negative")
-        if not 0 <= utilization <= 1:
+        if not np.all((util_arr >= 0) & (util_arr <= 1)):
             raise ValueError("utilization must be in [0, 1]")
-        hours = years * HOURS_PER_YEAR
-        return (
+        hours = years_arr * HOURS_PER_YEAR
+        result = (
             _PREFACTOR
             * math.exp(-_TEMP_CONSTANT / self.temperature_k)
             * self.vdd**4
             * hours**_TIME_EXPONENT
-            * utilization**_UTIL_EXPONENT
+            * util_arr**_UTIL_EXPONENT
         )
+        if result.ndim == 0:
+            return float(result)
+        return result
 
-    def delay_increase(self, years: float, utilization: float) -> float:
-        """Relative delay increase (e.g. 0.10 = +10%) after ``years``."""
+    def delay_increase(
+        self,
+        years: float | np.ndarray,
+        utilization: float | np.ndarray,
+    ) -> float | np.ndarray:
+        """Relative delay increase (e.g. 0.10 = +10%) after ``years``.
+
+        Batched like :meth:`delta_vt`.
+        """
         return self._delay_scale * self.delta_vt(years, utilization)
 
     def years_to_degradation(
-        self, utilization: float, threshold: float | None = None
-    ) -> float:
+        self,
+        utilization: float | np.ndarray,
+        threshold: float | None = None,
+    ) -> float | np.ndarray:
         """Invert :meth:`delay_increase`: years until ``threshold``.
 
         With both exponents at 1/6 the closed form is::
@@ -92,19 +122,28 @@ class NBTIModel:
                 * (reference_utilization / utilization)
 
         Returns ``inf`` for a never-stressed FU (utilization 0).
+        Batched over ``utilization`` (e.g. a per-FU matrix).
         """
         if threshold is None:
             threshold = self.reference_degradation
         if threshold <= 0:
             raise ValueError("threshold must be positive")
-        if not 0 <= utilization <= 1:
+        util_arr = np.asarray(utilization, dtype=float)
+        if not np.all((util_arr >= 0) & (util_arr <= 1)):
             raise ValueError("utilization must be in [0, 1]")
-        if utilization == 0.0:
-            return math.inf
         exponent = 1.0 / _TIME_EXPONENT
-        return (
+        scale = (
             self.reference_years
             * (threshold / self.reference_degradation) ** exponent
-            * (self.reference_utilization / utilization)
-            ** (_UTIL_EXPONENT * exponent)
         )
+        stressed = np.where(util_arr > 0, util_arr, 1.0)
+        lifetimes = np.where(
+            util_arr > 0,
+            scale
+            * (self.reference_utilization / stressed)
+            ** (_UTIL_EXPONENT * exponent),
+            np.inf,
+        )
+        if lifetimes.ndim == 0:
+            return float(lifetimes)
+        return lifetimes

@@ -1,0 +1,32 @@
+"""Campaign subsystem: declarative experiment campaigns over the system.
+
+A *campaign* is the cross product of fabric geometries, allocation
+policies, workloads and RNG seeds. :class:`CampaignSpec` declares it,
+:class:`CampaignRunner` evaluates every resulting design point (serially
+or on a process pool) against memoised workload traces, and per-point
+JSON artifacts make the results durable. The experiment drivers
+(``repro.experiments``) and the DSE sweep (``repro.dse.sweep``) are thin
+consumers of this package.
+"""
+
+from repro.campaign.artifacts import to_jsonable, write_json
+from repro.campaign.results import SuiteRun, suite_run_summary
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    evaluate_design_point,
+)
+from repro.campaign.spec import CampaignSpec, DesignPoint, PolicySpec
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "DesignPoint",
+    "PolicySpec",
+    "SuiteRun",
+    "evaluate_design_point",
+    "suite_run_summary",
+    "to_jsonable",
+    "write_json",
+]

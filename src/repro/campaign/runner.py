@@ -1,0 +1,198 @@
+"""Campaign evaluation: serial or process-pool execution of design points.
+
+The runner owns the two scale levers the ROADMAP asks for:
+
+* **Shared memoised traces** — workload traces are design-independent,
+  so they are verified once per process (``run_workload`` is cached)
+  and warmed *before* a pool forks, letting every worker inherit them
+  for free on fork-based platforms.
+* **Process-pool parallelism** — design points are embarrassingly
+  parallel; ``max_workers > 1`` fans them out over a
+  ``ProcessPoolExecutor`` while keeping results in submission order.
+
+Artifacts: pass ``artifact_dir`` to persist one JSON summary per design
+point plus a ``campaign.json`` manifest describing the spec.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.campaign.artifacts import write_json
+from repro.campaign.results import SuiteRun, suite_run_summary
+from repro.campaign.spec import CampaignSpec, DesignPoint
+from repro.cgra.fabric import FabricGeometry
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+from repro.system.params import SystemParams
+from repro.system.transrec import TransRecSystem
+from repro.workloads.suite import run_workload
+
+
+def _build_params(
+    point: DesignPoint, base_params: SystemParams | None
+) -> SystemParams:
+    geometry = FabricGeometry(rows=point.rows, cols=point.cols)
+    if base_params is None:
+        return SystemParams(
+            geometry=geometry,
+            policy=point.policy.name,
+            policy_kwargs=point.policy.as_kwargs(),
+        )
+    # dataclasses.replace keeps every other (including future) field
+    # of the override params intact.
+    return replace(
+        base_params,
+        geometry=geometry,
+        policy=point.policy.name,
+        policy_kwargs=point.policy.as_kwargs(),
+    )
+
+
+def evaluate_design_point(
+    point: DesignPoint,
+    base_params: SystemParams | None = None,
+    traces: dict[str, Trace] | None = None,
+) -> SuiteRun:
+    """Run every workload of ``point`` on its system; returns the
+    :class:`SuiteRun` with full per-workload results.
+
+    ``traces`` overrides trace resolution (useful for custom or
+    truncated traces); by default the memoised verified suite traces
+    are used. Explicit traces must cover ``point.workloads`` — only
+    the point's workloads are evaluated, so results and artifacts
+    always agree with the spec.
+    """
+    system = TransRecSystem(_build_params(point, base_params))
+    if traces is None:
+        traces = {name: run_workload(name) for name in point.workloads}
+    else:
+        missing = [name for name in point.workloads if name not in traces]
+        if missing:
+            raise ConfigurationError(
+                f"explicit traces missing workload(s) {missing} required "
+                f"by design point {point.label!r}"
+            )
+        traces = {name: traces[name] for name in point.workloads}
+    results = {
+        name: system.run_trace(trace) for name, trace in traces.items()
+    }
+    return SuiteRun(
+        geometry=system.geometry, policy=point.policy.name, results=results
+    )
+
+
+def _pool_evaluate(
+    payload: tuple[DesignPoint, SystemParams | None],
+) -> SuiteRun:
+    point, base_params = payload
+    return evaluate_design_point(point, base_params)
+
+
+@dataclass
+class CampaignResult:
+    """Evaluated campaign: design points mapped to their suite runs
+    (insertion order follows ``spec.design_points()``)."""
+
+    spec: CampaignSpec
+    runs: dict[DesignPoint, SuiteRun]
+
+    def __iter__(self):
+        return iter(self.runs.items())
+
+    @property
+    def points(self) -> tuple[DesignPoint, ...]:
+        return tuple(self.runs)
+
+    def only_run(self) -> SuiteRun:
+        """The single run of a one-point campaign."""
+        if len(self.runs) != 1:
+            raise ConfigurationError(
+                f"campaign has {len(self.runs)} design points, not 1"
+            )
+        return next(iter(self.runs.values()))
+
+    def summaries(self) -> list[dict]:
+        return [
+            suite_run_summary(point, run) for point, run in self.runs.items()
+        ]
+
+
+class CampaignRunner:
+    """Evaluates campaign specs.
+
+    Args:
+        max_workers: ``None``/``0``/``1`` evaluates serially in-process
+            (sharing the memoised traces); ``> 1`` fans design points
+            out over a process pool.
+        artifact_dir: when given, one JSON summary per design point and
+            a ``campaign.json`` manifest are written there.
+        base_params: timing/energy parameter overrides applied to every
+            design point (geometry and policy are taken from the point).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        artifact_dir: str | Path | None = None,
+        base_params: SystemParams | None = None,
+    ) -> None:
+        self.max_workers = max_workers
+        self.artifact_dir = Path(artifact_dir) if artifact_dir else None
+        self.base_params = base_params
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        traces: dict[str, Trace] | None = None,
+    ) -> CampaignResult:
+        """Evaluate every design point of ``spec``.
+
+        ``traces`` pins explicit traces (serial evaluation only, since
+        arbitrary traces are not shipped to pool workers); without it
+        the named workloads are resolved from the memoised suite.
+        """
+        points = spec.design_points()
+        if traces is None:
+            # Warm the shared trace cache once so serial evaluation
+            # reuses it and fork-based pool workers inherit it.
+            for name in spec.resolved_workloads():
+                run_workload(name)
+        parallel = (
+            self.max_workers is not None
+            and self.max_workers > 1
+            and traces is None
+            and len(points) > 1
+        )
+        if parallel:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                suite_runs = list(
+                    pool.map(
+                        _pool_evaluate,
+                        [(point, self.base_params) for point in points],
+                    )
+                )
+        else:
+            suite_runs = [
+                evaluate_design_point(point, self.base_params, traces)
+                for point in points
+            ]
+        runs = dict(zip(points, suite_runs))
+        result = CampaignResult(spec=spec, runs=runs)
+        if self.artifact_dir is not None:
+            self._write_artifacts(result)
+        return result
+
+    def _write_artifacts(self, result: CampaignResult) -> None:
+        manifest = {
+            "spec": result.spec.to_jsonable(),
+            "design_points": [point.key for point in result.points],
+        }
+        write_json(self.artifact_dir / "campaign.json", manifest)
+        for point, run in result.runs.items():
+            write_json(
+                self.artifact_dir / f"{point.key}.json",
+                suite_run_summary(point, run),
+            )

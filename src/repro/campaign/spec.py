@@ -1,0 +1,188 @@
+"""Declarative campaign specifications.
+
+A campaign enumerates design points — (geometry, policy, workload set)
+combinations — without running anything. Seeds expand seedable policies
+(currently ``random``) into one design point per seed, so statistical
+reference policies can be averaged over repetitions declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.policy import available_policies, policy_class
+from repro.errors import ConfigurationError
+from repro.workloads.suite import workload_names
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """An allocation policy plus constructor arguments, hashable.
+
+    ``kwargs`` is stored as a sorted item tuple so specs can key dicts
+    and survive JSON round trips.
+    """
+
+    name: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, **kwargs) -> "PolicySpec":
+        return cls(name=name, kwargs=tuple(sorted(kwargs.items())))
+
+    def __post_init__(self) -> None:
+        if self.name not in available_policies():
+            raise ConfigurationError(
+                f"unknown policy {self.name!r}; "
+                f"available: {list(available_policies())}"
+            )
+
+    def as_kwargs(self) -> dict:
+        return dict(self.kwargs)
+
+    @property
+    def seedable(self) -> bool:
+        """Whether the policy draws from a seedable RNG."""
+        return bool(getattr(policy_class(self.name), "seedable", False))
+
+    def with_seed(self, seed: int) -> "PolicySpec":
+        """Copy of this spec pinned to ``seed``."""
+        kwargs = self.as_kwargs()
+        kwargs["seed"] = seed
+        return PolicySpec.make(self.name, **kwargs)
+
+    @property
+    def label(self) -> str:
+        if not self.kwargs:
+            return self.name
+        args = ",".join(f"{key}={value}" for key, value in self.kwargs)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluatable point of a campaign."""
+
+    rows: int
+    cols: int
+    policy: PolicySpec
+    workloads: tuple[str, ...]
+
+    @property
+    def key(self) -> str:
+        """Filesystem-safe identifier (artifact file stem)."""
+        parts = [f"L{self.cols}xW{self.rows}", self.policy.name]
+        parts.extend(f"{key}-{value}" for key, value in self.policy.kwargs)
+        return "__".join(
+            "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in str(part))
+            for part in parts
+        )
+
+    @property
+    def label(self) -> str:
+        return f"L{self.cols}xW{self.rows}/{self.policy.label}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Cross product of geometries x policies x workloads x seeds.
+
+    Attributes:
+        geometries: ``(rows, cols)`` fabric shapes.
+        policies: allocation policies to evaluate on each shape.
+        workloads: suite member names; empty selects the full suite.
+        seeds: when non-empty, every *seedable* policy is expanded into
+            one design point per seed (non-seedable policies are kept
+            as-is, once).
+        name: campaign identifier (artifact manifest name).
+    """
+
+    geometries: tuple[tuple[int, int], ...]
+    policies: tuple[PolicySpec, ...]
+    workloads: tuple[str, ...] = ()
+    seeds: tuple[int, ...] = ()
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        if not self.geometries:
+            raise ConfigurationError("campaign needs at least one geometry")
+        if not self.policies:
+            raise ConfigurationError("campaign needs at least one policy")
+        for rows, cols in self.geometries:
+            if rows < 1 or cols < 1:
+                raise ConfigurationError(
+                    f"invalid geometry ({rows}, {cols})"
+                )
+
+    def resolved_workloads(self) -> tuple[str, ...]:
+        """Workload selection with the empty default expanded."""
+        return self.workloads if self.workloads else workload_names()
+
+    def expanded_policies(self) -> tuple[PolicySpec, ...]:
+        """Policies with seed expansion applied."""
+        if not self.seeds:
+            return self.policies
+        expanded: list[PolicySpec] = []
+        for policy in self.policies:
+            if policy.seedable:
+                expanded.extend(policy.with_seed(seed) for seed in self.seeds)
+            else:
+                expanded.append(policy)
+        return tuple(expanded)
+
+    def design_points(self) -> tuple[DesignPoint, ...]:
+        """Every design point, geometries outermost, policies inner.
+
+        Raises:
+            ConfigurationError: on duplicate design points (repeated
+                geometries, policies or seeds) — duplicates would
+                silently collapse when results are keyed by point.
+        """
+        workloads = self.resolved_workloads()
+        points = tuple(
+            DesignPoint(rows=rows, cols=cols, policy=policy, workloads=workloads)
+            for rows, cols in self.geometries
+            for policy in self.expanded_policies()
+        )
+        seen: set[DesignPoint] = set()
+        for point in points:
+            if point in seen:
+                raise ConfigurationError(
+                    f"duplicate design point {point.label!r}; check for "
+                    "repeated geometries, policies or seeds"
+                )
+            seen.add(point)
+        return points
+
+    def with_workloads(self, workloads: tuple[str, ...]) -> "CampaignSpec":
+        return replace(self, workloads=workloads)
+
+    def to_jsonable(self) -> dict:
+        """Manifest form (see ``campaign.json`` artifacts)."""
+        return {
+            "name": self.name,
+            "geometries": [list(shape) for shape in self.geometries],
+            "policies": [
+                {"name": policy.name, "kwargs": policy.as_kwargs()}
+                for policy in self.policies
+            ],
+            "workloads": list(self.resolved_workloads()),
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "CampaignSpec":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            name=payload.get("name", "campaign"),
+            geometries=tuple(
+                (int(rows), int(cols))
+                for rows, cols in payload["geometries"]
+            ),
+            policies=tuple(
+                PolicySpec.make(entry["name"], **entry.get("kwargs", {}))
+                for entry in payload["policies"]
+            ),
+            workloads=tuple(payload.get("workloads", ())),
+            seeds=tuple(int(seed) for seed in payload.get("seeds", ())),
+        )

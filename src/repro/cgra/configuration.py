@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import cached_property
 
+import numpy as np
+
 from repro.cgra.fu import FUKind
 from repro.errors import ConfigurationError
 
@@ -97,6 +99,26 @@ class VirtualConfiguration:
     def cells(self) -> tuple[tuple[int, int], ...]:
         """All stressed virtual cells, each exactly once."""
         return self._cells
+
+    @cached_property
+    def cell_rows(self) -> np.ndarray:
+        """Row coordinate of every stressed cell (cached, read-only).
+
+        Together with :attr:`cell_cols` this is the configuration's
+        numpy footprint: the batched allocation path translates these
+        vectors by pivot with pure integer arithmetic instead of
+        looping over :attr:`cells` tuples.
+        """
+        rows = np.array([cell[0] for cell in self._cells], dtype=np.int64)
+        rows.flags.writeable = False
+        return rows
+
+    @cached_property
+    def cell_cols(self) -> np.ndarray:
+        """Column coordinate of every stressed cell (cached, read-only)."""
+        cols = np.array([cell[1] for cell in self._cells], dtype=np.int64)
+        cols.flags.writeable = False
+        return cols
 
     @cached_property
     def used_rows(self) -> int:

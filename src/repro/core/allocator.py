@@ -5,15 +5,33 @@ the fabric: for every launch it asks the policy for a pivot, translates
 all virtual cells by the pivot with wrap-around in both axes (the
 circular-buffer behaviour enabled by the paper's hardware extensions)
 and records the stressed physical cells in the utilization tracker.
+
+Two entry points share one engine:
+
+* :meth:`ConfigurationAllocator.allocate_batch` — the vectorized path.
+  Launches are grouped into runs of consecutive identical
+  configurations; each run's pivots come from the policy's
+  :meth:`~repro.core.policy.AllocationPolicy.next_pivots` batch hook,
+  footprints are translated with integer arithmetic on the cached
+  numpy footprint and stress is accrued via ``np.add.at`` on flattened
+  indices. The tracker is updated between runs, so interleaved
+  sequences see exactly the stress state the scalar loop would.
+* :meth:`ConfigurationAllocator.allocate` — the scalar API, the
+  engine's single-launch fast path (shared validation and tracker
+  accounting, no per-launch numpy batch overhead). Property tests
+  assert the two paths stay bit-identical.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
-from repro.core.policy import AllocationPolicy
+from repro.core.policy import AllocationPolicy, candidate_footprints
 from repro.core.utilization import UtilizationTracker
 from repro.errors import AllocationError
 
@@ -33,8 +51,47 @@ class PhysicalPlacement:
     config: VirtualConfiguration
 
 
+@dataclass(frozen=True)
+class BatchPlacement:
+    """Result of allocating a batch of configuration launches.
+
+    Per-launch cell tuples are not materialised (a batch may hold
+    millions of launches); :meth:`placement` reconstructs any single
+    launch on demand.
+
+    Attributes:
+        geometry: fabric the batch was placed on.
+        configs: launched configuration per batch slot.
+        pivots: ``(n_launches, 2)`` chosen pivots.
+        cycles: ``(n_launches,)`` recorded execution cycles.
+    """
+
+    geometry: FabricGeometry
+    configs: tuple[VirtualConfiguration, ...]
+    pivots: np.ndarray
+    cycles: np.ndarray
+
+    @property
+    def n_launches(self) -> int:
+        return len(self.configs)
+
+    def placement(self, index: int) -> PhysicalPlacement:
+        """Reconstruct the :class:`PhysicalPlacement` of one launch."""
+        config = self.configs[index]
+        pivot_row = int(self.pivots[index, 0])
+        pivot_col = int(self.pivots[index, 1])
+        rows, cols = self.geometry.rows, self.geometry.cols
+        cells = tuple(
+            ((row + pivot_row) % rows, (col + pivot_col) % cols)
+            for row, col in config.cells
+        )
+        return PhysicalPlacement(
+            pivot=(pivot_row, pivot_col), cells=cells, config=config
+        )
+
+
 class ConfigurationAllocator:
-    """Applies an allocation policy launch by launch."""
+    """Applies an allocation policy launch by launch or batch by batch."""
 
     def __init__(
         self,
@@ -53,6 +110,12 @@ class ConfigurationAllocator:
     ) -> PhysicalPlacement:
         """Place one launch of ``config`` and record its stress.
 
+        Single-launch fast path of the batch engine: same validation,
+        same policy protocol (the scalar ``next_pivot`` hook), same
+        tracker accounting — ``allocate_batch([config])`` is
+        bit-identical (property-tested) but pays fixed numpy batch
+        overhead the simulator's launch-at-a-time walk should not.
+
         Args:
             config: the virtual configuration being launched.
             cycles: execution cycles of this launch (for cycle-weighted
@@ -63,19 +126,13 @@ class ConfigurationAllocator:
                 fabric (it was scheduled for a different geometry) or
                 the policy returns an out-of-range pivot.
         """
-        if (
-            config.geometry_rows > self.geometry.rows
-            or config.geometry_cols > self.geometry.cols
-        ):
-            raise AllocationError(
-                f"configuration for {config.geometry_rows}x"
-                f"{config.geometry_cols} grid cannot launch on {self.geometry}"
-            )
+        self._check_fit(config)
         pivot = self.policy.next_pivot(config, self.tracker)
-        pivot_row, pivot_col = pivot
+        pivot_row, pivot_col = int(pivot[0]), int(pivot[1])
         if not self.geometry.contains(pivot_row, pivot_col):
+            name = getattr(self.policy, "name", "?")
             raise AllocationError(
-                f"policy {self.policy.name!r} returned pivot {pivot} "
+                f"policy {name!r} returned pivot {(pivot_row, pivot_col)} "
                 f"outside {self.geometry}"
             )
         rows, cols = self.geometry.rows, self.geometry.cols
@@ -89,6 +146,159 @@ class ConfigurationAllocator:
                 "is wider or taller than the fabric"
             )
         self.tracker.record(config.start_pc, cells, cycles=cycles)
-        self.policy.observe(config, pivot)
+        observe = self._resolve_observe()
+        if observe is not None:
+            observe(config, (pivot_row, pivot_col))
         self.launches += 1
-        return PhysicalPlacement(pivot=pivot, cells=cells, config=config)
+        return PhysicalPlacement(
+            pivot=(pivot_row, pivot_col), cells=cells, config=config
+        )
+
+    def allocate_batch(
+        self,
+        configs: Sequence[VirtualConfiguration],
+        pivots: np.ndarray | Sequence[tuple[int, int]] | None = None,
+        cycles: int | Sequence[int] | np.ndarray = 1,
+    ) -> BatchPlacement:
+        """Place a sequence of launches and record their stress.
+
+        Args:
+            configs: configurations in launch order (repeats allowed;
+                consecutive repeats of the same object are vectorized
+                as one run).
+            pivots: optional ``(n_launches, 2)`` pivot overrides; when
+                omitted the bound policy chooses via its
+                ``next_pivots`` batch hook.
+            cycles: scalar or per-launch execution cycle counts.
+
+        Raises:
+            AllocationError: if any configuration does not fit the
+                fabric or any pivot is outside it.
+        """
+        configs = tuple(configs)
+        n_launches = len(configs)
+        cycles_arr = self._cycles_array(cycles, n_launches)
+        if pivots is not None:
+            pivots = np.asarray(pivots, dtype=np.int64)
+            if pivots.shape != (n_launches, 2):
+                raise AllocationError(
+                    f"pivots must have shape ({n_launches}, 2), "
+                    f"got {pivots.shape}"
+                )
+        pivots_out = np.empty((n_launches, 2), dtype=np.int64)
+        observe = self._resolve_observe()
+        start = 0
+        while start < n_launches:
+            config = configs[start]
+            stop = start + 1
+            while stop < n_launches and configs[stop] is config:
+                stop += 1
+            count = stop - start
+            self._check_fit(config)
+            if pivots is None:
+                run_pivots = np.asarray(
+                    self._next_pivots(config, count), dtype=np.int64
+                )
+                origin = f"policy {getattr(self.policy, 'name', '?')!r}"
+            else:
+                run_pivots = pivots[start:stop]
+                origin = "explicit pivots argument"
+            self._check_pivots(run_pivots, origin)
+            flat = candidate_footprints(config, run_pivots, self.geometry)
+            self._check_no_fold(config, flat)
+            self.tracker.record_batch(
+                config.start_pc, flat, cycles_arr[start:stop]
+            )
+            if observe is not None:
+                for pivot_row, pivot_col in run_pivots:
+                    observe(config, (int(pivot_row), int(pivot_col)))
+            pivots_out[start:stop] = run_pivots
+            self.launches += count
+            start = stop
+        return BatchPlacement(
+            geometry=self.geometry,
+            configs=configs,
+            pivots=pivots_out,
+            cycles=cycles_arr,
+        )
+
+    def _resolve_observe(self):
+        """The policy's observe hook, or ``None`` when it is the no-op
+        base implementation (skipping it saves one Python call per
+        launch). Resolved per batch so instance-level reassignment of
+        ``observe`` keeps working."""
+        hook = getattr(self.policy, "observe", None)
+        if (
+            hook is not None
+            and "observe" not in self.policy.__dict__
+            and getattr(type(self.policy), "observe", None)
+            is AllocationPolicy.observe
+        ):
+            return None
+        return hook
+
+    def _next_pivots(
+        self, config: VirtualConfiguration, count: int
+    ) -> np.ndarray:
+        """Ask the policy for a run of pivots, tolerating duck-typed
+        policies that only implement the scalar ``next_pivot``."""
+        batch_hook = getattr(self.policy, "next_pivots", None)
+        if batch_hook is not None:
+            return batch_hook(config, self.tracker, count)
+        pivots = np.empty((count, 2), dtype=np.int64)
+        for index in range(count):
+            pivots[index] = self.policy.next_pivot(config, self.tracker)
+        return pivots
+
+    # -- validation helpers ------------------------------------------------
+
+    @staticmethod
+    def _cycles_array(
+        cycles: int | Sequence[int] | np.ndarray, n_launches: int
+    ) -> np.ndarray:
+        arr = np.asarray(cycles, dtype=np.int64)
+        if arr.ndim == 0:
+            return np.full(n_launches, int(arr), dtype=np.int64)
+        if arr.shape != (n_launches,):
+            raise AllocationError(
+                f"cycles must be scalar or length {n_launches}, "
+                f"got shape {arr.shape}"
+            )
+        return arr
+
+    def _check_fit(self, config: VirtualConfiguration) -> None:
+        if (
+            config.geometry_rows > self.geometry.rows
+            or config.geometry_cols > self.geometry.cols
+        ):
+            raise AllocationError(
+                f"configuration for {config.geometry_rows}x"
+                f"{config.geometry_cols} grid cannot launch on {self.geometry}"
+            )
+
+    def _check_pivots(self, pivots: np.ndarray, origin: str) -> None:
+        rows, cols = self.geometry.rows, self.geometry.cols
+        in_range = (
+            (pivots[:, 0] >= 0)
+            & (pivots[:, 0] < rows)
+            & (pivots[:, 1] >= 0)
+            & (pivots[:, 1] < cols)
+        )
+        if not in_range.all():
+            bad = pivots[int(np.flatnonzero(~in_range)[0])]
+            pivot = (int(bad[0]), int(bad[1]))
+            raise AllocationError(
+                f"{origin} returned pivot {pivot} outside {self.geometry}"
+            )
+
+    def _check_no_fold(
+        self, config: VirtualConfiguration, flat: np.ndarray
+    ) -> None:
+        # Wrap-around folding is pivot-independent (two cells collide
+        # iff their coordinate deltas are multiples of the fabric
+        # shape), so checking any single launch covers the whole run.
+        if len(np.unique(flat[0])) != flat.shape[1]:
+            raise AllocationError(
+                "wrap-around folded two ops onto one cell; configuration "
+                "is wider or taller than the fabric"
+            )

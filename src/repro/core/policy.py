@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
 from repro.errors import ConfigurationError
@@ -18,11 +20,17 @@ class AllocationPolicy:
     Lifecycle: the :class:`~repro.core.allocator.ConfigurationAllocator`
     calls :meth:`bind` once with the fabric geometry, then
     :meth:`next_pivot` before every launch and :meth:`observe` after the
-    launch has been recorded.
+    launch has been recorded. The batched path calls :meth:`next_pivots`
+    once per run of consecutive launches of the same configuration
+    instead.
     """
 
     #: Registry key; subclasses override.
     name = "abstract"
+
+    #: Whether the policy draws from a seedable RNG (campaign specs use
+    #: this to expand one policy into per-seed design points).
+    seedable = False
 
     def bind(self, geometry: FabricGeometry) -> None:
         """Attach the policy to a fabric; resets internal state."""
@@ -38,6 +46,26 @@ class AllocationPolicy:
         """
         raise NotImplementedError
 
+    def next_pivots(
+        self,
+        config: VirtualConfiguration,
+        tracker: "UtilizationTracker",
+        count: int,
+    ) -> np.ndarray:
+        """Pivots for ``count`` consecutive launches of ``config``.
+
+        Returns an ``(count, 2)`` int64 array. The default falls back
+        to ``count`` scalar :meth:`next_pivot` calls *without*
+        intermediate stress recording — exact for policies that ignore
+        ``tracker``. Policies that read accumulated stress must override
+        this with a batch-exact implementation that models the stress
+        their own launches accrue (all built-in policies do).
+        """
+        pivots = np.empty((count, 2), dtype=np.int64)
+        for index in range(count):
+            pivots[index] = self.next_pivot(config, tracker)
+        return pivots
+
     def observe(
         self, config: VirtualConfiguration, pivot: tuple[int, int]
     ) -> None:
@@ -46,6 +74,41 @@ class AllocationPolicy:
     def describe(self) -> str:
         """One-line human-readable description."""
         return self.name
+
+
+def min_stress_index(stress_per_candidate: np.ndarray) -> int:
+    """Candidate minimising ``(max stress, total stress)``, first wins.
+
+    ``stress_per_candidate`` is ``(n_candidates, n_cells)``: the stress
+    counts each candidate pivot would expose the configuration to. The
+    tie-break (lowest max, then lowest sum, then earliest candidate)
+    matches the scalar search loops the stress-adaptive policies used
+    before vectorization, keeping their behaviour bit-identical.
+    """
+    maxs = stress_per_candidate.max(axis=1)
+    sums = stress_per_candidate.sum(axis=1)
+    best_max = maxs.min()
+    on_best_max = maxs == best_max
+    best_sum = sums[on_best_max].min()
+    return int(np.flatnonzero(on_best_max & (sums == best_sum))[0])
+
+
+def candidate_footprints(
+    config: VirtualConfiguration,
+    pivots: np.ndarray,
+    geometry: FabricGeometry,
+) -> np.ndarray:
+    """Flat stressed-cell indices of ``config`` under each pivot.
+
+    ``pivots`` is ``(n_candidates, 2)``; the result is
+    ``(n_candidates, n_cells)`` flat raster indices with wrap-around —
+    the integer-arithmetic footprint translation shared by the batched
+    allocator and the stress-searching policies.
+    """
+    rows, cols = geometry.rows, geometry.cols
+    phys_rows = (config.cell_rows[None, :] + pivots[:, :1]) % rows
+    phys_cols = (config.cell_cols[None, :] + pivots[:, 1:]) % cols
+    return phys_rows * cols + phys_cols
 
 
 _REGISTRY: dict[str, type[AllocationPolicy]] = {}
@@ -59,6 +122,16 @@ def register_policy(cls: type[AllocationPolicy]) -> type[AllocationPolicy]:
     return cls
 
 
+def policy_class(name: str) -> type[AllocationPolicy]:
+    """Look up a registered policy class without instantiating it."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return cls
+
+
 def make_policy(name: str, **kwargs) -> AllocationPolicy:
     """Instantiate a registered policy by name.
 
@@ -68,12 +141,7 @@ def make_policy(name: str, **kwargs) -> AllocationPolicy:
         >>> make_policy("rotation", pattern="raster").pattern_name
         'raster'
     """
-    cls = _REGISTRY.get(name)
-    if cls is None:
-        raise ConfigurationError(
-            f"unknown policy {name!r}; available: {sorted(_REGISTRY)}"
-        )
-    return cls(**kwargs)
+    return policy_class(name)(**kwargs)
 
 
 def available_policies() -> tuple[str, ...]:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
 from repro.core.policy import AllocationPolicy, register_policy
@@ -21,6 +23,7 @@ class RandomPolicy(AllocationPolicy):
     """Uniformly random pivot per launch (deterministic under ``seed``)."""
 
     name = "random"
+    seedable = True
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
@@ -35,6 +38,20 @@ class RandomPolicy(AllocationPolicy):
             self._rng.randrange(self.geometry.rows),
             self._rng.randrange(self.geometry.cols),
         )
+
+    def next_pivots(
+        self, config: VirtualConfiguration, tracker, count: int
+    ) -> np.ndarray:
+        # Draws stay on the scalar ``random.Random`` stream (not a
+        # numpy generator) so batched and scalar sequences are
+        # bit-identical for the same seed.
+        rows, cols = self.geometry.rows, self.geometry.cols
+        randrange = self._rng.randrange
+        pivots = np.empty((count, 2), dtype=np.int64)
+        for index in range(count):
+            pivots[index, 0] = randrange(rows)
+            pivots[index, 1] = randrange(cols)
+        return pivots
 
     def describe(self) -> str:
         return f"random(seed={self.seed})"

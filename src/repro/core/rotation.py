@@ -11,6 +11,8 @@ per-FU utilization converges to the fabric-average occupancy.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
 from repro.core.patterns import movement_pattern
@@ -35,6 +37,7 @@ class RotationPolicy(AllocationPolicy):
         self.pattern_name = pattern
         self.stride = stride
         self._pattern: list[tuple[int, int]] = []
+        self._pattern_array = np.empty((0, 2), dtype=np.int64)
         self._position = 0
 
     def bind(self, geometry: FabricGeometry) -> None:
@@ -42,12 +45,27 @@ class RotationPolicy(AllocationPolicy):
         self._pattern = movement_pattern(
             self.pattern_name, geometry.rows, geometry.cols
         )
+        self._pattern_array = np.asarray(self._pattern, dtype=np.int64)
         self._position = 0
 
     def next_pivot(self, config: VirtualConfiguration, tracker) -> tuple[int, int]:
         pivot = self._pattern[self._position]
         self._position = (self._position + self.stride) % len(self._pattern)
         return pivot
+
+    def next_pivots(
+        self, config: VirtualConfiguration, tracker, count: int
+    ) -> np.ndarray:
+        # The pivot sequence is a pure function of the hardware
+        # counter, so a batch is one strided gather from the pattern.
+        length = len(self._pattern)
+        positions = (
+            self._position + self.stride * np.arange(count, dtype=np.int64)
+        ) % length
+        self._position = int(
+            (self._position + self.stride * count) % length
+        )
+        return self._pattern_array[positions]
 
     def describe(self) -> str:
         return f"rotation({self.pattern_name}, stride={self.stride})"

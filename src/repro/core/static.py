@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cgra.configuration import VirtualConfiguration
 from repro.core.policy import AllocationPolicy, register_policy
 
@@ -19,3 +21,8 @@ class BaselinePolicy(AllocationPolicy):
 
     def next_pivot(self, config: VirtualConfiguration, tracker) -> tuple[int, int]:
         return (0, 0)
+
+    def next_pivots(
+        self, config: VirtualConfiguration, tracker, count: int
+    ) -> np.ndarray:
+        return np.zeros((count, 2), dtype=np.int64)

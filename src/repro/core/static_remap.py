@@ -21,7 +21,12 @@ import numpy as np
 
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
-from repro.core.policy import AllocationPolicy, register_policy
+from repro.core.policy import (
+    AllocationPolicy,
+    candidate_footprints,
+    min_stress_index,
+    register_policy,
+)
 
 
 @register_policy
@@ -36,6 +41,10 @@ class StaticRemapPolicy(AllocationPolicy):
     def bind(self, geometry: FabricGeometry) -> None:
         super().bind(geometry)
         self._pivots = {}
+        self._raster = np.asarray(
+            [(r, c) for r in range(geometry.rows) for c in range(geometry.cols)],
+            dtype=np.int64,
+        )
 
     def next_pivot(
         self, config: VirtualConfiguration, tracker
@@ -46,27 +55,28 @@ class StaticRemapPolicy(AllocationPolicy):
             self._pivots[config.start_pc] = pivot
         return pivot
 
+    def next_pivots(
+        self, config: VirtualConfiguration, tracker, count: int
+    ) -> np.ndarray:
+        # The frozen pivot only depends on the tracker state at the
+        # configuration's *first* launch, so a whole run is one choice
+        # tiled — exactly what the scalar loop would produce.
+        pivot = self.next_pivot(config, tracker)
+        return np.tile(np.asarray(pivot, dtype=np.int64), (count, 1))
+
     def _choose_pivot(
         self, config: VirtualConfiguration, tracker
     ) -> tuple[int, int]:
-        """Min-max stress pivot given the tracker state at first use."""
-        counts = tracker.execution_counts
-        rows, cols = self.geometry.rows, self.geometry.cols
-        cell_rows = np.array([c[0] for c in config.cells])
-        cell_cols = np.array([c[1] for c in config.cells])
-        best = (0, 0)
-        best_key: tuple[int, int] | None = None
-        for pivot_row in range(rows):
-            for pivot_col in range(cols):
-                stressed = counts[
-                    (cell_rows + pivot_row) % rows,
-                    (cell_cols + pivot_col) % cols,
-                ]
-                key = (int(stressed.max()), int(stressed.sum()))
-                if best_key is None or key < best_key:
-                    best_key = key
-                    best = (pivot_row, pivot_col)
-        return best
+        """Min-max stress pivot given the tracker state at first use.
+
+        Candidates are scanned in raster order and ties break towards
+        lower totals then earlier cells, matching the original scalar
+        double loop.
+        """
+        footprints = candidate_footprints(config, self._raster, self.geometry)
+        counts = np.asarray(tracker.execution_counts).reshape(-1)
+        best = min_stress_index(counts[footprints])
+        return (int(self._raster[best, 0]), int(self._raster[best, 1]))
 
     def describe(self) -> str:
         return f"static_remap({len(self._pivots)} frozen pivots)"

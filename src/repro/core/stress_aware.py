@@ -10,6 +10,13 @@ the pivot that minimises the resulting worst-case stress.
 A full ``W x L`` pivot search per launch is expensive, so the policy
 re-optimises every ``interval`` launches and follows the fabric-covering
 snake in between — a realistic duty cycle for a hardware controller.
+
+The search itself is vectorized: every candidate pattern pivot's
+stressed footprint is a row of one integer index matrix, and the
+min-max selection happens in numpy. The batched ``next_pivots`` hook
+replays the launch-by-launch stress accrual on a working copy of the
+counters, so a whole batch is bit-identical to the scalar loop it
+replaces.
 """
 
 from __future__ import annotations
@@ -19,7 +26,12 @@ import numpy as np
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
 from repro.core.patterns import movement_pattern
-from repro.core.policy import AllocationPolicy, register_policy
+from repro.core.policy import (
+    AllocationPolicy,
+    candidate_footprints,
+    min_stress_index,
+    register_policy,
+)
 
 
 @register_policy
@@ -49,6 +61,8 @@ class StressAwarePolicy(AllocationPolicy):
         self.pattern_name = pattern
         self.sensor = sensor
         self._pattern: list[tuple[int, int]] = []
+        self._pattern_array = np.empty((0, 2), dtype=np.int64)
+        self._pattern_index: dict[tuple[int, int], int] = {}
         self._position = 0
         self._launches = 0
 
@@ -57,6 +71,10 @@ class StressAwarePolicy(AllocationPolicy):
         self._pattern = movement_pattern(
             self.pattern_name, geometry.rows, geometry.cols
         )
+        self._pattern_array = np.asarray(self._pattern, dtype=np.int64)
+        self._pattern_index = {
+            pivot: index for index, pivot in enumerate(self._pattern)
+        }
         self._position = 0
         self._launches = 0
         if self.sensor is not None:
@@ -65,14 +83,65 @@ class StressAwarePolicy(AllocationPolicy):
     def next_pivot(self, config: VirtualConfiguration, tracker) -> tuple[int, int]:
         self._launches += 1
         if self._launches % self.interval == 1 or self.interval == 1:
-            pivot = self._best_pivot(config, tracker)
-            self._position = self._pattern.index(pivot)
+            pivot = self._best_pivot(config, tracker.execution_counts)
+            self._position = self._pattern_index[pivot]
             return pivot
         self._position = (self._position + 1) % len(self._pattern)
         return self._pattern[self._position]
 
+    def next_pivots(
+        self, config: VirtualConfiguration, tracker, count: int
+    ) -> np.ndarray:
+        """Batch-exact pivot run: simulates the stress the batch's own
+        launches accrue on a working copy of the counters, so search
+        launches inside the batch see exactly the counter state the
+        scalar loop would have shown them.
+
+        The counter copy and the per-pattern footprint matrix are only
+        materialised on the first *search* launch of the run — pure
+        snake-following runs (the common case away from re-search
+        boundaries, and every ``count == 1`` non-search launch from the
+        scalar wrapper) stay O(1).
+        """
+        pivots = np.empty((count, 2), dtype=np.int64)
+        counts = None
+        flat_counts = None
+        footprints = None
+        pending: list[int] = []  # positions launched before first search
+        for index in range(count):
+            self._launches += 1
+            if self._launches % self.interval == 1 or self.interval == 1:
+                if footprints is None:
+                    footprints = candidate_footprints(
+                        config, self._pattern_array, self.geometry
+                    )
+                    counts = np.array(tracker.execution_counts, dtype=np.int64)
+                    flat_counts = counts.reshape(-1)
+                    for position in pending:
+                        flat_counts[footprints[position]] += 1
+                    pending.clear()
+                self._position = min_stress_index(
+                    self._visible_counts(counts).reshape(-1)[footprints]
+                )
+            else:
+                self._position = (self._position + 1) % len(self._pattern)
+            pivots[index] = self._pattern_array[self._position]
+            if footprints is None:
+                pending.append(self._position)
+            else:
+                flat_counts[footprints[self._position]] += 1
+        return pivots
+
+    def _visible_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Counters as the controller sees them (sensor-filtered)."""
+        if self.sensor is None:
+            return counts
+        view = counts.view()
+        view.flags.writeable = False
+        return self.sensor.read(view)
+
     def _best_pivot(
-        self, config: VirtualConfiguration, tracker
+        self, config: VirtualConfiguration, counts: np.ndarray
     ) -> tuple[int, int]:
         """Pivot minimising the max stress over the cells it would touch.
 
@@ -80,23 +149,12 @@ class StressAwarePolicy(AllocationPolicy):
         behaviour is deterministic.
         """
         if self.sensor is not None:
-            counts = self.sensor.read(tracker.execution_counts)
-        else:
-            counts = tracker.execution_counts  # oracle stress counters
-        rows, cols = self.geometry.rows, self.geometry.cols
-        cell_rows = np.array([c[0] for c in config.cells])
-        cell_cols = np.array([c[1] for c in config.cells])
-        best_pivot = (0, 0)
-        best_key: tuple[int, int] | None = None
-        for pivot_row, pivot_col in self._pattern:
-            target = counts[
-                (cell_rows + pivot_row) % rows, (cell_cols + pivot_col) % cols
-            ]
-            key = (int(target.max()), int(target.sum()))
-            if best_key is None or key < best_key:
-                best_key = key
-                best_pivot = (pivot_row, pivot_col)
-        return best_pivot
+            counts = self.sensor.read(counts)
+        footprints = candidate_footprints(
+            config, self._pattern_array, self.geometry
+        )
+        best = min_stress_index(np.asarray(counts).reshape(-1)[footprints])
+        return self._pattern[best]
 
     def describe(self) -> str:
         return f"stress_aware(interval={self.interval})"

@@ -38,7 +38,10 @@ class UtilizationTracker:
         shape = (geometry.rows, geometry.cols)
         self._execution_counts = np.zeros(shape, dtype=np.int64)
         self._cycle_counts = np.zeros(shape, dtype=np.int64)
-        self._config_cells: dict[int, frozenset[tuple[int, int]]] = {}
+        # Mutable sets internally (in-place update per launch beats
+        # frozenset re-union); exposed as frozensets via
+        # :attr:`config_footprints`.
+        self._config_cells: dict[int, set[tuple[int, int]]] = {}
         self.total_executions = 0
         self.total_cycles = 0
 
@@ -59,10 +62,57 @@ class UtilizationTracker:
         self._cycle_counts[rows, cols] += cycles
         self.total_executions += 1
         self.total_cycles += cycles
-        if config_key not in self._config_cells:
-            self._config_cells[config_key] = frozenset(cells)
+        footprint = self._config_cells.get(config_key)
+        if footprint is None:
+            self._config_cells[config_key] = set(cells)
         else:
-            self._config_cells[config_key] |= frozenset(cells)
+            footprint.update(cells)
+
+    def record_batch(
+        self,
+        config_key: int,
+        flat_cells: np.ndarray,
+        cycles: np.ndarray,
+    ) -> None:
+        """Record many launches of one configuration in a single pass.
+
+        Args:
+            config_key: configuration identity (its start PC).
+            flat_cells: ``(n_launches, n_cells)`` flat raster indices
+                (``row * cols + col``) of the stressed physical cells,
+                one row per launch.
+            cycles: ``(n_launches,)`` execution cycle counts.
+
+        Equivalent to ``n_launches`` :meth:`record` calls but accrues
+        the stress counts with ``np.add.at`` on the flattened count
+        matrices instead of one fancy-indexing pair per launch.
+        """
+        n_launches, n_cells = flat_cells.shape
+        if n_launches == 0:
+            return
+        cycles = np.asarray(cycles, dtype=np.int64)
+        flat = flat_cells.ravel()
+        if n_launches == 1:
+            # Single-launch fast path (the scalar wrapper): indices
+            # within one launch are distinct, so plain fancy-index
+            # accumulation is exact and cheaper than np.add.at.
+            self._execution_counts.reshape(-1)[flat] += 1
+            self._cycle_counts.reshape(-1)[flat] += cycles[0]
+        else:
+            np.add.at(self._execution_counts.reshape(-1), flat, 1)
+            np.add.at(
+                self._cycle_counts.reshape(-1),
+                flat,
+                np.repeat(cycles, n_cells),
+            )
+        self.total_executions += int(n_launches)
+        self.total_cycles += int(cycles.sum())
+        cols = self.geometry.cols
+        footprint = self._config_cells.setdefault(config_key, set())
+        footprint.update(
+            (index // cols, index % cols)
+            for index in map(int, np.unique(flat_cells))
+        )
 
     # -- reports -----------------------------------------------------------
 
@@ -124,7 +174,10 @@ class UtilizationTracker:
     @property
     def config_footprints(self) -> dict[int, frozenset[tuple[int, int]]]:
         """Per-configuration stressed-cell footprints (copy)."""
-        return dict(self._config_cells)
+        return {
+            key: frozenset(cells)
+            for key, cells in self._config_cells.items()
+        }
 
     @property
     def cycle_counts(self) -> np.ndarray:

@@ -1,8 +1,11 @@
-"""Fabric-geometry sweep driver.
+"""Fabric-geometry sweep driver — a thin consumer of the campaign layer.
 
 Reproduces the exploration of Section IV-B: length (columns) from 8 to
 32 and width (rows) from 2 to 8, reporting execution time, energy and
-average FU utilization relative to the stand-alone GPP.
+average FU utilization relative to the stand-alone GPP. Each (L, W)
+shape is one campaign design point; the campaign runner shares the
+memoised suite traces across all of them and can fan the grid out over
+a process pool (``max_workers``).
 """
 
 from __future__ import annotations
@@ -11,10 +14,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cgra.fabric import FabricGeometry
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    PolicySpec,
+    SuiteRun,
+)
+from repro.core.utilization import Weighting
+from repro.errors import ConfigurationError
 from repro.sim.trace import Trace
 from repro.system.params import SystemParams
-from repro.system.transrec import TransRecSystem
 
 #: The paper's sweep values.
 DEFAULT_LENGTHS = (8, 16, 24, 32)
@@ -43,50 +52,25 @@ class DSEPoint:
         return f"(L{self.cols}, W{self.rows})"
 
 
-def run_design_point(
-    traces: dict[str, Trace],
-    cols: int,
-    rows: int,
-    policy: str = "baseline",
-    base_params: SystemParams | None = None,
-    **policy_kwargs,
-) -> DSEPoint:
-    """Evaluate one geometry over a set of workload traces.
+def _dse_point(cols: int, rows: int, run: SuiteRun) -> DSEPoint:
+    """Fold one suite run into the sweep's aggregate metrics.
 
     Execution-time and energy ratios are geometric means across the
     suite; utilization aggregates launch counts over all workloads
     (the fabric ages across the whole mix, not per benchmark).
     """
-    geometry = FabricGeometry(rows=rows, cols=cols)
-    if base_params is None:
-        params = SystemParams(
-            geometry=geometry, policy=policy, policy_kwargs=policy_kwargs
+    results = run.results.values()
+    time_ratios = np.array([result.exec_time_ratio for result in results])
+    energy_ratios = np.array([result.energy_ratio for result in results])
+    if np.any(time_ratios <= 0) or np.any(energy_ratios <= 0):
+        raise ConfigurationError(
+            f"geomean undefined for L{cols}xW{rows}: non-positive "
+            "time/energy ratio in the suite — the log-mean would "
+            "silently produce -inf/NaN"
         )
-    else:
-        params = SystemParams(
-            geometry=geometry,
-            policy=policy,
-            policy_kwargs=policy_kwargs,
-            gpp=base_params.gpp,
-            datapath=base_params.datapath,
-            dbt=base_params.dbt,
-            config_cache_entries=base_params.config_cache_entries,
-            energy=base_params.energy,
-        )
-    system = TransRecSystem(params)
-    time_ratios = []
-    energy_ratios = []
-    counts = np.zeros((rows, cols), dtype=np.int64)
-    total_launches = 0
-    for trace in traces.values():
-        result = system.run_trace(trace)
-        time_ratios.append(result.exec_time_ratio)
-        energy_ratios.append(result.energy_ratio)
-        counts += result.tracker.execution_counts
-        total_launches += result.tracker.total_executions
-    utilization = counts / max(1, total_launches)
     exec_ratio = float(np.exp(np.mean(np.log(time_ratios))))
     energy_ratio = float(np.exp(np.mean(np.log(energy_ratios))))
+    utilization = run.utilization(Weighting.EXECUTIONS)
     return DSEPoint(
         cols=cols,
         rows=rows,
@@ -98,15 +82,52 @@ def run_design_point(
     )
 
 
-def sweep(
+def run_design_point(
     traces: dict[str, Trace],
+    cols: int,
+    rows: int,
+    policy: str = "baseline",
+    base_params: SystemParams | None = None,
+    **policy_kwargs,
+) -> DSEPoint:
+    """Evaluate one geometry over a set of workload traces."""
+    spec = CampaignSpec(
+        geometries=((rows, cols),),
+        policies=(PolicySpec.make(policy, **policy_kwargs),),
+        workloads=tuple(traces),
+        name=f"dse_L{cols}xW{rows}",
+    )
+    runner = CampaignRunner(base_params=base_params)
+    return _dse_point(cols, rows, runner.run(spec, traces=traces).only_run())
+
+
+def sweep(
+    traces: dict[str, Trace] | None,
     lengths: tuple[int, ...] = DEFAULT_LENGTHS,
     widths: tuple[int, ...] = DEFAULT_WIDTHS,
     policy: str = "baseline",
+    max_workers: int | None = None,
 ) -> list[DSEPoint]:
-    """Evaluate every (L, W) combination; raster order over L then W."""
+    """Evaluate every (L, W) combination; raster order over L then W.
+
+    Explicit ``traces`` always evaluate serially (trace objects are not
+    shipped to pool workers). Pass ``traces=None`` to run the full
+    verified suite — then ``max_workers > 1`` distributes the grid
+    over a process pool.
+    """
+    spec = CampaignSpec(
+        geometries=tuple(
+            (width, length) for length in lengths for width in widths
+        ),
+        policies=(PolicySpec.make(policy),),
+        workloads=tuple(traces) if traces is not None else (),
+        name="dse_sweep",
+    )
+    runner = CampaignRunner(
+        max_workers=max_workers if traces is None else None
+    )
+    result = runner.run(spec, traces=traces)
     return [
-        run_design_point(traces, cols=length, rows=width, policy=policy)
-        for length in lengths
-        for width in widths
+        _dse_point(point.cols, point.rows, run)
+        for point, run in result.runs.items()
     ]

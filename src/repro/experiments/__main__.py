@@ -2,29 +2,93 @@
 
 Usage::
 
-    python -m repro.experiments            # run everything
-    python -m repro.experiments fig7 table1
+    python -m repro.experiments                 # run everything
+    python -m repro.experiments fig7 table1     # a selection
+    python -m repro.experiments --list          # what exists
+    python -m repro.experiments --json out/     # + JSON artifacts
+
+Exits non-zero when an unknown experiment is named or any experiment
+raises.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+import traceback
+from pathlib import Path
 
+from repro.campaign.artifacts import write_json
 from repro.experiments import ALL_EXPERIMENTS
 
 
-def main(argv: list[str]) -> int:
-    names = argv or list(ALL_EXPERIMENTS)
-    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+def _experiment_summary(module) -> str:
+    doc = (module.__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper-reproduction experiments.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="experiment",
+        help="experiments to run (default: all, in registry order)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list available experiments and exit",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also dump each experiment's result as DIR/<name>.json",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name, module in ALL_EXPERIMENTS.items():
+            print(f"{name:<10} {_experiment_summary(module)}")
+        return 0
+    names = args.names or list(ALL_EXPERIMENTS)
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}")
-        print(f"available: {', '.join(ALL_EXPERIMENTS)}")
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 1
+    json_dir = Path(args.json) if args.json else None
+    failures: list[str] = []
     for index, name in enumerate(names):
         if index:
             print("\n" + "=" * 72 + "\n")
         module = ALL_EXPERIMENTS[name]
-        print(module.render(module.run()))
+        try:
+            result = module.run()
+            print(module.render(result))
+            if json_dir is not None:
+                path = write_json(
+                    json_dir / f"{name}.json",
+                    {"experiment": name, "result": result},
+                )
+                print(f"[wrote {path}]")
+        except Exception:  # one bad experiment must not hide the rest
+            failures.append(name)
+            print(f"experiment {name!r} failed:", file=sys.stderr)
+            traceback.print_exc()
+    if failures:
+        print(
+            f"\n{len(failures)} experiment(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

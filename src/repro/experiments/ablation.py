@@ -12,13 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.analysis.tables import render_table
+from repro.campaign import CampaignRunner, CampaignSpec, PolicySpec
 from repro.cgra.fabric import FabricGeometry
+from repro.core.utilization import Weighting
 from repro.dbt.translator import DBTLimits
 from repro.system.params import SystemParams
-from repro.system.transrec import TransRecSystem
 from repro.workloads.suite import run_workload
 
 GEOMETRY = FabricGeometry(rows=2, cols=16)
@@ -54,20 +53,18 @@ def _label(policy: str, kwargs: dict) -> str:
 def _measure(
     traces, policy: str, kwargs: dict, row_policy: str = "first_fit"
 ) -> tuple[float, float]:
-    params = SystemParams(
-        geometry=GEOMETRY,
-        policy=policy,
-        policy_kwargs=kwargs,
-        dbt=DBTLimits(row_policy=row_policy),
+    spec = CampaignSpec(
+        geometries=((GEOMETRY.rows, GEOMETRY.cols),),
+        policies=(PolicySpec.make(policy, **kwargs),),
+        workloads=tuple(traces),
+        name="ablation",
     )
-    system = TransRecSystem(params)
-    counts = np.zeros((GEOMETRY.rows, GEOMETRY.cols), dtype=np.int64)
-    launches = 0
-    for trace in traces.values():
-        run_result = system.run_trace(trace)
-        counts += run_result.tracker.execution_counts
-        launches += run_result.tracker.total_executions
-    util = counts / max(1, launches)
+    base_params = SystemParams(
+        geometry=GEOMETRY, dbt=DBTLimits(row_policy=row_policy)
+    )
+    runner = CampaignRunner(base_params=base_params)
+    suite_run = runner.run(spec, traces=traces).only_run()
+    util = suite_run.utilization(Weighting.EXECUTIONS)
     return float(util.max()), float(util.mean())
 
 
@@ -82,12 +79,22 @@ def run() -> AblationResult:
     result.policy_rows.append(("scheduler round_robin rows", worst, mean))
     for monitored in (True, False):
         threshold = 4 if monitored else 10**9
-        params = SystemParams(
-            geometry=GEOMETRY,
-            dbt=DBTLimits(misspec_monitor_launches=threshold),
+        spec = CampaignSpec(
+            geometries=((GEOMETRY.rows, GEOMETRY.cols),),
+            policies=(PolicySpec.make("baseline"),),
+            workloads=("crc32",),
+            name="ablation_monitor",
         )
-        system = TransRecSystem(params)
-        run_result = system.run_trace(run_workload("crc32"))
+        runner = CampaignRunner(
+            base_params=SystemParams(
+                geometry=GEOMETRY,
+                dbt=DBTLimits(misspec_monitor_launches=threshold),
+            )
+        )
+        suite_run = runner.run(
+            spec, traces={"crc32": run_workload("crc32")}
+        ).only_run()
+        run_result = suite_run.results["crc32"]
         result.monitor_rows.append(
             (
                 "on" if monitored else "off",

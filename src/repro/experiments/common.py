@@ -1,82 +1,21 @@
-"""Shared experiment plumbing: suite runs and utilization merging."""
+"""Shared experiment plumbing — a thin consumer of the campaign layer.
+
+``run_suite`` evaluates one (geometry, policy) design point over the
+full verified workload suite through the campaign runner and memoises
+the result, so every figure/table that touches the same design point
+shares one simulation. :class:`SuiteRun` itself lives in
+:mod:`repro.campaign.results`; it is re-exported here for the
+experiment drivers.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
 
-import numpy as np
+from repro.campaign import CampaignRunner, CampaignSpec, PolicySpec, SuiteRun
+from repro.workloads.suite import workload_names
 
-from repro.cgra.fabric import FabricGeometry
-from repro.core.utilization import Weighting
-from repro.system.params import SystemParams
-from repro.system.stats import SystemResult
-from repro.system.transrec import TransRecSystem
-from repro.workloads.suite import suite_traces, workload_names
-
-
-@dataclass
-class SuiteRun:
-    """Results of running the whole suite on one design point."""
-
-    geometry: FabricGeometry
-    policy: str
-    results: dict[str, SystemResult]
-
-    def utilization(
-        self, weighting: Weighting = Weighting.EXECUTIONS
-    ) -> np.ndarray:
-        """Suite-merged per-FU utilization.
-
-        Executions/cycles merge by summing counts across workloads;
-        configs merge by counting distinct (workload, configuration)
-        footprints.
-        """
-        shape = (self.geometry.rows, self.geometry.cols)
-        if weighting is Weighting.CONFIGS:
-            counts = np.zeros(shape)
-            n_configs = 0
-            for result in self.results.values():
-                footprints = result.tracker.config_footprints
-                n_configs += len(footprints)
-                for cells in footprints.values():
-                    for row, col in cells:
-                        counts[row, col] += 1
-            return counts / n_configs if n_configs else counts
-        counts = np.zeros(shape, dtype=np.int64)
-        total = 0
-        for result in self.results.values():
-            if weighting is Weighting.EXECUTIONS:
-                counts += result.tracker.execution_counts
-                total += result.tracker.total_executions
-            else:
-                counts += result.tracker.cycle_counts
-                total += result.tracker.total_cycles
-        return counts / total if total else counts.astype(float)
-
-    def max_utilization(
-        self, weighting: Weighting = Weighting.EXECUTIONS
-    ) -> float:
-        return float(self.utilization(weighting).max())
-
-    def mean_utilization(
-        self, weighting: Weighting = Weighting.EXECUTIONS
-    ) -> float:
-        return float(self.utilization(weighting).mean())
-
-    def geomean_speedup(self) -> float:
-        speedups = [r.speedup for r in self.results.values()]
-        return float(np.exp(np.mean(np.log(speedups))))
-
-    def geomean_exec_time_ratio(self) -> float:
-        return 1.0 / self.geomean_speedup()
-
-    def energy_ratio(self) -> float:
-        """Suite-total energy ratio (sums, not geomean, so big and
-        small workloads weigh by their actual energy)."""
-        transrec = sum(r.transrec_energy.total_pj for r in self.results.values())
-        gpp = sum(r.gpp_energy.total_pj for r in self.results.values())
-        return transrec / gpp if gpp else 1.0
+__all__ = ["SuiteRun", "run_suite", "suite_size"]
 
 
 def run_suite(
@@ -93,16 +32,12 @@ def run_suite(
 @lru_cache(maxsize=64)
 def _run_suite_cached(key) -> SuiteRun:
     rows, cols, policy, policy_kwargs = key
-    geometry = FabricGeometry(rows=rows, cols=cols)
-    params = SystemParams(
-        geometry=geometry, policy=policy, policy_kwargs=dict(policy_kwargs)
+    spec = CampaignSpec(
+        geometries=((rows, cols),),
+        policies=(PolicySpec(name=policy, kwargs=policy_kwargs),),
+        name=f"suite_L{cols}xW{rows}_{policy}",
     )
-    system = TransRecSystem(params)
-    results = {
-        name: system.run_trace(trace)
-        for name, trace in suite_traces().items()
-    }
-    return SuiteRun(geometry=geometry, policy=policy, results=results)
+    return CampaignRunner().run(spec).only_run()
 
 
 def suite_size() -> int:

@@ -72,6 +72,28 @@ class TestEquationOne:
         with pytest.raises(ConfigurationError):
             NBTIModel(vdd=0)
 
+    def test_nan_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.delta_vt(float("nan"), 0.5)
+        with pytest.raises(ValueError):
+            model.delta_vt(1.0, float("nan"))
+        with pytest.raises(ValueError):
+            model.years_to_degradation(float("nan"))
+        with pytest.raises(ValueError):
+            model.delta_vt(3.0, np.array([0.5, float("nan")]))
+
+    def test_batched_matches_scalar(self, model):
+        utils_matrix = np.array([[1.0, 0.5], [0.25, 0.125]])
+        batched = model.delta_vt(3.0, utils_matrix)
+        for row in range(2):
+            for col in range(2):
+                assert batched[row, col] == pytest.approx(
+                    model.delta_vt(3.0, float(utils_matrix[row, col]))
+                )
+        lifetimes = model.years_to_degradation(utils_matrix)
+        assert lifetimes.shape == (2, 2)
+        assert lifetimes[0, 0] == pytest.approx(3.0)
+
     @given(u=utils)
     def test_monotonic_in_utilization(self, u):
         model = NBTIModel()

@@ -1,0 +1,280 @@
+"""Batched-vs-scalar allocation equivalence.
+
+The vectorized ``allocate_batch`` path must be *bit-identical* to the
+scalar launch loop: same execution-count, cycle-count and
+config-footprint matrices, same pivots, same errors — for every policy,
+on real translation units from the workload suite and on adversarial
+synthetic configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aging.sensor import SensorArray
+from repro.cgra.configuration import PlacedOp, VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
+from repro.cgra.fu import FUKind
+from repro.core.allocator import ConfigurationAllocator
+from repro.core.policy import AllocationPolicy, make_policy
+from repro.dbt.window import build_unit
+from repro.errors import AllocationError
+from repro.workloads.suite import run_workload, workload_names
+
+ROWS, COLS = 4, 8
+GEOMETRY = FabricGeometry(rows=ROWS, cols=COLS)
+
+#: Every registered allocation policy with state-exercising kwargs.
+#: Entries are (name, kwargs factory): stateful constructor arguments
+#: (the sensor) must be fresh per allocator, or the scalar and batched
+#: references would share mutable state.
+POLICIES = (
+    ("baseline", dict),
+    ("random", lambda: {"seed": 11}),
+    ("rotation", lambda: {"pattern": "snake"}),
+    ("stress_aware", lambda: {"interval": 3}),
+    (
+        "stress_aware",
+        lambda: {
+            "interval": 3,
+            "sensor": SensorArray(levels=8, sample_period=2),
+        },
+    ),
+    ("static_remap", dict),
+)
+
+
+def build_allocator(policy_name, make_kwargs):
+    return ConfigurationAllocator(
+        GEOMETRY, make_policy(policy_name, **make_kwargs())
+    )
+
+
+def synthetic_config(cells, start_pc=0x1000):
+    ops = tuple(
+        PlacedOp(
+            op="add", kind=FUKind.ALU, row=row, col=col, width=1,
+            trace_offset=index,
+        )
+        for index, (row, col) in enumerate(cells)
+    )
+    return VirtualConfiguration(
+        start_pc=start_pc,
+        pc_path=tuple(start_pc + 4 * i for i in range(len(cells))),
+        ops=ops,
+        n_instructions=len(cells),
+        geometry_rows=ROWS,
+        geometry_cols=COLS,
+    )
+
+
+def assert_trackers_identical(scalar, batched):
+    np.testing.assert_array_equal(
+        scalar.tracker.execution_counts, batched.tracker.execution_counts
+    )
+    np.testing.assert_array_equal(
+        scalar.tracker.cycle_counts, batched.tracker.cycle_counts
+    )
+    assert scalar.tracker.total_executions == batched.tracker.total_executions
+    assert scalar.tracker.total_cycles == batched.tracker.total_cycles
+    assert (
+        scalar.tracker.config_footprints == batched.tracker.config_footprints
+    )
+    assert scalar.launches == batched.launches
+
+
+@pytest.fixture(scope="module")
+def suite_units():
+    """Real translation units: one per suite workload (where mappable)."""
+    units = []
+    for name in workload_names():
+        trace = run_workload(name)
+        for position in (0, 40, 200):
+            unit = build_unit(trace, position, GEOMETRY)
+            if unit is not None:
+                units.append(unit)
+                break
+    assert len(units) >= 5, "suite should yield several mappable units"
+    return units
+
+
+@pytest.mark.parametrize("policy_name,make_kwargs", POLICIES)
+def test_suite_equivalence_all_policies(suite_units, policy_name, make_kwargs):
+    """One big interleaved batch over real suite units matches the
+    scalar loop exactly, for every policy."""
+    sequence = []
+    cycles = []
+    for repeat in range(3):
+        for index, unit in enumerate(suite_units):
+            sequence.extend([unit] * (2 + (index + repeat) % 3))
+            cycles.extend(
+                7 + (index * 13 + repeat * 5 + offset) % 11
+                for offset in range(2 + (index + repeat) % 3)
+            )
+    scalar = build_allocator(policy_name, make_kwargs)
+    batched = build_allocator(policy_name, make_kwargs)
+    pivots = [
+        scalar.allocate(config, cycles=cyc).pivot
+        for config, cyc in zip(sequence, cycles)
+    ]
+    batch = batched.allocate_batch(sequence, cycles=cycles)
+    assert_trackers_identical(scalar, batched)
+    np.testing.assert_array_equal(
+        batch.pivots, np.asarray(pivots, dtype=np.int64)
+    )
+
+
+@pytest.mark.parametrize("policy_name,make_kwargs", POLICIES)
+def test_chunked_batches_equal_one_batch(suite_units, policy_name, make_kwargs):
+    """Splitting a launch sequence into arbitrary chunks leaves the
+    accumulated stress unchanged (tracker updates between runs see the
+    same state the scalar loop would)."""
+    sequence = [unit for unit in suite_units for _ in range(5)]
+    whole = build_allocator(policy_name, make_kwargs)
+    chunked = build_allocator(policy_name, make_kwargs)
+    whole.allocate_batch(sequence, cycles=3)
+    boundaries = [0, 1, 4, 7, len(sequence) // 2, len(sequence)]
+    for start, stop in zip(boundaries, boundaries[1:]):
+        chunked.allocate_batch(sequence[start:stop], cycles=3)
+    assert_trackers_identical(whole, chunked)
+
+
+def test_explicit_pivots_replay(suite_units):
+    """Feeding recorded pivots back through ``pivots=`` reproduces the
+    policy-driven batch exactly."""
+    sequence = [unit for unit in suite_units for _ in range(4)]
+    driven = ConfigurationAllocator(GEOMETRY, make_policy("rotation"))
+    batch = driven.allocate_batch(sequence, cycles=2)
+    replayed = ConfigurationAllocator(GEOMETRY, make_policy("rotation"))
+    replayed.allocate_batch(sequence, pivots=batch.pivots, cycles=2)
+    assert_trackers_identical(driven, replayed)
+
+
+def test_default_next_pivots_fallback():
+    """A policy that only implements the scalar hook still works in a
+    batch via the base-class fallback."""
+
+    class DiagonalPolicy(AllocationPolicy):
+        name = "diagonal_test"
+
+        def __init__(self):
+            self._step = 0
+
+        def next_pivot(self, config, tracker):
+            pivot = (self._step % ROWS, self._step % COLS)
+            self._step += 1
+            return pivot
+
+    config = synthetic_config([(0, 0), (1, 3)])
+    scalar = ConfigurationAllocator(GEOMETRY, DiagonalPolicy())
+    batched = ConfigurationAllocator(GEOMETRY, DiagonalPolicy())
+    for _ in range(10):
+        scalar.allocate(config)
+    batched.allocate_batch([config] * 10)
+    assert_trackers_identical(scalar, batched)
+
+
+def test_instance_level_observe_hook_fires():
+    """An observe callback attached to the policy *instance* (not the
+    class) is still invoked once per launch."""
+    policy = make_policy("rotation")
+    calls = []
+    policy.observe = lambda config, pivot: calls.append(pivot)
+    allocator = ConfigurationAllocator(GEOMETRY, policy)
+    allocator.allocate_batch([synthetic_config([(0, 0)])] * 3)
+    assert calls == [(0, 0), (0, 1), (0, 2)]
+
+
+config_cells = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=ROWS - 1),
+        st.integers(min_value=0, max_value=COLS - 1),
+    ),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pool=st.lists(config_cells, min_size=1, max_size=4),
+    picks=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=1, max_value=9),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    policy_index=st.integers(min_value=0, max_value=len(POLICIES) - 1),
+)
+def test_property_scalar_batch_equivalence(pool, picks, policy_index):
+    """Random config pools, launch orders and cycle weights: scalar
+    loop and one-shot batch accrue identical stress."""
+    configs = [
+        synthetic_config(cells, start_pc=0x1000 + 0x40 * index)
+        for index, cells in enumerate(pool)
+    ]
+    sequence = [configs[index % len(configs)] for index, _ in picks]
+    cycles = [cyc for _, cyc in picks]
+    policy_name, make_kwargs = POLICIES[policy_index]
+    scalar = build_allocator(policy_name, make_kwargs)
+    batched = build_allocator(policy_name, make_kwargs)
+    for config, cyc in zip(sequence, cycles):
+        scalar.allocate(config, cycles=cyc)
+    batched.allocate_batch(sequence, cycles=cycles)
+    assert_trackers_identical(scalar, batched)
+
+
+class TestBatchValidation:
+    def test_oversized_config_rejected(self):
+        big = VirtualConfiguration(
+            start_pc=0x2000,
+            pc_path=(0x2000,),
+            ops=(
+                PlacedOp(
+                    op="add", kind=FUKind.ALU, row=0, col=0, width=1,
+                    trace_offset=0,
+                ),
+            ),
+            n_instructions=1,
+            geometry_rows=ROWS + 2,
+            geometry_cols=COLS,
+        )
+        allocator = ConfigurationAllocator(GEOMETRY, make_policy("baseline"))
+        with pytest.raises(AllocationError):
+            allocator.allocate_batch([big])
+
+    def test_bad_pivot_shape_rejected(self):
+        config = synthetic_config([(0, 0)])
+        allocator = ConfigurationAllocator(GEOMETRY, make_policy("baseline"))
+        with pytest.raises(AllocationError):
+            allocator.allocate_batch([config, config], pivots=[(0, 0)])
+
+    def test_out_of_range_pivot_rejected(self):
+        config = synthetic_config([(0, 0)])
+        allocator = ConfigurationAllocator(GEOMETRY, make_policy("baseline"))
+        with pytest.raises(AllocationError):
+            allocator.allocate_batch([config], pivots=[(ROWS, 0)])
+
+    def test_bad_cycles_length_rejected(self):
+        config = synthetic_config([(0, 0)])
+        allocator = ConfigurationAllocator(GEOMETRY, make_policy("baseline"))
+        with pytest.raises(AllocationError):
+            allocator.allocate_batch([config, config], cycles=[1, 2, 3])
+
+    def test_empty_batch_is_noop(self):
+        allocator = ConfigurationAllocator(GEOMETRY, make_policy("rotation"))
+        batch = allocator.allocate_batch([])
+        assert batch.n_launches == 0
+        assert allocator.tracker.total_executions == 0
+
+    def test_placement_reconstruction_matches_scalar(self):
+        config = synthetic_config([(0, 0), (1, 3), (3, 7)])
+        batched = ConfigurationAllocator(GEOMETRY, make_policy("rotation"))
+        scalar = ConfigurationAllocator(GEOMETRY, make_policy("rotation"))
+        batch = batched.allocate_batch([config] * 8)
+        for index in range(8):
+            assert batch.placement(index) == scalar.allocate(config)

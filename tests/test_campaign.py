@@ -1,0 +1,220 @@
+"""Tests for the campaign subsystem (spec, runner, artifacts)."""
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    PolicySpec,
+    SuiteRun,
+    evaluate_design_point,
+    to_jsonable,
+)
+from repro.cgra.fabric import FabricGeometry
+from repro.errors import ConfigurationError
+from repro.workloads.suite import run_workload, workload_names
+
+WORKLOADS = ("bitcount", "crc32")
+
+
+def small_spec(**overrides):
+    base = dict(
+        geometries=((2, 8), (2, 16)),
+        policies=(PolicySpec.make("baseline"), PolicySpec.make("rotation")),
+        workloads=WORKLOADS,
+        name="test",
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestPolicySpec:
+    def test_make_sorts_kwargs(self):
+        spec = PolicySpec.make("rotation", stride=2, pattern="raster")
+        assert spec.kwargs == (("pattern", "raster"), ("stride", 2))
+        assert spec.as_kwargs() == {"pattern": "raster", "stride": 2}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicySpec.make("oracle")
+
+    def test_seedable_flag(self):
+        assert PolicySpec.make("random").seedable
+        assert not PolicySpec.make("baseline").seedable
+
+    def test_label(self):
+        assert PolicySpec.make("baseline").label == "baseline"
+        assert (
+            PolicySpec.make("random", seed=3).label == "random(seed=3)"
+        )
+
+
+class TestCampaignSpec:
+    def test_design_point_product(self):
+        points = small_spec().design_points()
+        assert len(points) == 4  # 2 geometries x 2 policies
+        assert [(p.rows, p.cols, p.policy.name) for p in points] == [
+            (2, 8, "baseline"),
+            (2, 8, "rotation"),
+            (2, 16, "baseline"),
+            (2, 16, "rotation"),
+        ]
+        assert len({p.key for p in points}) == 4
+
+    def test_empty_workloads_resolve_to_full_suite(self):
+        spec = small_spec(workloads=())
+        assert spec.resolved_workloads() == workload_names()
+
+    def test_seed_expansion_only_for_seedable(self):
+        spec = small_spec(
+            geometries=((2, 8),),
+            policies=(
+                PolicySpec.make("baseline"),
+                PolicySpec.make("random"),
+            ),
+            seeds=(1, 2, 3),
+        )
+        expanded = spec.expanded_policies()
+        labels = [policy.label for policy in expanded]
+        assert labels == [
+            "baseline",
+            "random(seed=1)",
+            "random(seed=2)",
+            "random(seed=3)",
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(geometries=(), policies=(PolicySpec.make("baseline"),))
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(geometries=((2, 8),), policies=())
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(
+                geometries=((0, 8),), policies=(PolicySpec.make("baseline"),)
+            )
+
+    def test_duplicate_design_points_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate design point"):
+            small_spec(geometries=((2, 8), (2, 8))).design_points()
+        with pytest.raises(ConfigurationError, match="duplicate design point"):
+            small_spec(
+                geometries=((2, 8),),
+                policies=(PolicySpec.make("random"),),
+                seeds=(1, 1),
+            ).design_points()
+
+    def test_json_round_trip(self):
+        spec = small_spec(seeds=(4, 5))
+        clone = CampaignSpec.from_jsonable(
+            json.loads(json.dumps(spec.to_jsonable()))
+        )
+        assert clone == spec
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def campaign_result(self):
+        traces = {name: run_workload(name) for name in WORKLOADS}
+        return CampaignRunner().run(small_spec(), traces=traces)
+
+    def test_all_points_evaluated(self, campaign_result):
+        assert len(campaign_result.runs) == 4
+        for point, run in campaign_result:
+            assert isinstance(run, SuiteRun)
+            assert set(run.results) == set(WORKLOADS)
+            assert run.utilization().shape == (point.rows, point.cols)
+
+    def test_rotation_flattens_stress(self, campaign_result):
+        by_label = {
+            point.label: run for point, run in campaign_result.runs.items()
+        }
+        baseline = by_label["L8xW2/baseline"]
+        rotation = by_label["L8xW2/rotation"]
+        assert rotation.max_utilization() < baseline.max_utilization()
+
+    def test_only_run_requires_single_point(self, campaign_result):
+        with pytest.raises(ConfigurationError):
+            campaign_result.only_run()
+
+    def test_artifacts_written(self, tmp_path):
+        traces = {name: run_workload(name) for name in WORKLOADS}
+        spec = small_spec(geometries=((2, 8),))
+        CampaignRunner(artifact_dir=tmp_path).run(spec, traces=traces)
+        manifest = json.loads((tmp_path / "campaign.json").read_text())
+        assert manifest["spec"]["name"] == "test"
+        assert len(manifest["design_points"]) == 2
+        for key in manifest["design_points"]:
+            payload = json.loads((tmp_path / f"{key}.json").read_text())
+            assert payload["geomean_speedup"] > 0
+            assert np.asarray(payload["utilization"]).shape == (2, 8)
+            assert set(payload["per_workload"]) == set(WORKLOADS)
+
+    def test_process_pool_matches_serial(self):
+        spec = small_spec(
+            workloads=("bitcount",),
+            policies=(PolicySpec.make("rotation"),),
+        )
+        serial = CampaignRunner().run(spec)
+        pooled = CampaignRunner(max_workers=2).run(spec)
+        for point in spec.design_points():
+            np.testing.assert_array_equal(
+                serial.runs[point].utilization(),
+                pooled.runs[point].utilization(),
+            )
+            assert serial.runs[point].geomean_speedup() == pytest.approx(
+                pooled.runs[point].geomean_speedup()
+            )
+
+    def test_evaluate_design_point_matches_runner(self):
+        spec = small_spec(geometries=((2, 8),), policies=(PolicySpec.make("baseline"),))
+        (point,) = spec.design_points()
+        direct = evaluate_design_point(point)
+        via_runner = CampaignRunner().run(spec).only_run()
+        np.testing.assert_array_equal(
+            direct.utilization(), via_runner.utilization()
+        )
+
+
+class TestSuiteRunGuards:
+    def fake_run(self, speedups):
+        results = {
+            f"w{index}": SimpleNamespace(speedup=value)
+            for index, value in enumerate(speedups)
+        }
+        return SuiteRun(
+            geometry=FabricGeometry(rows=2, cols=8),
+            policy="baseline",
+            results=results,
+        )
+
+    def test_geomean_guards_non_positive(self):
+        with pytest.raises(ConfigurationError, match="non-positive"):
+            self.fake_run([2.0, 0.0]).geomean_speedup()
+        with pytest.raises(ConfigurationError, match="non-positive"):
+            self.fake_run([2.0, -1.0]).geomean_speedup()
+
+    def test_geomean_guards_empty(self):
+        with pytest.raises(ConfigurationError):
+            self.fake_run([]).geomean_speedup()
+
+    def test_geomean_normal_path(self):
+        assert self.fake_run([2.0, 8.0]).geomean_speedup() == pytest.approx(4.0)
+
+
+class TestJsonable:
+    def test_numpy_and_sets(self):
+        payload = to_jsonable(
+            {
+                "matrix": np.arange(4).reshape(2, 2),
+                "scalar": np.int64(7),
+                "cells": frozenset({(1, 2), (0, 1)}),
+            }
+        )
+        assert payload["matrix"] == [[0, 1], [2, 3]]
+        assert payload["scalar"] == 7
+        assert payload["cells"] == [[0, 1], [1, 2]]
+        json.dumps(payload)

@@ -80,6 +80,13 @@ class TestSweep:
         wide = run_design_point(mini_traces, cols=16, rows=8)
         assert wide.avg_utilization < narrow.avg_utilization
 
+    def test_explicit_traces_ignore_max_workers(self, mini_traces):
+        """Explicit trace objects must be evaluated (serially) rather
+        than silently swapped for suite traces in parallel mode."""
+        pooled = sweep(mini_traces, lengths=(8, 16), widths=(2,), max_workers=2)
+        serial = sweep(mini_traces, lengths=(8, 16), widths=(2,))
+        assert pooled == serial
+
     def test_policy_does_not_change_performance(self, mini_traces):
         baseline = run_design_point(mini_traces, cols=16, rows=2)
         rotated = run_design_point(
