@@ -1,14 +1,19 @@
-"""Allocation-throughput tracking benchmark.
+"""Allocation + mapping throughput tracking benchmark.
 
 Times rotation-policy configuration launches through the scalar API and
-the vectorized batch API on a real ``sha`` translation unit, and writes
-the launches/sec numbers to ``BENCH_alloc.json`` so successive PRs can
-track the hot path's perf trajectory::
+the vectorized batch API, plus simulated-annealing mapping throughput,
+on a real ``sha`` translation unit, and writes the numbers to
+``BENCH_alloc.json`` so successive PRs can track the hot paths' perf
+trajectory::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--output PATH]
+                                                  [--append] [--quick]
 
-The JSON payload is flat on purpose — diff-friendly and trivially
-plottable across revisions.
+Each measurement is one flat JSON record — diff-friendly and trivially
+plottable across revisions. With ``--append`` the output file keeps a
+``history`` list and the new record is appended to it (existing flat
+payloads are adopted as the first history entry), so the trajectory
+accumulates instead of being overwritten.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -23,6 +29,7 @@ from repro.cgra.fabric import FabricGeometry
 from repro.core.allocator import ConfigurationAllocator
 from repro.core.policy import make_policy
 from repro.dbt.window import build_unit
+from repro.mapping import SimulatedAnnealingMapper
 from repro.workloads.suite import run_workload
 
 ROWS, COLS = 4, 32
@@ -50,18 +57,35 @@ def _batch_launches_per_sec(unit, n_launches: int) -> float:
     return n_launches / elapsed
 
 
-def run(scalar_launches: int = 50_000, batch_launches: int = 500_000) -> dict:
-    """Measure both paths; returns the JSON payload."""
-    unit = build_unit(
-        run_workload("sha"), 0, FabricGeometry(rows=ROWS, cols=COLS)
-    )
+def _sa_units_per_sec(trace, unit, n_units: int) -> float:
+    """Simulated-annealing mapping throughput on the same window."""
+    geometry = FabricGeometry(rows=ROWS, cols=COLS)
+    records = [trace[offset] for offset in range(unit.n_instructions)]
+    mapper = SimulatedAnnealingMapper(seed=0)
+    start = time.perf_counter()
+    for _ in range(n_units):
+        mapper.map_unit(records, geometry, seed=unit)
+    elapsed = time.perf_counter() - start
+    return n_units / elapsed
+
+
+def run(
+    scalar_launches: int = 50_000,
+    batch_launches: int = 500_000,
+    sa_units: int = 200,
+) -> dict:
+    """Measure all paths; returns one flat JSON record."""
+    trace = run_workload("sha")
+    unit = build_unit(trace, 0, FabricGeometry(rows=ROWS, cols=COLS))
     assert unit is not None
     # Warm-up pass so one-time costs (trace cache, numpy footprint
     # caching) stay out of the measurement.
     _scalar_launches_per_sec(unit, 1_000)
     _batch_launches_per_sec(unit, 10_000)
+    _sa_units_per_sec(trace, unit, 5)
     scalar = _scalar_launches_per_sec(unit, scalar_launches)
     batch = _batch_launches_per_sec(unit, batch_launches)
+    sa_rate = _sa_units_per_sec(trace, unit, sa_units)
     return {
         "benchmark": "rotation_allocation",
         "fabric": f"L{COLS}xW{ROWS}",
@@ -71,8 +95,44 @@ def run(scalar_launches: int = 50_000, batch_launches: int = 500_000) -> dict:
         "scalar_launches_per_sec": round(scalar, 1),
         "batch_launches_per_sec": round(batch, 1),
         "batch_speedup": round(batch / scalar, 2),
+        "sa_map_units": sa_units,
+        "sa_map_units_per_sec": round(sa_rate, 1),
         "python": platform.python_version(),
         "machine": platform.machine(),
+    }
+
+
+def append_history(output: Path, record: dict) -> dict:
+    """Fold ``record`` into ``output``'s history payload.
+
+    A pre-existing flat record (the pre-``--append`` format) becomes
+    the first history entry rather than being lost; a bare JSON list is
+    adopted as the history itself; a corrupt file is reported and the
+    history restarted (never an unhandled crash mid-CI).
+    """
+    history: list[dict] = []
+    if output.exists():
+        try:
+            existing = json.loads(output.read_text())
+        except json.JSONDecodeError as error:
+            print(
+                f"warning: {output} is not valid JSON ({error}); "
+                "starting a fresh history",
+                file=sys.stderr,
+            )
+            existing = None
+        if isinstance(existing, dict) and isinstance(
+            existing.get("history"), list
+        ):
+            history = existing["history"]
+        elif isinstance(existing, list):
+            history = existing
+        elif isinstance(existing, dict):
+            history = [existing]
+    history.append(record)
+    return {
+        "benchmark": record.get("benchmark", "rotation_allocation"),
+        "history": history,
     }
 
 
@@ -84,10 +144,25 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_alloc.json"),
         help="where to write the JSON payload (default: ./BENCH_alloc.json)",
     )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append to the output's history list instead of overwriting",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced launch counts (CI smoke run, not a stable number)",
+    )
     args = parser.parse_args(argv)
-    payload = run()
+    if args.quick:
+        record = run(scalar_launches=2_000, batch_launches=20_000, sa_units=20)
+        record["quick"] = True
+    else:
+        record = run()
+    payload = append_history(args.output, record) if args.append else record
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
+    print(json.dumps(record, indent=2))
     print(f"[wrote {args.output}]")
     return 0
 

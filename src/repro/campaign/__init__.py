@@ -1,7 +1,7 @@
 """Campaign subsystem: declarative experiment campaigns over the system.
 
-A *campaign* is the cross product of fabric geometries, allocation
-policies, workloads and RNG seeds. :class:`CampaignSpec` declares it,
+A *campaign* is the cross product of fabric geometries, mappers,
+allocation policies, workloads and RNG seeds. :class:`CampaignSpec` declares it,
 :class:`CampaignRunner` evaluates every resulting design point (serially
 or on a process pool) against memoised workload traces, and per-point
 JSON artifacts make the results durable. The experiment drivers
@@ -16,13 +16,19 @@ from repro.campaign.runner import (
     CampaignRunner,
     evaluate_design_point,
 )
-from repro.campaign.spec import CampaignSpec, DesignPoint, PolicySpec
+from repro.campaign.spec import (
+    CampaignSpec,
+    DesignPoint,
+    MapperSpec,
+    PolicySpec,
+)
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
     "DesignPoint",
+    "MapperSpec",
     "PolicySpec",
     "SuiteRun",
     "evaluate_design_point",

@@ -109,7 +109,7 @@ def suite_run_summary(point: DesignPoint, run: SuiteRun) -> dict:
         }
         for name, result in run.results.items()
     }
-    return {
+    summary = {
         "key": point.key,
         "rows": point.rows,
         "cols": point.cols,
@@ -123,3 +123,9 @@ def suite_run_summary(point: DesignPoint, run: SuiteRun) -> dict:
         "utilization": run.utilization().tolist(),
         "per_workload": per_workload,
     }
+    if not point.mapper.is_default:
+        # Emitted only off the default so pre-mapper artifacts stay
+        # byte-identical.
+        summary["mapper"] = point.mapper.name
+        summary["mapper_kwargs"] = point.mapper.as_kwargs()
+    return summary

@@ -40,6 +40,8 @@ def _build_params(
             geometry=geometry,
             policy=point.policy.name,
             policy_kwargs=point.policy.as_kwargs(),
+            mapper=point.mapper.name,
+            mapper_kwargs=point.mapper.as_kwargs(),
         )
     # dataclasses.replace keeps every other (including future) field
     # of the override params intact.
@@ -48,6 +50,8 @@ def _build_params(
         geometry=geometry,
         policy=point.policy.name,
         policy_kwargs=point.policy.as_kwargs(),
+        mapper=point.mapper.name,
+        mapper_kwargs=point.mapper.as_kwargs(),
     )
 
 

@@ -1,9 +1,11 @@
 """Declarative campaign specifications.
 
-A campaign enumerates design points — (geometry, policy, workload set)
-combinations — without running anything. Seeds expand seedable policies
-(currently ``random``) into one design point per seed, so statistical
-reference policies can be averaged over repetitions declaratively.
+A campaign enumerates design points — (geometry, mapper, policy,
+workload set) combinations — without running anything. Seeds expand
+seedable policies (``random``) and seedable mappers (``annealing``)
+into one design point per seed, so statistical reference points can be
+averaged over repetitions declaratively and the annealing mapper is
+seeded deterministically from the campaign seed.
 """
 
 from __future__ import annotations
@@ -12,29 +14,45 @@ from dataclasses import dataclass, replace
 
 from repro.core.policy import available_policies, policy_class
 from repro.errors import ConfigurationError
+from repro.mapping import available_mappers, mapper_class
 from repro.workloads.suite import workload_names
 
 
 @dataclass(frozen=True)
-class PolicySpec:
-    """An allocation policy plus constructor arguments, hashable.
+class ComponentSpec:
+    """A registered pipeline component plus constructor arguments.
 
-    ``kwargs`` is stored as a sorted item tuple so specs can key dicts
-    and survive JSON round trips.
+    Shared machinery of :class:`PolicySpec` and :class:`MapperSpec`:
+    ``kwargs`` is stored as a sorted item tuple so specs are hashable
+    (dict keys) and survive JSON round trips; subclasses bind the
+    registry via :meth:`_available`/:meth:`_class_of`. Two subclasses
+    never compare equal (dataclass equality is class-aware), so the
+    policy and mapper axes cannot be mixed up.
     """
 
     name: str
     kwargs: tuple[tuple[str, object], ...] = ()
 
+    #: Human name of the component kind (error messages).
+    _kind = "component"
+
     @classmethod
-    def make(cls, name: str, **kwargs) -> "PolicySpec":
+    def _available(cls) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    @classmethod
+    def _class_of(cls, name: str) -> type:
+        raise NotImplementedError
+
+    @classmethod
+    def make(cls, name: str, **kwargs):
         return cls(name=name, kwargs=tuple(sorted(kwargs.items())))
 
     def __post_init__(self) -> None:
-        if self.name not in available_policies():
+        if self.name not in self._available():
             raise ConfigurationError(
-                f"unknown policy {self.name!r}; "
-                f"available: {list(available_policies())}"
+                f"unknown {self._kind} {self.name!r}; "
+                f"available: {list(self._available())}"
             )
 
     def as_kwargs(self) -> dict:
@@ -42,14 +60,14 @@ class PolicySpec:
 
     @property
     def seedable(self) -> bool:
-        """Whether the policy draws from a seedable RNG."""
-        return bool(getattr(policy_class(self.name), "seedable", False))
+        """Whether the component draws from a seedable RNG."""
+        return bool(getattr(self._class_of(self.name), "seedable", False))
 
-    def with_seed(self, seed: int) -> "PolicySpec":
+    def with_seed(self, seed: int):
         """Copy of this spec pinned to ``seed``."""
         kwargs = self.as_kwargs()
         kwargs["seed"] = seed
-        return PolicySpec.make(self.name, **kwargs)
+        return type(self).make(self.name, **kwargs)
 
     @property
     def label(self) -> str:
@@ -60,6 +78,59 @@ class PolicySpec:
 
 
 @dataclass(frozen=True)
+class PolicySpec(ComponentSpec):
+    """An allocation policy plus constructor arguments, hashable."""
+
+    _kind = "policy"
+
+    @classmethod
+    def _available(cls) -> tuple[str, ...]:
+        return available_policies()
+
+    @classmethod
+    def _class_of(cls, name: str) -> type:
+        return policy_class(name)
+
+
+@dataclass(frozen=True)
+class MapperSpec(ComponentSpec):
+    """A mapper plus constructor arguments, hashable."""
+
+    _kind = "mapper"
+
+    @classmethod
+    def _available(cls) -> tuple[str, ...]:
+        return available_mappers()
+
+    @classmethod
+    def _class_of(cls, name: str) -> type:
+        return mapper_class(name)
+
+    @property
+    def is_default(self) -> bool:
+        """The plain greedy mapper — the seed pipeline's behaviour."""
+        return self.name == "greedy" and not self.kwargs
+
+
+#: The implicit mapper of campaigns that predate the mappers axis.
+DEFAULT_MAPPER = MapperSpec(name="greedy")
+
+
+def _expand_seeds(specs, seeds):
+    """One design-point variant per seed for every *seedable* spec
+    (non-seedable specs are kept as-is, once)."""
+    if not seeds:
+        return tuple(specs)
+    expanded = []
+    for spec in specs:
+        if spec.seedable:
+            expanded.extend(spec.with_seed(seed) for seed in seeds)
+        else:
+            expanded.append(spec)
+    return tuple(expanded)
+
+
+@dataclass(frozen=True)
 class DesignPoint:
     """One evaluatable point of a campaign."""
 
@@ -67,12 +138,22 @@ class DesignPoint:
     cols: int
     policy: PolicySpec
     workloads: tuple[str, ...]
+    mapper: MapperSpec = DEFAULT_MAPPER
 
     @property
     def key(self) -> str:
-        """Filesystem-safe identifier (artifact file stem)."""
+        """Filesystem-safe identifier (artifact file stem).
+
+        The mapper contributes only when it is not the default greedy
+        one, so artifact names from pre-mapper campaigns are stable.
+        """
         parts = [f"L{self.cols}xW{self.rows}", self.policy.name]
         parts.extend(f"{key}-{value}" for key, value in self.policy.kwargs)
+        if not self.mapper.is_default:
+            parts.append(f"m-{self.mapper.name}")
+            parts.extend(
+                f"{key}-{value}" for key, value in self.mapper.kwargs
+            )
         return "__".join(
             "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in str(part))
             for part in parts
@@ -80,20 +161,27 @@ class DesignPoint:
 
     @property
     def label(self) -> str:
-        return f"L{self.cols}xW{self.rows}/{self.policy.label}"
+        base = f"L{self.cols}xW{self.rows}/{self.policy.label}"
+        if self.mapper.is_default:
+            return base
+        return f"{base}/{self.mapper.label}"
 
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """Cross product of geometries x policies x workloads x seeds.
+    """Cross product of geometries x mappers x policies x workloads x
+    seeds.
 
     Attributes:
         geometries: ``(rows, cols)`` fabric shapes.
         policies: allocation policies to evaluate on each shape.
+        mappers: place-and-route mappers to evaluate; empty selects the
+            default greedy mapper only (the pre-mapper behaviour).
         workloads: suite member names; empty selects the full suite.
-        seeds: when non-empty, every *seedable* policy is expanded into
-            one design point per seed (non-seedable policies are kept
-            as-is, once).
+        seeds: when non-empty, every *seedable* policy and mapper is
+            expanded into one variant per seed (non-seedable ones are
+            kept as-is, once) — this is how the annealing mapper is
+            seeded deterministically from the campaign seed.
         name: campaign identifier (artifact manifest name).
     """
 
@@ -102,6 +190,7 @@ class CampaignSpec:
     workloads: tuple[str, ...] = ()
     seeds: tuple[int, ...] = ()
     name: str = "campaign"
+    mappers: tuple[MapperSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.geometries:
@@ -118,30 +207,39 @@ class CampaignSpec:
         """Workload selection with the empty default expanded."""
         return self.workloads if self.workloads else workload_names()
 
+    def resolved_mappers(self) -> tuple[MapperSpec, ...]:
+        """Mapper selection with the empty default expanded."""
+        return self.mappers if self.mappers else (DEFAULT_MAPPER,)
+
     def expanded_policies(self) -> tuple[PolicySpec, ...]:
         """Policies with seed expansion applied."""
-        if not self.seeds:
-            return self.policies
-        expanded: list[PolicySpec] = []
-        for policy in self.policies:
-            if policy.seedable:
-                expanded.extend(policy.with_seed(seed) for seed in self.seeds)
-            else:
-                expanded.append(policy)
-        return tuple(expanded)
+        return _expand_seeds(self.policies, self.seeds)
+
+    def expanded_mappers(self) -> tuple[MapperSpec, ...]:
+        """Mappers with seed expansion applied (seedable ones only)."""
+        return _expand_seeds(self.resolved_mappers(), self.seeds)
 
     def design_points(self) -> tuple[DesignPoint, ...]:
-        """Every design point, geometries outermost, policies inner.
+        """Every design point: geometries outermost, then mappers,
+        policies innermost.
 
         Raises:
             ConfigurationError: on duplicate design points (repeated
-                geometries, policies or seeds) — duplicates would
-                silently collapse when results are keyed by point.
+                geometries, mappers, policies or seeds) — duplicates
+                would silently collapse when results are keyed by
+                point.
         """
         workloads = self.resolved_workloads()
         points = tuple(
-            DesignPoint(rows=rows, cols=cols, policy=policy, workloads=workloads)
+            DesignPoint(
+                rows=rows,
+                cols=cols,
+                policy=policy,
+                workloads=workloads,
+                mapper=mapper,
+            )
             for rows, cols in self.geometries
+            for mapper in self.expanded_mappers()
             for policy in self.expanded_policies()
         )
         seen: set[DesignPoint] = set()
@@ -149,7 +247,7 @@ class CampaignSpec:
             if point in seen:
                 raise ConfigurationError(
                     f"duplicate design point {point.label!r}; check for "
-                    "repeated geometries, policies or seeds"
+                    "repeated geometries, mappers, policies or seeds"
                 )
             seen.add(point)
         return points
@@ -158,8 +256,12 @@ class CampaignSpec:
         return replace(self, workloads=workloads)
 
     def to_jsonable(self) -> dict:
-        """Manifest form (see ``campaign.json`` artifacts)."""
-        return {
+        """Manifest form (see ``campaign.json`` artifacts).
+
+        The ``mappers`` entry is emitted only for campaigns that set
+        the axis, keeping pre-mapper manifests byte-identical.
+        """
+        payload = {
             "name": self.name,
             "geometries": [list(shape) for shape in self.geometries],
             "policies": [
@@ -169,6 +271,12 @@ class CampaignSpec:
             "workloads": list(self.resolved_workloads()),
             "seeds": list(self.seeds),
         }
+        if self.mappers:
+            payload["mappers"] = [
+                {"name": mapper.name, "kwargs": mapper.as_kwargs()}
+                for mapper in self.mappers
+            ]
+        return payload
 
     @classmethod
     def from_jsonable(cls, payload: dict) -> "CampaignSpec":
@@ -185,4 +293,8 @@ class CampaignSpec:
             ),
             workloads=tuple(payload.get("workloads", ())),
             seeds=tuple(int(seed) for seed in payload.get("seeds", ())),
+            mappers=tuple(
+                MapperSpec.make(entry["name"], **entry.get("kwargs", {}))
+                for entry in payload.get("mappers", ())
+            ),
         )

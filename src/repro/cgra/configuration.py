@@ -17,6 +17,27 @@ import numpy as np
 from repro.cgra.fu import FUKind
 from repro.errors import ConfigurationError
 
+#: Identity of the default (greedy first-fit) mapper — the namespace
+#: configurations carry when no mapper was injected. Single source for
+#: the literal shared by :class:`VirtualConfiguration`,
+#: :class:`repro.dbt.config_cache.ConfigCache` and
+#: :class:`repro.mapping.greedy.GreedyMapper`.
+DEFAULT_MAPPER_KEY = "greedy"
+
+
+def greedy_identity(row_policy: str) -> str:
+    """Mapper identity of the greedy scheduler under ``row_policy``.
+
+    One formatter shared by unit discovery (which stamps the seed
+    placement it produced) and :class:`repro.mapping.greedy.GreedyMapper`
+    (which only adopts seeds carrying its own identity) — equal
+    identity must imply identical placement, so the row-scan order is
+    part of the name.
+    """
+    if row_policy == "first_fit":
+        return DEFAULT_MAPPER_KEY
+    return f"{DEFAULT_MAPPER_KEY}(row_policy={row_policy})"
+
 
 @dataclass(frozen=True, slots=True)
 class PlacedOp:
@@ -64,6 +85,9 @@ class VirtualConfiguration:
             that produced no fabric op (e.g. ``jal`` glue).
         geometry_rows: rows of the fabric this was scheduled for.
         geometry_cols: columns of the fabric this was scheduled for.
+        mapper_key: identity of the mapper that placed the ops (the
+            configuration-cache namespace — see
+            :meth:`repro.mapping.base.Mapper.identity`).
     """
 
     start_pc: int
@@ -72,6 +96,7 @@ class VirtualConfiguration:
     n_instructions: int
     geometry_rows: int
     geometry_cols: int
+    mapper_key: str = DEFAULT_MAPPER_KEY
     _cells: tuple[tuple[int, int], ...] = field(
         default=(), repr=False, compare=False
     )

@@ -196,3 +196,17 @@ class UtilizationTracker:
         view = self._execution_counts.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def stress_map(self) -> np.ndarray:
+        """The live per-cell stress map (read-only view).
+
+        The named feedback interface between allocation and mapping:
+        the DBT engine snapshots it as the ``stress_hint`` handed to
+        wear-aware mappers (:mod:`repro.mapping`). Mappers read it in
+        the virtual frame — exact under identity-pivot allocation, a
+        heuristic prior under pivoting policies (see
+        :mod:`repro.mapping.annealing`). Launch-count weighted, the
+        same signal the ``stress_aware`` policy reads.
+        """
+        return self.execution_counts

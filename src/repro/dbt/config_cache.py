@@ -1,11 +1,18 @@
 """PC-indexed configuration cache with LRU replacement.
 
 The DBT saves each translation unit here, keyed by the PC of its first
-instruction (Step 3 of the TransRec execution model); while the GPP
-runs, the cache is probed with the upcoming PC (Step 4). Capacity is
-expressed in entries; the bit cost of one entry for a given fabric
-geometry is available from :class:`repro.cgra.reconfig.ReconfigLogicSpec`
-and surfaces in the SRAM area model.
+instruction (Step 3 of the TransRec execution model) *and* by the
+identity of the mapper that placed it; while the GPP runs, the cache is
+probed with the upcoming PC (Step 4) in the cache's bound mapper
+namespace. The mapper dimension matters for campaigns that sweep
+several mappers over one fabric: a virtual configuration placed by one
+mapper must never replay as if another mapper had produced it, so
+entries from different mappers can coexist without aliasing.
+
+Capacity is expressed in entries; the bit cost of one entry for a given
+fabric geometry is available from
+:class:`repro.cgra.reconfig.ReconfigLogicSpec` and surfaces in the SRAM
+area model.
 """
 
 from __future__ import annotations
@@ -13,8 +20,15 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.configuration import DEFAULT_MAPPER_KEY, VirtualConfiguration
 from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_MAPPER_KEY",  # re-export: the cache's default namespace
+    "ConfigCache",
+    "ConfigCacheStats",
+    "EntryStats",
+]
 
 
 @dataclass
@@ -57,57 +71,81 @@ class EntryStats:
 
 @dataclass
 class ConfigCache:
-    """LRU cache mapping start PC -> :class:`VirtualConfiguration`."""
+    """LRU cache mapping (mapper identity, start PC) ->
+    :class:`VirtualConfiguration`.
+
+    ``mapper_key`` is the namespace that PC-based probes
+    (:meth:`lookup`, :meth:`remove`, :meth:`entry_stats`,
+    ``pc in cache``) resolve in; :meth:`insert` always files a unit
+    under the identity recorded on the unit itself, so stale
+    cross-mapper reuse is structurally impossible even when one cache
+    object is shared by several engines.
+    """
 
     capacity: int = 64
     stats: ConfigCacheStats = field(default_factory=ConfigCacheStats)
+    mapper_key: str = DEFAULT_MAPPER_KEY
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ConfigurationError("config cache capacity must be >= 1")
-        self._entries: OrderedDict[int, VirtualConfiguration] = OrderedDict()
-        self._entry_stats: dict[int, EntryStats] = {}
+        self._entries: OrderedDict[
+            tuple[str, int], VirtualConfiguration
+        ] = OrderedDict()
+        self._entry_stats: dict[tuple[str, int], EntryStats] = {}
+
+    def _key(self, pc: int) -> tuple[str, int]:
+        return (self.mapper_key, pc)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, pc: int) -> bool:
-        return pc in self._entries
+        return self._key(pc) in self._entries
 
     def lookup(self, pc: int) -> VirtualConfiguration | None:
         """Probe the cache; counts a hit/miss and refreshes recency."""
-        unit = self._entries.get(pc)
+        key = self._key(pc)
+        unit = self._entries.get(key)
         if unit is None:
             self.stats.misses += 1
             return None
-        self._entries.move_to_end(pc)
+        self._entries.move_to_end(key)
         self.stats.hits += 1
         return unit
 
     def insert(self, unit: VirtualConfiguration) -> None:
-        """Insert a freshly translated unit, evicting the LRU entry."""
-        if unit.start_pc in self._entries:
-            self._entries.move_to_end(unit.start_pc)
-            self._entries[unit.start_pc] = unit
-            self._entry_stats[unit.start_pc] = EntryStats()
+        """Insert a freshly translated unit, evicting the LRU entry.
+
+        The entry is keyed by the unit's own ``mapper_key``, which for
+        units built through the engine equals the engine's mapper
+        identity — two mappers sweeping the same PCs occupy disjoint
+        key spaces.
+        """
+        key = (unit.mapper_key, unit.start_pc)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = unit
+            self._entry_stats[key] = EntryStats()
             return
         if len(self._entries) >= self.capacity:
-            evicted_pc, _ = self._entries.popitem(last=False)
-            self._entry_stats.pop(evicted_pc, None)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._entry_stats.pop(evicted_key, None)
             self.stats.evictions += 1
-        self._entries[unit.start_pc] = unit
-        self._entry_stats[unit.start_pc] = EntryStats()
+        self._entries[key] = unit
+        self._entry_stats[key] = EntryStats()
         self.stats.insertions += 1
 
     def remove(self, pc: int) -> None:
         """Drop an entry (misspec-monitor blacklisting)."""
-        self._entries.pop(pc, None)
-        self._entry_stats.pop(pc, None)
+        key = self._key(pc)
+        self._entries.pop(key, None)
+        self._entry_stats.pop(key, None)
 
     def entry_stats(self, pc: int) -> EntryStats | None:
         """Replay counters for the unit at ``pc``, if resident."""
-        return self._entry_stats.get(pc)
+        return self._entry_stats.get(self._key(pc))
 
     def units(self) -> tuple[VirtualConfiguration, ...]:
-        """All resident units, LRU-first."""
+        """All resident units (every mapper namespace), LRU-first."""
         return tuple(self._entries.values())

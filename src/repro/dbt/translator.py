@@ -10,13 +10,21 @@ every loop head and call target.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.configuration import VirtualConfiguration, greedy_identity
 from repro.cgra.fabric import FabricGeometry
 from repro.dbt.config_cache import ConfigCache
 from repro.dbt.window import UnitLimits, build_unit, truncate_unit
+from repro.errors import ConfigurationError
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import numpy as np
+
+    from repro.mapping.base import Mapper
 
 
 @dataclass(frozen=True)
@@ -35,15 +43,48 @@ class DBTLimits(UnitLimits):
 
 @dataclass
 class DBTEngine:
-    """Stateful translator shared by one simulation run."""
+    """Stateful translator shared by one simulation run.
+
+    Attributes:
+        mapper: place-and-route stage applied to every discovered
+            window (``None`` keeps the hardwired greedy placement —
+            the two are byte-identical, the injection point just
+            avoids a no-op call).
+        stress_provider: zero-argument callable returning the
+            allocator's live per-cell stress map; snapshotted per
+            translation for mappers that declare ``uses_stress``.
+    """
 
     geometry: FabricGeometry
     cache: ConfigCache
     limits: DBTLimits = field(default_factory=DBTLimits)
+    mapper: "Mapper | None" = None
+    stress_provider: "Callable[[], np.ndarray] | None" = None
 
     def __post_init__(self) -> None:
+        # A mismatched pairing would file every insert under the units'
+        # namespace while probes resolve in the cache's — a permanent,
+        # silent 0% hit rate. Fail loudly instead. With no mapper,
+        # units carry the discovery scheduler's greedy identity.
+        produced = (
+            greedy_identity(self.limits.row_policy)
+            if self.mapper is None
+            else self.mapper.identity()
+        )
+        if self.cache.mapper_key != produced:
+            raise ConfigurationError(
+                f"config cache namespace {self.cache.mapper_key!r} does "
+                f"not match the engine's mapper identity {produced!r}"
+            )
         self._rejected_pcs: set[int] = set()
         self.translations = 0
+
+    def _stress_hint(self) -> "np.ndarray | None":
+        if self.stress_provider is None or self.mapper is None:
+            return None
+        if not getattr(self.mapper, "uses_stress", False):
+            return None
+        return self.stress_provider()
 
     def is_unit_head(self, trace: Trace, position: int) -> bool:
         """Whether ``trace[position]`` can start a translation unit."""
@@ -62,7 +103,14 @@ class DBTEngine:
         pc = trace[position].pc
         if self.limits.remember_rejects and pc in self._rejected_pcs:
             return None
-        unit = build_unit(trace, position, self.geometry, self.limits)
+        unit = build_unit(
+            trace,
+            position,
+            self.geometry,
+            self.limits,
+            mapper=self.mapper,
+            stress_hint=self._stress_hint(),
+        )
         self.translations += 1
         if unit is None:
             self.cache.stats.rejected += 1

@@ -20,12 +20,22 @@ configuration-cache entry).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.cgra.configuration import PlacedOp, VirtualConfiguration
+from repro.cgra.configuration import (
+    PlacedOp,
+    VirtualConfiguration,
+    greedy_identity,
+)
 from repro.cgra.fabric import FabricGeometry
 from repro.dbt.scheduler import SchedulerState
 from repro.isa.instructions import InstrClass
 from repro.sim.trace import Trace, TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import numpy as np
+
+    from repro.mapping.base import Mapper
 
 
 @dataclass(frozen=True)
@@ -48,13 +58,52 @@ def _ends_unit(record: TraceRecord) -> bool:
     return record.cls is InstrClass.JUMP and record.op == "jalr"
 
 
+#: Sentinel returned by :func:`place_record` for instructions that stay
+#: on the recorded path but contribute no fabric op (``jal x0``).
+NO_FABRIC_OP = object()
+
+
+def place_record(
+    state: SchedulerState, record: TraceRecord, offset: int
+) -> PlacedOp | object | None:
+    """Place one record on ``state``'s grid.
+
+    The single definition of per-instruction placement semantics,
+    shared by unit discovery (:func:`build_unit`) and by mappers that
+    re-place fixed windows (:func:`repro.mapping.greedy.place_window`).
+
+    Returns the :class:`PlacedOp`, :data:`NO_FABRIC_OP` for ``jal x0``
+    (a pure goto with no dataflow), or ``None`` when the record is
+    unmappable or found no free slot.
+    """
+    if record.cls is InstrClass.JUMP:
+        if record.op != "jal":
+            return None  # jalr: target unknown at translation time
+        if record.rd is None:
+            return NO_FABRIC_OP
+        # The link value pc+4 is a translation-time constant generated
+        # by an ALU cell with no input dependences.
+        return state.try_place_constant(record.op, record.rd, offset)
+    return state.try_place(record, trace_offset=offset)
+
+
 def build_unit(
     trace: Trace,
     start: int,
     geometry: FabricGeometry,
     limits: UnitLimits | None = None,
+    mapper: "Mapper | None" = None,
+    stress_hint: "np.ndarray | None" = None,
 ) -> VirtualConfiguration | None:
     """Build a translation unit starting at ``trace[start]``.
+
+    The *window* (which instructions belong to the unit) is always
+    discovered by the greedy scheduler — unit boundaries, ``pc_path``
+    and speculation behaviour are therefore mapper-independent. When a
+    ``mapper`` is injected, the discovered window is handed to it for
+    placement, with the greedy result as seed (the default
+    :class:`~repro.mapping.greedy.GreedyMapper` returns the seed
+    untouched, keeping the pipeline byte-identical).
 
     Returns ``None`` when no unit of at least ``min_instructions`` can
     be formed at this position.
@@ -63,6 +112,7 @@ def build_unit(
     state = SchedulerState(geometry, row_policy=limits.row_policy)
     ops: list[PlacedOp] = []
     pc_path: list[int] = []
+    window: list[TraceRecord] = []
     branches = 0
 
     position = start
@@ -73,31 +123,35 @@ def build_unit(
         if record.cls is InstrClass.BRANCH:
             if branches + 1 > limits.max_branches:
                 break
-        if record.cls is InstrClass.JUMP:  # jal only, per _ends_unit
-            placed = _place_jal(state, record, len(pc_path))
-            if record.rd is not None and placed is None:
-                break  # link register op did not fit
-            if placed is not None:
-                ops.append(placed)
-        else:
-            placed = state.try_place(record, trace_offset=len(pc_path))
-            if placed is None:
-                break
+        placed = place_record(state, record, len(pc_path))
+        if placed is None:
+            break  # no free slot (or link register op did not fit)
+        if placed is not NO_FABRIC_OP:
             ops.append(placed)
             if record.cls is InstrClass.BRANCH:
                 branches += 1
         pc_path.append(record.pc)
+        window.append(record)
         position += 1
 
     if len(pc_path) < limits.min_instructions or not ops:
         return None
-    return VirtualConfiguration(
+    unit = VirtualConfiguration(
         start_pc=trace[start].pc,
         pc_path=tuple(pc_path),
         ops=tuple(ops),
         n_instructions=len(pc_path),
         geometry_rows=geometry.rows,
         geometry_cols=geometry.cols,
+        # The seed carries the identity of the scheduler configuration
+        # that actually placed it (row policy included), so mappers and
+        # the config cache never alias distinct placements.
+        mapper_key=greedy_identity(limits.row_policy),
+    )
+    if mapper is None:
+        return unit
+    return mapper.map_unit(
+        window, geometry, stress_hint=stress_hint, seed=unit
     )
 
 
@@ -124,17 +178,7 @@ def truncate_unit(
         n_instructions=length,
         geometry_rows=unit.geometry_rows,
         geometry_cols=unit.geometry_cols,
+        mapper_key=unit.mapper_key,
     )
 
 
-def _place_jal(
-    state: SchedulerState, record: TraceRecord, offset: int
-) -> PlacedOp | None:
-    """Place the link-address op for ``jal`` (none needed for ``j``).
-
-    The link value ``pc+4`` is a translation-time constant generated by
-    an ALU cell with no input dependences.
-    """
-    if record.rd is None:
-        return None  # jal x0: pure goto, no dataflow
-    return state.try_place_constant(record.op, record.rd, offset)

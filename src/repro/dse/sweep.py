@@ -17,6 +17,7 @@ import numpy as np
 from repro.campaign import (
     CampaignRunner,
     CampaignSpec,
+    MapperSpec,
     PolicySpec,
     SuiteRun,
 )
@@ -88,12 +89,15 @@ def run_design_point(
     rows: int,
     policy: str = "baseline",
     base_params: SystemParams | None = None,
+    mapper: str = "greedy",
+    mapper_kwargs: dict | None = None,
     **policy_kwargs,
 ) -> DSEPoint:
     """Evaluate one geometry over a set of workload traces."""
     spec = CampaignSpec(
         geometries=((rows, cols),),
         policies=(PolicySpec.make(policy, **policy_kwargs),),
+        mappers=(MapperSpec.make(mapper, **(mapper_kwargs or {})),),
         workloads=tuple(traces),
         name=f"dse_L{cols}xW{rows}",
     )
@@ -107,19 +111,24 @@ def sweep(
     widths: tuple[int, ...] = DEFAULT_WIDTHS,
     policy: str = "baseline",
     max_workers: int | None = None,
+    mapper: str = "greedy",
+    mapper_kwargs: dict | None = None,
 ) -> list[DSEPoint]:
     """Evaluate every (L, W) combination; raster order over L then W.
 
     Explicit ``traces`` always evaluate serially (trace objects are not
     shipped to pool workers). Pass ``traces=None`` to run the full
     verified suite — then ``max_workers > 1`` distributes the grid
-    over a process pool.
+    over a process pool. ``mapper`` selects the place-and-route stage
+    for every point, so the paper's geometry exploration can be re-run
+    under wear-aware mapping.
     """
     spec = CampaignSpec(
         geometries=tuple(
             (width, length) for length in lengths for width in widths
         ),
         policies=(PolicySpec.make(policy),),
+        mappers=(MapperSpec.make(mapper, **(mapper_kwargs or {})),),
         workloads=tuple(traces) if traces is not None else (),
         name="dse_sweep",
     )

@@ -40,3 +40,7 @@ class ConfigurationError(ReproError):
 
 class AllocationError(ReproError):
     """Raised when an allocation policy produces an invalid placement."""
+
+
+class MappingError(ReproError):
+    """Raised when a mapper produces an illegal virtual configuration."""

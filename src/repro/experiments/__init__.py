@@ -13,9 +13,19 @@ CLI (``python -m repro.experiments [name ...]``) runs and prints them.
 | table1   | Table I — utilization and lifetime improvements       |
 | table2   | Table II — area overhead + Sec. V-B latency check     |
 | ablation | (extra) policy/pattern/monitor ablation study         |
+| mapping  | (extra) mapper- vs allocation-level wear leveling     |
 """
 
-from repro.experiments import ablation, fig1, fig6, fig7, fig8, table1, table2
+from repro.experiments import (
+    ablation,
+    fig1,
+    fig6,
+    fig7,
+    fig8,
+    mapping_ablation,
+    table1,
+    table2,
+)
 
 ALL_EXPERIMENTS = {
     "fig1": fig1,
@@ -25,6 +35,7 @@ ALL_EXPERIMENTS = {
     "table1": table1,
     "table2": table2,
     "ablation": ablation,
+    "mapping": mapping_ablation,
 }
 
 __all__ = [
@@ -34,6 +45,7 @@ __all__ = [
     "fig6",
     "fig7",
     "fig8",
+    "mapping_ablation",
     "table1",
     "table2",
 ]

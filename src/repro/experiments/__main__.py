@@ -55,8 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
-        for name, module in ALL_EXPERIMENTS.items():
-            print(f"{name:<10} {_experiment_summary(module)}")
+        # Sorted by name so the listing is deterministic regardless of
+        # registry insertion order (stable for scripts that diff it).
+        for name in sorted(ALL_EXPERIMENTS):
+            print(f"{name:<10} {_experiment_summary(ALL_EXPERIMENTS[name])}")
         return 0
     names = args.names or list(ALL_EXPERIMENTS)
     unknown = [name for name in names if name not in ALL_EXPERIMENTS]

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.campaign import CampaignRunner, CampaignSpec, PolicySpec, SuiteRun
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    MapperSpec,
+    PolicySpec,
+    SuiteRun,
+)
 from repro.workloads.suite import workload_names
 
 __all__ = ["SuiteRun", "run_suite", "suite_size"]
@@ -22,19 +28,29 @@ def run_suite(
     rows: int,
     cols: int,
     policy: str = "baseline",
+    mapper: str = "greedy",
+    mapper_kwargs: dict | None = None,
     **policy_kwargs,
 ) -> SuiteRun:
     """Run the full verified suite on one design point (memoised)."""
-    key = (rows, cols, policy, tuple(sorted(policy_kwargs.items())))
+    key = (
+        rows,
+        cols,
+        policy,
+        tuple(sorted(policy_kwargs.items())),
+        mapper,
+        tuple(sorted((mapper_kwargs or {}).items())),
+    )
     return _run_suite_cached(key)
 
 
 @lru_cache(maxsize=64)
 def _run_suite_cached(key) -> SuiteRun:
-    rows, cols, policy, policy_kwargs = key
+    rows, cols, policy, policy_kwargs, mapper, mapper_kwargs = key
     spec = CampaignSpec(
         geometries=((rows, cols),),
         policies=(PolicySpec(name=policy, kwargs=policy_kwargs),),
+        mappers=(MapperSpec(name=mapper, kwargs=mapper_kwargs),),
         name=f"suite_L{cols}xW{rows}_{policy}",
     )
     return CampaignRunner().run(spec).only_run()

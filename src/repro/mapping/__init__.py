@@ -1,0 +1,43 @@
+"""Pluggable wear-aware place-and-route for virtual configurations.
+
+The mapping stage sits between translation-unit discovery
+(:mod:`repro.dbt.window`) and the configuration cache: a
+:class:`Mapper` turns an instruction window into a
+:class:`~repro.cgra.configuration.VirtualConfiguration`. Built-ins:
+
+* ``greedy`` — :class:`GreedyMapper`, the paper's traditional
+  first-fit placement (the default; byte-identical to the hardwired
+  seed pipeline);
+* ``annealing`` — :class:`SimulatedAnnealingMapper`, wear-aware
+  simulated annealing with a vectorized incremental cost, optionally
+  fed by the allocator's live stress map.
+
+:mod:`repro.mapping.legality` validates any mapper's output against
+the DFG dependence oracle, FU latency spans and the left-to-right
+interconnect constraint.
+"""
+
+from repro.mapping.annealing import SimulatedAnnealingMapper
+from repro.mapping.base import (
+    Mapper,
+    available_mappers,
+    make_mapper,
+    mapper_class,
+    register_mapper,
+)
+from repro.mapping.greedy import GreedyMapper, place_window
+from repro.mapping.legality import LegalityReport, assert_legal, check_unit
+
+__all__ = [
+    "GreedyMapper",
+    "LegalityReport",
+    "Mapper",
+    "SimulatedAnnealingMapper",
+    "assert_legal",
+    "available_mappers",
+    "check_unit",
+    "make_mapper",
+    "mapper_class",
+    "place_window",
+    "register_mapper",
+]

@@ -1,0 +1,113 @@
+"""Greedy first-fit mapper — the paper's traditional allocation.
+
+``GreedyMapper`` wraps the existing DBT scheduler
+(:class:`repro.dbt.scheduler.SchedulerState`) unchanged: ops go to the
+earliest dependence-legal column, first free row scanning from row 0.
+It is the default mapper, and when the DBT engine hands it the greedy
+seed placement it returns that object untouched — every paper output
+stays byte-identical to the hardwired pipeline.
+
+:func:`place_window` is the shared placement routine: it replays the
+scheduler over an already-discovered window, exactly the placement the
+discovery pass produced. Other mappers use it to compute their starting
+point when no seed is supplied.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cgra.configuration import (
+    DEFAULT_MAPPER_KEY,
+    PlacedOp,
+    VirtualConfiguration,
+    greedy_identity,
+)
+from repro.cgra.fabric import FabricGeometry
+from repro.dbt.scheduler import SchedulerState
+from repro.dbt.window import NO_FABRIC_OP, place_record
+from repro.mapping.base import Mapper, register_mapper
+from repro.sim.trace import TraceRecord
+
+
+def place_window(
+    records: Sequence[TraceRecord],
+    geometry: FabricGeometry,
+    row_policy: str = "first_fit",
+    mapper_key: str = DEFAULT_MAPPER_KEY,
+) -> VirtualConfiguration | None:
+    """First-fit placement of a fixed instruction window.
+
+    Per-record semantics are shared with unit discovery through
+    :func:`repro.dbt.window.place_record`; unlike
+    :func:`~repro.dbt.window.build_unit` this does not *discover* the
+    window — the caller fixed it — so placement is all-or-nothing:
+    ``None`` is returned when any record is unmappable or does not fit,
+    never a shorter unit.
+    """
+    records = tuple(records)
+    if not records:
+        return None
+    state = SchedulerState(geometry, row_policy=row_policy)
+    ops: list[PlacedOp] = []
+    for offset, record in enumerate(records):
+        placed = place_record(state, record, offset)
+        if placed is None:
+            return None
+        if placed is not NO_FABRIC_OP:
+            ops.append(placed)
+    if not ops:
+        return None
+    return VirtualConfiguration(
+        start_pc=records[0].pc,
+        pc_path=tuple(record.pc for record in records),
+        ops=tuple(ops),
+        n_instructions=len(records),
+        geometry_rows=geometry.rows,
+        geometry_cols=geometry.cols,
+        mapper_key=mapper_key,
+    )
+
+
+@register_mapper
+class GreedyMapper(Mapper):
+    """The traditional, energy-oriented first-fit placement.
+
+    Args:
+        row_policy: row-scan order of the underlying scheduler
+            (``"first_fit"`` or ``"round_robin"``, see
+            :class:`~repro.dbt.scheduler.SchedulerState`).
+    """
+
+    name = DEFAULT_MAPPER_KEY
+
+    def __init__(self, row_policy: str = "first_fit") -> None:
+        if row_policy not in ("first_fit", "round_robin"):
+            raise ValueError(f"unknown row policy {row_policy!r}")
+        self.row_policy = row_policy
+
+    def map_unit(
+        self,
+        ops: Sequence[TraceRecord],
+        geometry: FabricGeometry,
+        rng: np.random.Generator | None = None,
+        stress_hint: np.ndarray | None = None,
+        seed: VirtualConfiguration | None = None,
+    ) -> VirtualConfiguration | None:
+        # The seed *is* this mapper's output — but only when the cache
+        # identities agree: the engine's discovery pass ran the
+        # first-fit scheduler, so the default mapper returns the seed
+        # unchanged (keeping default-pipeline outputs byte-identical),
+        # while a non-default variant must re-place or its entries
+        # would be filed under the seed's 'greedy' namespace and every
+        # cache probe in its own namespace would miss.
+        if seed is not None and seed.mapper_key == self.identity():
+            return seed
+        return place_window(
+            ops, geometry, self.row_policy, mapper_key=self.identity()
+        )
+
+    def identity(self) -> str:
+        return greedy_identity(self.row_policy)

@@ -1,0 +1,169 @@
+"""Mapper-independent legality checking against the DFG oracle.
+
+Any mapper's output must satisfy the fabric's structural rules; this
+module validates them *independently* of the scheduler's incremental
+bookkeeping, using :func:`repro.dbt.dfg.build_dfg` as the dependence
+oracle:
+
+* **geometry** — every op inside the unit's virtual grid;
+* **exclusivity** — no two ops share a virtual cell;
+* **FU spans** — each op's kind matches its instruction class and its
+  width matches the kind's column latency;
+* **dependences** — for every DFG edge, the consumer starts at or
+  after the producer's last column (the left-to-right interconnect
+  carries values forward only);
+* **memory ports** — one pipelined read and one pipelined write port:
+  issue windows of two loads (or two stores) never overlap.
+
+The checker reports *all* violations (not just the first) so property
+tests produce actionable failures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.fu import (
+    MEM_PORT_ISSUE_COLUMNS,
+    FUKind,
+    fu_kind_for,
+    latency_columns,
+)
+from repro.dbt.dfg import build_dfg
+from repro.errors import MappingError
+from repro.isa.instructions import InstrClass
+from repro.sim.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class LegalityReport:
+    """Outcome of checking one unit; empty ``violations`` means legal."""
+
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_unit(
+    unit: VirtualConfiguration,
+    records: Sequence[TraceRecord],
+) -> LegalityReport:
+    """Validate ``unit`` against the instruction window it maps.
+
+    ``records[i]`` must be the instruction at ``unit.pc_path[i]`` (the
+    window the mapper was given).
+    """
+    violations: list[str] = []
+    records = tuple(records)
+    ops_by_offset: dict[int, object] = {}
+
+    if len(records) < unit.n_instructions:
+        violations.append(
+            f"window has {len(records)} records for "
+            f"{unit.n_instructions} instructions"
+        )
+        return LegalityReport(violations=tuple(violations))
+    # The oracle is only as good as its window: a misaligned one would
+    # build the wrong DFG and validate against it, so check alignment.
+    for offset in range(unit.n_instructions):
+        if records[offset].pc != unit.pc_path[offset]:
+            violations.append(
+                f"window misaligned at offset {offset}: record pc "
+                f"{records[offset].pc:#x} != path pc "
+                f"{unit.pc_path[offset]:#x}"
+            )
+            return LegalityReport(violations=tuple(violations))
+
+    # -- per-op structure: geometry, FU kind/span, offset sanity -------
+    for op in unit.ops:
+        where = f"op {op.op!r} at ({op.row},{op.col})"
+        if not (0 <= op.row < unit.geometry_rows):
+            violations.append(f"{where}: row outside grid")
+        if op.col < 0 or op.end_col > unit.geometry_cols:
+            violations.append(f"{where}: columns outside grid")
+        if not (0 <= op.trace_offset < unit.n_instructions):
+            violations.append(f"{where}: trace offset out of range")
+            continue
+        if op.trace_offset in ops_by_offset:
+            violations.append(
+                f"{where}: duplicate op for offset {op.trace_offset}"
+            )
+            continue
+        ops_by_offset[op.trace_offset] = op
+        record = records[op.trace_offset]
+        if record.cls is InstrClass.JUMP:
+            # jal link-address constant: a one-column ALU op.
+            expected = FUKind.ALU if record.op == "jal" else None
+        else:
+            expected = fu_kind_for(record.cls)
+        if expected is None:
+            violations.append(f"{where}: unmappable class {record.cls}")
+            continue
+        if op.kind is not expected:
+            violations.append(
+                f"{where}: kind {op.kind} != {expected} for {record.op}"
+            )
+        if op.width != latency_columns(op.kind):
+            violations.append(
+                f"{where}: width {op.width} != latency span "
+                f"{latency_columns(op.kind)}"
+            )
+
+    # -- exclusivity ---------------------------------------------------
+    seen: dict[tuple[int, int], object] = {}
+    for op in unit.ops:
+        for cell in op.cells():
+            other = seen.get(cell)
+            if other is not None:
+                violations.append(
+                    f"ops {other.op!r} and {op.op!r} overlap at {cell}"
+                )
+            seen[cell] = op
+
+    # -- dependences against the DFG oracle ----------------------------
+    graph = build_dfg(records[: unit.n_instructions])
+    for producer, consumer in graph.edges:
+        producer_op = ops_by_offset.get(producer)
+        consumer_op = ops_by_offset.get(consumer)
+        if producer_op is None or consumer_op is None:
+            continue  # edges through non-fabric instructions
+        if consumer_op.col < producer_op.end_col:
+            kind = graph.edges[producer, consumer]["kind"]
+            violations.append(
+                f"{kind} dependence {producer}->{consumer} placed "
+                f"backwards: consumer col {consumer_op.col} < producer "
+                f"end {producer_op.end_col}"
+            )
+
+    # -- pipelined memory ports ----------------------------------------
+    for port_kind in (FUKind.LOAD, FUKind.STORE):
+        issues = sorted(
+            op.col for op in unit.ops if op.kind is port_kind
+        )
+        for first, second in zip(issues, issues[1:]):
+            if second - first < MEM_PORT_ISSUE_COLUMNS:
+                violations.append(
+                    f"two {port_kind.value} ops issue at columns "
+                    f"{first} and {second}: port accepts one access "
+                    f"per {MEM_PORT_ISSUE_COLUMNS} columns"
+                )
+
+    return LegalityReport(violations=tuple(violations))
+
+
+def assert_legal(
+    unit: VirtualConfiguration,
+    records: Sequence[TraceRecord],
+) -> None:
+    """Raise :class:`MappingError` when ``unit`` violates any rule."""
+    report = check_unit(unit, records)
+    if not report.ok:
+        summary = "; ".join(report.violations[:5])
+        raise MappingError(
+            f"illegal configuration at pc {unit.start_pc:#x} "
+            f"({len(report.violations)} violation(s)): {summary}"
+        )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cgra.datapath import DatapathParams
 from repro.cgra.fabric import FabricGeometry
@@ -20,6 +20,10 @@ class SystemParams:
         policy: allocation policy name (see
             :func:`repro.core.policy.available_policies`).
         policy_kwargs: constructor arguments for the policy.
+        mapper: mapper name (see
+            :func:`repro.mapping.available_mappers`); ``"greedy"`` is
+            the paper's traditional first-fit placement.
+        mapper_kwargs: constructor arguments for the mapper.
         gpp: GPP timing parameters.
         datapath: CGRA datapath timing parameters.
         dbt: translation-unit limits.
@@ -30,6 +34,8 @@ class SystemParams:
     geometry: FabricGeometry
     policy: str = "baseline"
     policy_kwargs: dict = field(default_factory=dict)
+    mapper: str = "greedy"
+    mapper_kwargs: dict = field(default_factory=dict)
     gpp: GPPParams = field(default_factory=GPPParams)
     datapath: DatapathParams = field(default_factory=DatapathParams)
     dbt: DBTLimits = field(default_factory=DBTLimits)
@@ -38,13 +44,8 @@ class SystemParams:
 
     def with_policy(self, policy: str, **policy_kwargs) -> "SystemParams":
         """Copy of these parameters under a different policy."""
-        return SystemParams(
-            geometry=self.geometry,
-            policy=policy,
-            policy_kwargs=policy_kwargs,
-            gpp=self.gpp,
-            datapath=self.datapath,
-            dbt=self.dbt,
-            config_cache_entries=self.config_cache_entries,
-            energy=self.energy,
-        )
+        return replace(self, policy=policy, policy_kwargs=policy_kwargs)
+
+    def with_mapper(self, mapper: str, **mapper_kwargs) -> "SystemParams":
+        """Copy of these parameters under a different mapper."""
+        return replace(self, mapper=mapper, mapper_kwargs=mapper_kwargs)

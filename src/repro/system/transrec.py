@@ -27,6 +27,7 @@ from repro.core.policy import make_policy
 from repro.dbt.config_cache import ConfigCache
 from repro.dbt.translator import DBTEngine
 from repro.gpp.timing import GPPTimingModel, GPPTimingResult
+from repro.mapping import make_mapper
 from repro.hw.energy import EnergyModel, EnergyReport, SystemActivity
 from repro.isa.program import Program
 from repro.sim.cpu import CPU
@@ -86,11 +87,30 @@ class TransRecSystem:
     def _run_transrec(self, trace: Trace):
         params = self.params
         gpp = GPPTimingModel(params.gpp)
-        cache = ConfigCache(capacity=params.config_cache_entries)
-        engine = DBTEngine(geometry=self.geometry, cache=cache,
-                           limits=params.dbt)
+        mapper_kwargs = dict(params.mapper_kwargs)
+        if params.mapper == "greedy":
+            # The DBT's discovery scheduler *is* the greedy mapper, so
+            # the legacy scheduler-level row-policy knob (DBTLimits)
+            # flows into the mapper unless explicitly overridden —
+            # seed placements and cache namespace then agree.
+            mapper_kwargs.setdefault("row_policy", params.dbt.row_policy)
+        mapper = make_mapper(params.mapper, **mapper_kwargs)
+        cache = ConfigCache(
+            capacity=params.config_cache_entries,
+            mapper_key=mapper.identity(),
+        )
         allocator = ConfigurationAllocator(
             self.geometry, make_policy(params.policy, **params.policy_kwargs)
+        )
+        # The default greedy mapper returns the discovery scheduler's
+        # seed placement untouched (O(1)), so unconditional injection
+        # is byte-identical to the hardwired pipeline.
+        engine = DBTEngine(
+            geometry=self.geometry,
+            cache=cache,
+            limits=params.dbt,
+            mapper=mapper,
+            stress_provider=lambda: allocator.tracker.stress_map,
         )
         stats = CGRAStats()
         activity = SystemActivity(fabric_cells=self.geometry.n_cells)

@@ -8,7 +8,7 @@ assert the paper's qualitative claims directly.
 import numpy as np
 import pytest
 
-from repro.experiments import fig1, fig7, fig8, table1, table2
+from repro.experiments import fig1, fig7, fig8, mapping_ablation, table1, table2
 from repro.experiments.common import run_suite
 
 
@@ -138,3 +138,45 @@ class TestSuiteRunHelpers:
         run = run_suite(2, 16, policy="baseline")
         assert run.geomean_speedup() > 1.0
         assert 0.3 < run.energy_ratio() < 1.5
+
+
+@pytest.fixture(scope="module")
+def mapping_result():
+    return mapping_ablation.run()
+
+
+class TestMappingAblation:
+    """Acceptance criteria of the pluggable mapping subsystem."""
+
+    def test_four_arms(self, mapping_result):
+        assert [arm for arm, *_ in mapping_result.arm_rows] == [
+            "neither",
+            "mapper-level",
+            "allocation-level",
+            "combined",
+        ]
+
+    def test_cycle_overhead_within_budget(self, mapping_result):
+        # The annealing mapper is bounded to the greedy width, so the
+        # execution-cycle overhead must stay within 5% (it is 0 by
+        # construction; the bound catches timing-model regressions).
+        for arm, _, _, overhead in mapping_result.arm_rows:
+            assert overhead <= 0.05, arm
+
+    def test_combined_beats_allocation_only_suitewide(self, mapping_result):
+        worst = {arm: peak for arm, peak, _, _ in mapping_result.arm_rows}
+        assert worst["combined"] <= worst["allocation-level"]
+        assert worst["allocation-level"] < worst["neither"]
+
+    def test_combined_wins_on_at_least_two_workloads(self, mapping_result):
+        wins = [
+            name
+            for name, arms in mapping_result.per_workload.items()
+            if arms["combined"][0] <= arms["allocation-level"][0]
+        ]
+        assert len(wins) >= 2, mapping_result.per_workload
+
+    def test_render_has_both_tables(self, mapping_result):
+        text = mapping_ablation.render(mapping_result)
+        assert "Mapping ablation" in text
+        assert "Peak-cell stress per workload" in text

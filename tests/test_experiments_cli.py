@@ -15,6 +15,31 @@ class TestList:
         for name in experiments_pkg.ALL_EXPERIMENTS:
             assert name in output
 
+    def test_list_is_sorted_and_has_mapping(self, capsys):
+        assert main(["--list"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        names = [line.split()[0] for line in lines]
+        assert names == sorted(names)
+        assert "mapping" in names
+
+    def test_list_is_deterministic(self, capsys, monkeypatch):
+        # Registry insertion order must not leak into the listing.
+        reordered = dict(
+            reversed(list(experiments_pkg.ALL_EXPERIMENTS.items()))
+        )
+        monkeypatch.setattr(
+            experiments_pkg, "ALL_EXPERIMENTS", reordered
+        )
+        monkeypatch.setattr(
+            "repro.experiments.__main__.ALL_EXPERIMENTS", reordered
+        )
+        assert main(["--list"]) == 0
+        first = capsys.readouterr().out
+        assert main(["--list"]) == 0
+        assert capsys.readouterr().out == first
+        names = [line.split()[0] for line in first.strip().splitlines()]
+        assert names == sorted(names)
+
 
 class TestRun:
     def test_unknown_experiment_nonzero_exit(self, capsys):
