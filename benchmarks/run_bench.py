@@ -29,7 +29,7 @@ from repro.cgra.fabric import FabricGeometry
 from repro.core.allocator import ConfigurationAllocator
 from repro.core.policy import make_policy
 from repro.dbt.window import build_unit
-from repro.mapping import SimulatedAnnealingMapper
+from repro.mapping import SimulatedAnnealingMapper, routing_profile
 from repro.workloads.suite import run_workload
 
 ROWS, COLS = 4, 32
@@ -69,23 +69,41 @@ def _sa_units_per_sec(trace, unit, n_units: int) -> float:
     return n_units / elapsed
 
 
+def _routing_profiles_per_sec(trace, unit, n_profiles: int) -> float:
+    """Context-line pressure-model throughput (the per-translation
+    congestion bookkeeping every DBT insert now pays)."""
+    geometry = FabricGeometry(rows=ROWS, cols=COLS)
+    records = [trace[offset] for offset in range(unit.n_instructions)]
+    start = time.perf_counter()
+    for _ in range(n_profiles):
+        routing_profile(unit, records, geometry)
+    elapsed = time.perf_counter() - start
+    return n_profiles / elapsed
+
+
 def run(
     scalar_launches: int = 50_000,
     batch_launches: int = 500_000,
     sa_units: int = 200,
+    routing_profiles: int = 5_000,
 ) -> dict:
     """Measure all paths; returns one flat JSON record."""
     trace = run_workload("sha")
-    unit = build_unit(trace, 0, FabricGeometry(rows=ROWS, cols=COLS))
+    geometry = FabricGeometry(rows=ROWS, cols=COLS)
+    unit = build_unit(trace, 0, geometry)
     assert unit is not None
     # Warm-up pass so one-time costs (trace cache, numpy footprint
     # caching) stay out of the measurement.
     _scalar_launches_per_sec(unit, 1_000)
     _batch_launches_per_sec(unit, 10_000)
     _sa_units_per_sec(trace, unit, 5)
+    _routing_profiles_per_sec(trace, unit, 100)
     scalar = _scalar_launches_per_sec(unit, scalar_launches)
     batch = _batch_launches_per_sec(unit, batch_launches)
     sa_rate = _sa_units_per_sec(trace, unit, sa_units)
+    routing_rate = _routing_profiles_per_sec(trace, unit, routing_profiles)
+    records = [trace[offset] for offset in range(unit.n_instructions)]
+    profile = routing_profile(unit, records, geometry)
     return {
         "benchmark": "rotation_allocation",
         "fabric": f"L{COLS}xW{ROWS}",
@@ -97,6 +115,10 @@ def run(
         "batch_speedup": round(batch / scalar, 2),
         "sa_map_units": sa_units,
         "sa_map_units_per_sec": round(sa_rate, 1),
+        "routing_profiles": routing_profiles,
+        "routing_profiles_per_sec": round(routing_rate, 1),
+        "peak_line_pressure": profile.peak_pressure,
+        "ctx_lines_sized": geometry.ctx_lines,
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
@@ -156,7 +178,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.quick:
-        record = run(scalar_launches=2_000, batch_launches=20_000, sa_units=20)
+        record = run(
+            scalar_launches=2_000,
+            batch_launches=20_000,
+            sa_units=20,
+            routing_profiles=500,
+        )
         record["quick"] = True
     else:
         record = run()

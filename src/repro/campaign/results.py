@@ -128,4 +128,8 @@ def suite_run_summary(point: DesignPoint, run: SuiteRun) -> dict:
         # byte-identical.
         summary["mapper"] = point.mapper.name
         summary["mapper_kwargs"] = point.mapper.as_kwargs()
+    if point.ctx_lines is not None:
+        # Same rule for the routing budget: pre-routing artifacts are
+        # unchanged, budgeted points record their constraint.
+        summary["ctx_lines"] = point.ctx_lines
     return summary

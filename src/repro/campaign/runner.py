@@ -34,7 +34,11 @@ from repro.workloads.suite import run_workload
 def _build_params(
     point: DesignPoint, base_params: SystemParams | None
 ) -> SystemParams:
-    geometry = FabricGeometry(rows=point.rows, cols=point.cols)
+    # A point-declared ctx_lines is a hard routing budget enforced by
+    # the whole mapping stack; None keeps elastic default sizing.
+    geometry = FabricGeometry(
+        rows=point.rows, cols=point.cols, ctx_lines=point.ctx_lines
+    )
     if base_params is None:
         return SystemParams(
             geometry=geometry,

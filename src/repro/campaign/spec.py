@@ -3,9 +3,14 @@
 A campaign enumerates design points — (geometry, mapper, policy,
 workload set) combinations — without running anything. Seeds expand
 seedable policies (``random``) and seedable mappers (``annealing``)
-into one design point per seed, so statistical reference points can be
-averaged over repetitions declaratively and the annealing mapper is
-seeded deterministically from the campaign seed.
+into design points, either as a cross product (``seed_mode="cross"``,
+the default: every seeded policy meets every seeded mapper) or paired
+(``seed_mode="paired"``: seed *s* means policy seed *s* with mapper
+seed *s*, one point per seed — the variance-study expansion).
+
+Geometries are ``(rows, cols)`` shapes, optionally ``(rows, cols,
+ctx_lines)`` to declare a hard context-line routing budget for the
+whole pipeline (see :attr:`repro.cgra.fabric.FabricGeometry.routing_budget`).
 """
 
 from __future__ import annotations
@@ -132,22 +137,32 @@ def _expand_seeds(specs, seeds):
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One evaluatable point of a campaign."""
+    """One evaluatable point of a campaign.
+
+    ``ctx_lines`` declares a hard context-line routing budget for the
+    point's fabric; ``None`` keeps the default sizing (elastic
+    routing), so pre-routing campaigns behave and serialize exactly as
+    before.
+    """
 
     rows: int
     cols: int
     policy: PolicySpec
     workloads: tuple[str, ...]
     mapper: MapperSpec = DEFAULT_MAPPER
+    ctx_lines: int | None = None
 
     @property
     def key(self) -> str:
         """Filesystem-safe identifier (artifact file stem).
 
-        The mapper contributes only when it is not the default greedy
-        one, so artifact names from pre-mapper campaigns are stable.
+        The mapper and routing budget contribute only when they are
+        not the defaults, so artifact names from pre-mapper and
+        pre-routing campaigns are stable.
         """
         parts = [f"L{self.cols}xW{self.rows}", self.policy.name]
+        if self.ctx_lines is not None:
+            parts[0] += f"xC{self.ctx_lines}"
         parts.extend(f"{key}-{value}" for key, value in self.policy.kwargs)
         if not self.mapper.is_default:
             parts.append(f"m-{self.mapper.name}")
@@ -161,10 +176,32 @@ class DesignPoint:
 
     @property
     def label(self) -> str:
-        base = f"L{self.cols}xW{self.rows}/{self.policy.label}"
+        shape = f"L{self.cols}xW{self.rows}"
+        if self.ctx_lines is not None:
+            shape += f"xC{self.ctx_lines}"
+        base = f"{shape}/{self.policy.label}"
         if self.mapper.is_default:
             return base
         return f"{base}/{self.mapper.label}"
+
+
+def _geometry_parts(shape: tuple) -> tuple[int, int, int | None]:
+    """Normalise a geometry entry to ``(rows, cols, ctx_lines)``."""
+    if len(shape) == 2:
+        rows, cols = shape
+        return int(rows), int(cols), None
+    if len(shape) == 3:
+        rows, cols, ctx_lines = shape
+        return int(rows), int(cols), int(ctx_lines)
+    raise ConfigurationError(
+        f"geometry entries are (rows, cols[, ctx_lines]), got {shape!r}"
+    )
+
+
+#: Seed-expansion modes: ``cross`` pairs every seeded policy with every
+#: seeded mapper; ``paired`` ties them — seed *s* means (policy seed s,
+#: mapper seed s).
+SEED_MODES = ("cross", "paired")
 
 
 @dataclass(frozen=True)
@@ -173,34 +210,54 @@ class CampaignSpec:
     seeds.
 
     Attributes:
-        geometries: ``(rows, cols)`` fabric shapes.
+        geometries: ``(rows, cols)`` fabric shapes, optionally
+            ``(rows, cols, ctx_lines)`` to declare a hard routing
+            budget.
         policies: allocation policies to evaluate on each shape.
         mappers: place-and-route mappers to evaluate; empty selects the
             default greedy mapper only (the pre-mapper behaviour).
         workloads: suite member names; empty selects the full suite.
         seeds: when non-empty, every *seedable* policy and mapper is
-            expanded into one variant per seed (non-seedable ones are
-            kept as-is, once) — this is how the annealing mapper is
-            seeded deterministically from the campaign seed.
+            expanded into seed variants (non-seedable ones are kept
+            as-is) — this is how the annealing mapper is seeded
+            deterministically from the campaign seed.
+        seed_mode: ``"cross"`` (default) expands policy and mapper
+            seeds independently and takes the cross product —
+            ``len(seeds)**2`` points per (geometry, seedable mapper,
+            seedable policy) combination. ``"paired"`` ties them: seed
+            *s* means (policy seed s, mapper seed s), one point per
+            seed — the variance-study expansion from the ROADMAP.
         name: campaign identifier (artifact manifest name).
     """
 
-    geometries: tuple[tuple[int, int], ...]
+    geometries: tuple[tuple[int, ...], ...]
     policies: tuple[PolicySpec, ...]
     workloads: tuple[str, ...] = ()
     seeds: tuple[int, ...] = ()
     name: str = "campaign"
     mappers: tuple[MapperSpec, ...] = ()
+    seed_mode: str = "cross"
 
     def __post_init__(self) -> None:
         if not self.geometries:
             raise ConfigurationError("campaign needs at least one geometry")
         if not self.policies:
             raise ConfigurationError("campaign needs at least one policy")
-        for rows, cols in self.geometries:
+        if self.seed_mode not in SEED_MODES:
+            raise ConfigurationError(
+                f"unknown seed mode {self.seed_mode!r}; "
+                f"available: {list(SEED_MODES)}"
+            )
+        for shape in self.geometries:
+            rows, cols, ctx_lines = _geometry_parts(shape)
             if rows < 1 or cols < 1:
                 raise ConfigurationError(
                     f"invalid geometry ({rows}, {cols})"
+                )
+            if ctx_lines is not None and ctx_lines < rows:
+                raise ConfigurationError(
+                    f"geometry ({rows}, {cols}): ctx_lines {ctx_lines} "
+                    "must be >= rows"
                 )
 
     def resolved_workloads(self) -> tuple[str, ...]:
@@ -219,9 +276,36 @@ class CampaignSpec:
         """Mappers with seed expansion applied (seedable ones only)."""
         return _expand_seeds(self.resolved_mappers(), self.seeds)
 
+    def _seed_combinations(
+        self,
+    ) -> tuple[tuple[MapperSpec, PolicySpec], ...]:
+        """(mapper, policy) pairs after seed expansion, per
+        ``seed_mode``."""
+        if self.seed_mode == "cross" or not self.seeds:
+            return tuple(
+                (mapper, policy)
+                for mapper in self.expanded_mappers()
+                for policy in self.expanded_policies()
+            )
+        # Paired: seed s pins every seedable component to s at once.
+        pairs: list[tuple[MapperSpec, PolicySpec]] = []
+        for mapper in self.resolved_mappers():
+            for policy in self.policies:
+                if not mapper.seedable and not policy.seedable:
+                    pairs.append((mapper, policy))
+                    continue
+                for seed in self.seeds:
+                    pairs.append(
+                        (
+                            mapper.with_seed(seed) if mapper.seedable else mapper,
+                            policy.with_seed(seed) if policy.seedable else policy,
+                        )
+                    )
+        return tuple(pairs)
+
     def design_points(self) -> tuple[DesignPoint, ...]:
         """Every design point: geometries outermost, then mappers,
-        policies innermost.
+        policies innermost (in paired mode, then seeds).
 
         Raises:
             ConfigurationError: on duplicate design points (repeated
@@ -237,10 +321,10 @@ class CampaignSpec:
                 policy=policy,
                 workloads=workloads,
                 mapper=mapper,
+                ctx_lines=ctx_lines,
             )
-            for rows, cols in self.geometries
-            for mapper in self.expanded_mappers()
-            for policy in self.expanded_policies()
+            for rows, cols, ctx_lines in map(_geometry_parts, self.geometries)
+            for mapper, policy in self._seed_combinations()
         )
         seen: set[DesignPoint] = set()
         for point in points:
@@ -258,8 +342,9 @@ class CampaignSpec:
     def to_jsonable(self) -> dict:
         """Manifest form (see ``campaign.json`` artifacts).
 
-        The ``mappers`` entry is emitted only for campaigns that set
-        the axis, keeping pre-mapper manifests byte-identical.
+        The ``mappers`` and ``seed_mode`` entries are emitted only for
+        campaigns that set them, keeping pre-mapper and pre-routing
+        manifests byte-identical.
         """
         payload = {
             "name": self.name,
@@ -276,6 +361,8 @@ class CampaignSpec:
                 {"name": mapper.name, "kwargs": mapper.as_kwargs()}
                 for mapper in self.mappers
             ]
+        if self.seed_mode != "cross":
+            payload["seed_mode"] = self.seed_mode
         return payload
 
     @classmethod
@@ -284,8 +371,8 @@ class CampaignSpec:
         return cls(
             name=payload.get("name", "campaign"),
             geometries=tuple(
-                (int(rows), int(cols))
-                for rows, cols in payload["geometries"]
+                tuple(int(part) for part in shape)
+                for shape in payload["geometries"]
             ),
             policies=tuple(
                 PolicySpec.make(entry["name"], **entry.get("kwargs", {}))
@@ -297,4 +384,5 @@ class CampaignSpec:
                 MapperSpec.make(entry["name"], **entry.get("kwargs", {}))
                 for entry in payload.get("mappers", ())
             ),
+            seed_mode=payload.get("seed_mode", "cross"),
         )

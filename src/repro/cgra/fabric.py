@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 
@@ -20,13 +20,29 @@ class FabricGeometry:
         cols: number of columns ``L`` (sequential execution depth).
         n_config_lines: configuration lines feeding the columns
             (``n`` in Fig. 5; column ``i`` listens to line ``i mod n``).
-        ctx_lines: context lines carrying values between columns.
+        ctx_lines: context lines carrying values between columns. When
+            *explicitly* set, the count is a hard routing budget: the
+            scheduler, the mappers and the legality oracle all refuse
+            placements whose per-column line pressure exceeds it (see
+            :mod:`repro.mapping.routing`). When left at the default,
+            the hw models keep the TransRec baseline sizing
+            (``2 * rows``) for area/energy, but routing is *elastic* —
+            the seed pipeline's implicit assumption that the
+            interconnect always carries the greedy schedule (measured
+            greedy demand exceeds ``2 * rows`` on long fabrics, so a
+            hard default budget would perturb the paper reproduction).
     """
 
     rows: int
     cols: int
     n_config_lines: int = 4
     ctx_lines: int | None = None
+    #: Whether ``ctx_lines`` was user-specified (derived, not compared:
+    #: an explicit budget equal to the default sizing describes the
+    #: same hardware, it just also declares the routing constraint).
+    ctx_lines_declared: bool = field(
+        init=False, default=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not MIN_ROWS <= self.rows <= MAX_ROWS:
@@ -39,12 +55,23 @@ class FabricGeometry:
             )
         if self.n_config_lines < 1:
             raise ConfigurationError("n_config_lines must be >= 1")
+        object.__setattr__(self, "ctx_lines_declared", self.ctx_lines is not None)
         if self.ctx_lines is None:
             # Enough lines to carry every row's result plus input context
             # headroom, the sizing used by the TransRec baseline.
             object.__setattr__(self, "ctx_lines", 2 * self.rows)
         if self.ctx_lines < self.rows:
             raise ConfigurationError("ctx_lines must be >= rows")
+
+    @property
+    def routing_budget(self) -> int | None:
+        """Hard per-column context-line budget, or ``None`` (elastic).
+
+        An explicitly declared ``ctx_lines`` is a first-class legality
+        constraint for mapping; the default sizing only feeds the
+        area/energy models.
+        """
+        return self.ctx_lines if self.ctx_lines_declared else None
 
     @property
     def n_cells(self) -> int:

@@ -4,13 +4,28 @@ Per column (Fig. 4b): before the FUs an *input crossbar* selects, for
 each FU operand, which context line feeds it; after the FUs an *output
 crossbar* selects, for each context line, whether it keeps its value or
 takes one of the column's FU results. These counts feed the area,
-energy and critical-path models in :mod:`repro.hw` — nothing here is
-timed or simulated.
+energy and critical-path models in :mod:`repro.hw`.
+
+This module is also the single definition of *context-line pressure* —
+how many live values a placement forces across each column boundary —
+so the hardware model, the greedy scheduler and the mappers all agree
+on one arithmetic (:func:`pressure_profile`,
+:class:`LinePressureTracker`). A value produced by the FU column ending
+at ``e`` and last consumed by an op starting at column ``c`` occupies
+one context line at every boundary ``b`` with ``e <= b <= c`` (each
+boundary's line segments are re-steered independently by the output
+crossbars, so pressure is a per-boundary count, not a global one).
+Immediates and window live-ins arrive through the per-column input
+context (``imm_slots`` in :mod:`repro.hw`) and are accounted
+separately — they never contend for context lines.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.cgra.fabric import FabricGeometry
 
@@ -18,6 +33,111 @@ from repro.cgra.fabric import FabricGeometry
 WORD_BITS = 32
 #: Operands consumed by each FU.
 OPERANDS_PER_FU = 2
+
+#: Sentinel line budget: follow the geometry's declared routing budget
+#: (``FabricGeometry.routing_budget``). JSON-safe so mapper kwargs that
+#: carry it survive campaign manifests.
+FOLLOW_GEOMETRY = "geometry"
+
+
+def resolve_line_budget(
+    budget: int | str | None, geometry: FabricGeometry
+) -> int | None:
+    """Effective per-column line budget for a placement pass.
+
+    ``FOLLOW_GEOMETRY`` defers to the geometry's declared budget;
+    ``None`` forces elastic routing regardless of the geometry; an int
+    overrides the geometry outright.
+    """
+    if budget == FOLLOW_GEOMETRY:
+        return geometry.routing_budget
+    return budget
+
+
+def pressure_profile(
+    intervals: Iterable[tuple[int, int]], n_cols: int
+) -> np.ndarray:
+    """Per-boundary line occupancy of a set of live intervals.
+
+    ``intervals`` are inclusive ``(first, last)`` boundary pairs (one
+    per routed value); entry ``b`` of the result counts the values
+    crossing into column ``b``. Computed with a difference array, so
+    cost is O(values + columns).
+    """
+    diff = np.zeros(n_cols + 1, dtype=np.int64)
+    for first, last in intervals:
+        if last < first:
+            continue  # value never leaves its producer column
+        diff[first] += 1
+        if last + 1 <= n_cols:
+            diff[last + 1] -= 1
+    return np.cumsum(diff[:n_cols])
+
+
+class _LiveValue:
+    """One in-flight routed value: availability boundary and the last
+    boundary already charged to the pressure profile."""
+
+    __slots__ = ("avail", "last")
+
+    def __init__(self, avail: int) -> None:
+        self.avail = avail
+        self.last = avail - 1  # nothing charged yet
+
+    def charge_range(self, col: int) -> range:
+        """Boundaries newly covered if a consumer reads at ``col``."""
+        return range(max(self.avail, self.last + 1), col + 1)
+
+
+class LinePressureTracker:
+    """Incremental context-line pressure bookkeeping for one unit.
+
+    The greedy scheduler owns register-to-value resolution; this class
+    owns the per-boundary arithmetic, shared with the whole-unit
+    profile computation so the two can never drift. ``limit`` is the
+    hard budget (``None`` = elastic: everything fits, pressure is still
+    tracked for reporting).
+    """
+
+    def __init__(self, n_cols: int, limit: int | None) -> None:
+        self.limit = limit
+        self.pressure = [0] * (n_cols + 1)
+        self._values: dict[int, _LiveValue] = {}  # reg -> current value
+
+    def define(self, reg: int, end_col: int) -> None:
+        """A new value for ``reg`` becomes available at ``end_col``."""
+        self._values[reg] = _LiveValue(end_col)
+
+    def _live(self, regs: Iterable[int]) -> set[_LiveValue]:
+        return {
+            self._values[reg] for reg in regs if reg in self._values
+        }
+
+    def fits(self, regs: Iterable[int], col: int) -> bool:
+        """Whether a consumer of ``regs`` at ``col`` stays in budget."""
+        if self.limit is None:
+            return True
+        added: dict[int, int] = {}
+        for value in self._live(regs):
+            for boundary in value.charge_range(col):
+                added[boundary] = added.get(boundary, 0) + 1
+        return all(
+            self.pressure[boundary] + extra <= self.limit
+            for boundary, extra in added.items()
+        )
+
+    def charge(self, regs: Iterable[int], col: int) -> None:
+        """Commit a consumer of ``regs`` at ``col``."""
+        for value in self._live(regs):
+            for boundary in value.charge_range(col):
+                self.pressure[boundary] += 1
+            if col > value.last:
+                value.last = col
+
+    @property
+    def peak(self) -> int:
+        """Highest per-boundary pressure charged so far."""
+        return max(self.pressure)
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,14 @@ Edge kinds (``kind`` attribute):
 * ``"raw"`` — register read-after-write;
 * ``"mem"`` — memory ordering between overlapping accesses (RAW, WAR
   and WAW on the same word; load-load pairs are unordered).
+
+A pair can be related both ways — e.g. a load whose result the next
+store both *stores* (register RAW) and is ordered against (WAR on the
+word). The graph keeps one edge and the ``raw`` kind wins: the
+ordering constraint is identical either way (consumer starts at or
+after the producer's end), but only ``raw`` edges carry a value on
+the context lines, and the routing model
+(:mod:`repro.mapping.routing`) must see every one of them.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from collections.abc import Sequence
 
 import networkx as nx
 
-from repro.isa.instructions import InstrClass
+from repro.isa.instructions import OPCODES, InstrClass
 from repro.sim.trace import TraceRecord
 
 
@@ -40,6 +48,12 @@ def build_dfg(records: Sequence[TraceRecord]) -> nx.DiGraph:
     last_store: dict[int, int] = {}
     last_load: dict[int, list[int]] = {}
 
+    def add_mem_edge(producer: int, consumer: int) -> None:
+        # Raw edges for this consumer were added first; a duplicate
+        # pair keeps the raw kind (the value really rides a line).
+        if not graph.has_edge(producer, consumer):
+            graph.add_edge(producer, consumer, kind="mem")
+
     for offset, record in enumerate(records):
         graph.add_node(offset, record=record)
         for reg in _source_registers(record):
@@ -50,24 +64,26 @@ def build_dfg(records: Sequence[TraceRecord]) -> nx.DiGraph:
             for word in _word_span(record):
                 store = last_store.get(word)
                 if store is not None:
-                    graph.add_edge(store, offset, kind="mem")
+                    add_mem_edge(store, offset)
                 last_load.setdefault(word, []).append(offset)
         elif record.cls is InstrClass.STORE:
             for word in _word_span(record):
                 store = last_store.get(word)
                 if store is not None:
-                    graph.add_edge(store, offset, kind="mem")
+                    add_mem_edge(store, offset)
                 for load in last_load.pop(word, ()):  # WAR
-                    graph.add_edge(load, offset, kind="mem")
+                    add_mem_edge(load, offset)
                 last_store[word] = offset
         if record.rd is not None:
             last_writer[record.rd] = offset
     return graph
 
 
-def _source_registers(record: TraceRecord) -> tuple[int, ...]:
-    from repro.isa.instructions import OPCODES
-
+def source_registers(record: TraceRecord) -> tuple[int, ...]:
+    """Registers ``record`` reads (``x0`` is constant zero, never a
+    dependence). The single definition of the source-register rule,
+    shared by this oracle, the scheduler's incremental bookkeeping and
+    the routing pressure model — the three must never drift."""
     spec = OPCODES[record.op]
     sources = []
     if spec.reads_rs1 and record.rs1 is not None and record.rs1 != 0:
@@ -75,6 +91,10 @@ def _source_registers(record: TraceRecord) -> tuple[int, ...]:
     if spec.reads_rs2 and record.rs2 is not None and record.rs2 != 0:
         sources.append(record.rs2)
     return tuple(sources)
+
+
+#: Backwards-compatible alias (pre-routing internal name).
+_source_registers = source_registers
 
 
 def critical_path_length(graph: nx.DiGraph) -> int:

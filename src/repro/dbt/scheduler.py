@@ -24,7 +24,13 @@ from repro.cgra.fu import (
     fu_kind_for,
     latency_columns,
 )
-from repro.isa.instructions import OPCODES, InstrClass
+from repro.cgra.interconnect import (
+    FOLLOW_GEOMETRY,
+    LinePressureTracker,
+    resolve_line_budget,
+)
+from repro.dbt.dfg import source_registers
+from repro.isa.instructions import InstrClass
 from repro.sim.trace import TraceRecord
 
 
@@ -41,10 +47,19 @@ class SchedulerState:
       columns (dependences still anchor chains at column 0), which is
       exactly why the paper moves whole configurations at run time
       instead of touching the scheduler.
+
+    ``line_budget`` bounds the per-column context-line pressure: a
+    candidate column whose operand routing would overflow is skipped
+    (the op falls back to a later column, or placement fails and the
+    unit closes). The default follows the geometry's declared routing
+    budget — elastic unless ``ctx_lines`` was set explicitly, so the
+    paper pipeline is untouched; pass an int to override, or ``None``
+    to force elastic routing.
     """
 
     geometry: FabricGeometry
     row_policy: str = "first_fit"
+    line_budget: int | str | None = FOLLOW_GEOMETRY
 
     def __post_init__(self) -> None:
         if self.row_policy not in ("first_fit", "round_robin"):
@@ -56,6 +71,10 @@ class SchedulerState:
         self._store_ready: dict[int, int] = {}      # word -> last store end
         self._load_ready: dict[int, int] = {}       # word -> last load end
         self._next_start_row = 0
+        self._lines = LinePressureTracker(
+            self.geometry.cols,
+            resolve_line_budget(self.line_budget, self.geometry),
+        )
 
     # -- dependence queries ------------------------------------------------
 
@@ -78,15 +97,9 @@ class SchedulerState:
                     earliest = max(earliest, self._load_ready.get(word, 0))
         return earliest
 
-    @staticmethod
-    def _sources(record: TraceRecord) -> tuple[int, ...]:
-        spec = OPCODES[record.op]
-        sources = []
-        if spec.reads_rs1 and record.rs1:
-            sources.append(record.rs1)
-        if spec.reads_rs2 and record.rs2:
-            sources.append(record.rs2)
-        return tuple(sources)
+    # Dependences and line charges resolve sources through the DFG
+    # oracle's single source-register rule.
+    _sources = staticmethod(source_registers)
 
     @staticmethod
     def _word_span(record: TraceRecord) -> range:
@@ -111,7 +124,9 @@ class SchedulerState:
         width = latency_columns(kind)
         span = (1 << width) - 1
         earliest = self.earliest_column(record)
-        slot = self._find_slot(kind, width, span, earliest)
+        slot = self._find_slot(
+            kind, width, span, earliest, sources=self._sources(record)
+        )
         if slot is None:
             return None
         row, col = slot
@@ -133,9 +148,20 @@ class SchedulerState:
         return ((1 << MEM_PORT_ISSUE_COLUMNS) - 1) << col
 
     def _find_slot(
-        self, kind: FUKind, width: int, span: int, earliest: int
+        self,
+        kind: FUKind,
+        width: int,
+        span: int,
+        earliest: int,
+        sources: tuple[int, ...] = (),
     ) -> tuple[int, int] | None:
-        """Greedy search: earliest column, rows per ``row_policy``."""
+        """Greedy search: earliest column, rows per ``row_policy``.
+
+        A line-budget overflow ends the search outright: pressure is
+        per column boundary (no row can help), and a value's charge
+        range only grows with later columns, so the overflowing
+        boundary stays overflowed for every column further right.
+        """
         rows = self.geometry.rows
         if self.row_policy == "round_robin":
             start = self._next_start_row
@@ -147,6 +173,8 @@ class SchedulerState:
             mask = span << col
             if not self._port_free(kind, col):
                 continue
+            if not self._lines.fits(sources, col):
+                break
             for row in row_order:
                 if not self._row_busy[row] & mask:
                     if self.row_policy == "round_robin":
@@ -175,8 +203,12 @@ class SchedulerState:
         elif kind is FUKind.STORE:
             self._store_busy |= self._port_mask(col)
         end = col + width
+        # Charge operand routing before (re)defining rd: when rd is
+        # also a source, the read refers to the previous value.
+        self._lines.charge(self._sources(record), col)
         if record.rd:
             self._reg_ready[record.rd] = end
+            self._lines.define(record.rd, end)
         if kind is FUKind.STORE:
             for word in self._word_span(record):
                 self._store_ready[word] = max(
@@ -198,6 +230,7 @@ class SchedulerState:
         self._row_busy[row] |= 1 << col
         if rd:
             self._reg_ready[rd] = col + 1
+            self._lines.define(rd, col + 1)
         return PlacedOp(
             op=op, kind=FUKind.ALU, row=row, col=col, width=1,
             trace_offset=trace_offset,
@@ -209,6 +242,11 @@ class SchedulerState:
     def placed_cells(self) -> int:
         """Total occupied virtual cells so far."""
         return sum(busy.bit_count() for busy in self._row_busy)
+
+    @property
+    def peak_line_pressure(self) -> int:
+        """Worst per-boundary context-line demand charged so far."""
+        return self._lines.peak
 
 
 class GreedyScheduler:

@@ -78,6 +78,9 @@ class DBTEngine:
             )
         self._rejected_pcs: set[int] = set()
         self.translations = 0
+        #: Worst per-column context-line pressure over every unit this
+        #: engine translated (the congestion metric campaigns report).
+        self.peak_line_pressure = 0
 
     def _stress_hint(self) -> "np.ndarray | None":
         if self.stress_provider is None or self.mapper is None:
@@ -117,8 +120,25 @@ class DBTEngine:
             if self.limits.remember_rejects:
                 self._rejected_pcs.add(pc)
             return None
+        self._note_line_pressure(trace, position, unit)
         self.cache.insert(unit)
         return unit
+
+    def _note_line_pressure(
+        self, trace: Trace, position: int, unit: VirtualConfiguration
+    ) -> None:
+        # Local import: repro.mapping pulls this module back in through
+        # the greedy mapper, so binding at call time avoids the cycle.
+        from repro.mapping.routing import routing_profile
+
+        window = tuple(
+            trace[position + offset]
+            for offset in range(unit.n_instructions)
+        )
+        profile = routing_profile(unit, window, self.geometry)
+        self.peak_line_pressure = max(
+            self.peak_line_pressure, profile.peak_pressure
+        )
 
     def note_replay(self, unit: VirtualConfiguration, matched: int) -> None:
         """Feed the misspeculation monitor after a replay.

@@ -91,11 +91,17 @@ def run_design_point(
     base_params: SystemParams | None = None,
     mapper: str = "greedy",
     mapper_kwargs: dict | None = None,
+    ctx_lines: int | None = None,
     **policy_kwargs,
 ) -> DSEPoint:
-    """Evaluate one geometry over a set of workload traces."""
+    """Evaluate one geometry over a set of workload traces.
+
+    ``ctx_lines`` declares a hard context-line routing budget for the
+    fabric; ``None`` keeps the elastic default sizing.
+    """
+    shape = (rows, cols) if ctx_lines is None else (rows, cols, ctx_lines)
     spec = CampaignSpec(
-        geometries=((rows, cols),),
+        geometries=(shape,),
         policies=(PolicySpec.make(policy, **policy_kwargs),),
         mappers=(MapperSpec.make(mapper, **(mapper_kwargs or {})),),
         workloads=tuple(traces),
@@ -113,6 +119,7 @@ def sweep(
     max_workers: int | None = None,
     mapper: str = "greedy",
     mapper_kwargs: dict | None = None,
+    ctx_lines: int | None = None,
 ) -> list[DSEPoint]:
     """Evaluate every (L, W) combination; raster order over L then W.
 
@@ -121,11 +128,15 @@ def sweep(
     verified suite — then ``max_workers > 1`` distributes the grid
     over a process pool. ``mapper`` selects the place-and-route stage
     for every point, so the paper's geometry exploration can be re-run
-    under wear-aware mapping.
+    under wear-aware mapping; ``ctx_lines`` declares a hard routing
+    budget applied to every shape (``None`` = elastic default sizing).
     """
     spec = CampaignSpec(
         geometries=tuple(
-            (width, length) for length in lengths for width in widths
+            (width, length) if ctx_lines is None
+            else (width, length, ctx_lines)
+            for length in lengths
+            for width in widths
         ),
         policies=(PolicySpec.make(policy),),
         mappers=(MapperSpec.make(mapper, **(mapper_kwargs or {})),),

@@ -14,6 +14,7 @@ CLI (``python -m repro.experiments [name ...]``) runs and prints them.
 | table2   | Table II — area overhead + Sec. V-B latency check     |
 | ablation | (extra) policy/pattern/monitor ablation study         |
 | mapping  | (extra) mapper- vs allocation-level wear leveling     |
+| routing  | (extra) context-line pressure under mapping regimes   |
 """
 
 from repro.experiments import (
@@ -23,6 +24,7 @@ from repro.experiments import (
     fig7,
     fig8,
     mapping_ablation,
+    routing_ablation,
     table1,
     table2,
 )
@@ -36,6 +38,7 @@ ALL_EXPERIMENTS = {
     "table2": table2,
     "ablation": ablation,
     "mapping": mapping_ablation,
+    "routing": routing_ablation,
 }
 
 __all__ = [
@@ -46,6 +49,7 @@ __all__ = [
     "fig7",
     "fig8",
     "mapping_ablation",
+    "routing_ablation",
     "table1",
     "table2",
 ]

@@ -14,7 +14,10 @@ The mapping stage sits between translation-unit discovery
 
 :mod:`repro.mapping.legality` validates any mapper's output against
 the DFG dependence oracle, FU latency spans and the left-to-right
-interconnect constraint.
+interconnect constraint; :mod:`repro.mapping.routing` models the
+per-column context-line pressure that makes the interconnect a finite
+resource (a declared ``FabricGeometry.ctx_lines`` budget is enforced
+by the scheduler, both mappers and the oracle).
 """
 
 from repro.mapping.annealing import SimulatedAnnealingMapper
@@ -27,11 +30,18 @@ from repro.mapping.base import (
 )
 from repro.mapping.greedy import GreedyMapper, place_window
 from repro.mapping.legality import LegalityReport, assert_legal, check_unit
+from repro.mapping.routing import (
+    RoutingProfile,
+    routing_profile,
+    routing_violations,
+    value_intervals,
+)
 
 __all__ = [
     "GreedyMapper",
     "LegalityReport",
     "Mapper",
+    "RoutingProfile",
     "SimulatedAnnealingMapper",
     "assert_legal",
     "available_mappers",
@@ -40,4 +50,7 @@ __all__ = [
     "mapper_class",
     "place_window",
     "register_mapper",
+    "routing_profile",
+    "routing_violations",
+    "value_intervals",
 ]

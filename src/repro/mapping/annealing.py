@@ -21,7 +21,16 @@ trades *wear* against *time*:
   frame, which coincides with the physical frame only under
   identity-pivot allocation (the ``baseline`` policy); under pivoting
   policies it is a heuristic prior, and the frame-free row-balance
-  term is what cooperates with allocation-level leveling.
+  term is what cooperates with allocation-level leveling;
+* **congestion** — a quadratic penalty on per-column context-line
+  pressure *in excess of the fabric's line sizing*
+  (``geometry.ctx_lines``; see :mod:`repro.mapping.routing`). Below
+  the sizing the interconnect is free and wear-leveling moves pay
+  nothing; above it, wide or value-heavy units pay per extra line —
+  even when no hard budget is declared. When the geometry declares a
+  routing budget (or ``line_budget`` is given), moves that would push
+  any boundary over it are additionally rejected outright — annealed
+  placements can never be less routable than the budget allows.
 
 Move evaluation is incremental: per-row cumulative stress sums give
 O(1) stress deltas, per-row occupancy bitmasks give O(1) exclusivity
@@ -45,6 +54,7 @@ import numpy as np
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
 from repro.cgra.fu import MEM_PORT_ISSUE_COLUMNS, FUKind
+from repro.cgra.interconnect import FOLLOW_GEOMETRY, resolve_line_budget
 from repro.dbt.dfg import build_dfg
 from repro.mapping.base import Mapper, register_mapper
 from repro.mapping.greedy import place_window
@@ -67,6 +77,11 @@ class SimulatedAnnealingMapper(Mapper):
         cp_weight: weight of the critical-path (used columns) term.
         balance_weight: weight of the row-balance term.
         stress_weight: weight of the live-stress term.
+        congestion_weight: weight of the context-line congestion term.
+        line_budget: hard per-column line cap for moves; the default
+            follows the geometry's declared routing budget (elastic
+            unless ``ctx_lines`` was set explicitly), an int overrides
+            it, ``None`` forces elastic routing.
     """
 
     name = "annealing"
@@ -84,6 +99,8 @@ class SimulatedAnnealingMapper(Mapper):
         "cp_weight": 4.0,
         "balance_weight": 1.0,
         "stress_weight": 1.0,
+        "congestion_weight": 1.0,
+        "line_budget": FOLLOW_GEOMETRY,
     }
 
     def __init__(
@@ -96,6 +113,8 @@ class SimulatedAnnealingMapper(Mapper):
         cp_weight: float = 4.0,
         balance_weight: float = 1.0,
         stress_weight: float = 1.0,
+        congestion_weight: float = 1.0,
+        line_budget: int | str | None = FOLLOW_GEOMETRY,
     ) -> None:
         if not 0.0 < cooling < 1.0:
             raise ValueError(f"cooling must be in (0, 1), got {cooling}")
@@ -103,6 +122,10 @@ class SimulatedAnnealingMapper(Mapper):
             raise ValueError("proposals_per_op must be >= 1")
         if t0 <= 0.0:
             raise ValueError(f"t0 must be > 0, got {t0}")
+        if isinstance(line_budget, str) and line_budget != FOLLOW_GEOMETRY:
+            raise ValueError(f"unknown line budget {line_budget!r}")
+        if isinstance(line_budget, int) and line_budget < 1:
+            raise ValueError("line_budget must be >= 1")
         self.seed = int(seed)
         self.sweeps = sweeps
         self.proposals_per_op = proposals_per_op
@@ -111,6 +134,8 @@ class SimulatedAnnealingMapper(Mapper):
         self.cp_weight = float(cp_weight)
         self.balance_weight = float(balance_weight)
         self.stress_weight = float(stress_weight)
+        self.congestion_weight = float(congestion_weight)
+        self.line_budget = line_budget
 
     # ------------------------------------------------------------------
 
@@ -146,17 +171,44 @@ class SimulatedAnnealingMapper(Mapper):
         seed: VirtualConfiguration | None = None,
     ) -> VirtualConfiguration | None:
         records = tuple(ops)
+        limit = resolve_line_budget(self.line_budget, geometry)
+        if seed is not None and not self._seed_routable(seed, records, limit):
+            # A caller-supplied seed placed under a looser budget (e.g.
+            # greedy discovery on an elastic geometry) may already
+            # overflow this mapper's cap, and moves can only avoid
+            # worsening pressure, never repair it — re-place instead.
+            seed = None
         if seed is None:
-            seed = place_window(records, geometry)
+            seed = place_window(
+                records, geometry, line_budget=self.line_budget
+            )
         if seed is None:
             return None
         if len(seed.ops) < 2:
             return self._rebrand(seed)
         if rng is None:
             rng = self._unit_rng(records)
-        placed = _AnnealState(seed, records, geometry, stress_hint)
+        placed = _AnnealState(
+            seed,
+            records,
+            geometry,
+            stress_hint,
+            line_limit=limit,
+        )
         self._anneal(placed, rng)
         return self._rebrand(seed, placed)
+
+    @staticmethod
+    def _seed_routable(
+        seed: VirtualConfiguration,
+        records: Sequence[TraceRecord],
+        limit: int | None,
+    ) -> bool:
+        if limit is None:
+            return True
+        from repro.mapping.routing import routing_profile
+
+        return routing_profile(seed, records).peak_pressure <= limit
 
     def _rebrand(
         self,
@@ -201,6 +253,7 @@ class SimulatedAnnealingMapper(Mapper):
                     self.cp_weight,
                     self.balance_weight,
                     self.stress_weight,
+                    self.congestion_weight,
                 )
                 if delta is None:
                     continue  # illegal (occupied cells or port clash)
@@ -221,6 +274,7 @@ class _AnnealState:
         records: Sequence[TraceRecord],
         geometry: FabricGeometry,
         stress_hint: np.ndarray | None,
+        line_limit: int | None = None,
     ) -> None:
         ops = seed.ops
         self.n_ops = len(ops)
@@ -237,11 +291,16 @@ class _AnnealState:
         self.total_cells = sum(self.widths)
 
         # Dependence bounds from the DFG oracle: preds/succs per op.
+        # Register (``raw``) edges are kept separately — they are the
+        # values the context lines must carry; memory-ordering edges
+        # constrain columns but occupy no line.
         offset_to_index = {
             op.trace_offset: index for index, op in enumerate(ops)
         }
         self.preds: list[list[int]] = [[] for _ in ops]
         self.succs: list[list[int]] = [[] for _ in ops]
+        self.raw_preds: list[list[int]] = [[] for _ in ops]
+        self.raw_succs: list[list[int]] = [[] for _ in ops]
         graph = build_dfg(tuple(records)[: seed.n_instructions])
         for producer, consumer in graph.edges:
             u = offset_to_index.get(producer)
@@ -249,6 +308,26 @@ class _AnnealState:
             if u is not None and v is not None:
                 self.preds[v].append(u)
                 self.succs[u].append(v)
+                if graph.edges[producer, consumer]["kind"] == "raw":
+                    self.raw_preds[v].append(u)
+                    self.raw_succs[u].append(v)
+
+        # Per-boundary context-line pressure of the current placement
+        # (diff-free direct counts; moves patch it incrementally). The
+        # cost term charges only pressure above the fabric's nominal
+        # line sizing, so wear-leveling moves below it stay free.
+        # Maintained only while something reads it (a hard limit or a
+        # non-zero congestion weight) — see ``try_move``/``commit``.
+        self.line_limit = line_limit
+        self.line_soft_cap = geometry.ctx_lines
+        self.line_pressure = [0] * (geometry.cols + 1)
+        for index in range(self.n_ops):
+            first, last = self._interval(index)
+            for boundary in range(first, last + 1):
+                self.line_pressure[boundary] += 1
+        #: Deltas computed by the latest ``try_move``, reused verbatim
+        #: by the matching ``commit`` (``None`` = congestion inactive).
+        self._pending_lines: tuple[int, int, int, dict[int, int] | None] | None = None
 
         # Occupancy bitmasks, one int per fabric row (the scheduler's
         # own representation — O(1) exclusivity tests).
@@ -302,6 +381,48 @@ class _AnnealState:
             self.stress_cum[row, col + width] - self.stress_cum[row, col]
         )
 
+    # -- context-line pressure ----------------------------------------
+
+    def _interval(
+        self, index: int, moved: int | None = None, moved_col: int | None = None
+    ) -> tuple[int, int]:
+        """Live boundary interval of op ``index``'s produced value,
+        optionally with op ``moved`` relocated to ``moved_col``.
+        ``(0, -1)`` when the value has no placed consumer."""
+        succs = self.raw_succs[index]
+        if not succs:
+            return (0, -1)
+        if moved == index:
+            first = moved_col + self.widths[index]
+        else:
+            first = self.end_cols[index]
+        last = max(
+            moved_col if succ == moved else self.op_cols[succ]
+            for succ in succs
+        )
+        if last < first:
+            return (0, -1)  # defensive: dependence windows prevent this
+        return (first, last)
+
+    def _line_deltas(self, index: int, new_col: int) -> dict[int, int]:
+        """Per-boundary pressure change of moving ``index`` to
+        ``new_col``: its own value shifts availability, and each
+        producer feeding it may stretch or shrink its live range."""
+        affected = set(self.raw_preds[index])
+        if self.raw_succs[index]:
+            affected.add(index)
+        deltas: dict[int, int] = {}
+        for producer in affected:
+            old = self._interval(producer)
+            new = self._interval(producer, moved=index, moved_col=new_col)
+            if old == new:
+                continue
+            for boundary in range(old[0], old[1] + 1):
+                deltas[boundary] = deltas.get(boundary, 0) - 1
+            for boundary in range(new[0], new[1] + 1):
+                deltas[boundary] = deltas.get(boundary, 0) + 1
+        return {b: d for b, d in deltas.items() if d}
+
     def column_window(self, index: int) -> tuple[int, int]:
         """Dependence-legal start-column range for op ``index``."""
         lo = 0
@@ -322,6 +443,7 @@ class _AnnealState:
         cp_weight: float,
         balance_weight: float,
         stress_weight: float,
+        congestion_weight: float = 0.0,
     ) -> float | None:
         """Cost delta of moving ``index`` to ``(new_row, new_col)``,
         or ``None`` when the move is illegal."""
@@ -339,6 +461,25 @@ class _AnnealState:
                 return None
 
         delta = 0.0
+        if congestion_weight != 0.0 or self.line_limit is not None:
+            cap = self.line_soft_cap
+            raw = 0
+            line_deltas = self._line_deltas(index, new_col)
+            for boundary, change in line_deltas.items():
+                pressure = self.line_pressure[boundary]
+                if (
+                    self.line_limit is not None
+                    and change > 0
+                    and pressure + change > self.line_limit
+                ):
+                    return None  # would overflow a context line
+                old_excess = max(0, pressure - cap)
+                new_excess = max(0, pressure + change - cap)
+                raw += new_excess**2 - old_excess**2
+            delta += congestion_weight * raw / max(1, self.total_cells)
+            self._pending_lines = (index, new_row, new_col, line_deltas)
+        else:
+            self._pending_lines = (index, new_row, new_col, None)
         if new_row != old_row:
             n_old = self.row_counts[old_row]
             n_new = self.row_counts[new_row]
@@ -380,6 +521,17 @@ class _AnnealState:
         self, index: int, new_row: int, new_col: int, delta: float
     ) -> None:
         self.used_max = self._used_cols_after(index, new_col)
+        # Patch the line-pressure profile before coordinates mutate,
+        # reusing the deltas the accepting try_move already computed
+        # (or recomputing for a commit that didn't come through it).
+        pending = self._pending_lines
+        if pending is not None and pending[:3] == (index, new_row, new_col):
+            line_deltas = pending[3]  # None = congestion inactive
+        else:
+            line_deltas = self._line_deltas(index, new_col)
+        if line_deltas:
+            for boundary, change in line_deltas.items():
+                self.line_pressure[boundary] += change
         old_row = self.op_rows[index]
         width = self.widths[index]
         self.busy[old_row] &= ~self._mask(index)

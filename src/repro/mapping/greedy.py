@@ -26,6 +26,7 @@ from repro.cgra.configuration import (
     greedy_identity,
 )
 from repro.cgra.fabric import FabricGeometry
+from repro.cgra.interconnect import FOLLOW_GEOMETRY
 from repro.dbt.scheduler import SchedulerState
 from repro.dbt.window import NO_FABRIC_OP, place_record
 from repro.mapping.base import Mapper, register_mapper
@@ -37,6 +38,7 @@ def place_window(
     geometry: FabricGeometry,
     row_policy: str = "first_fit",
     mapper_key: str = DEFAULT_MAPPER_KEY,
+    line_budget: int | str | None = FOLLOW_GEOMETRY,
 ) -> VirtualConfiguration | None:
     """First-fit placement of a fixed instruction window.
 
@@ -45,12 +47,15 @@ def place_window(
     :func:`~repro.dbt.window.build_unit` this does not *discover* the
     window — the caller fixed it — so placement is all-or-nothing:
     ``None`` is returned when any record is unmappable or does not fit,
-    never a shorter unit.
+    never a shorter unit. ``line_budget`` bounds per-column context-line
+    pressure exactly as in :class:`~repro.dbt.scheduler.SchedulerState`.
     """
     records = tuple(records)
     if not records:
         return None
-    state = SchedulerState(geometry, row_policy=row_policy)
+    state = SchedulerState(
+        geometry, row_policy=row_policy, line_budget=line_budget
+    )
     ops: list[PlacedOp] = []
     for offset, record in enumerate(records):
         placed = place_record(state, record, offset)
@@ -79,14 +84,27 @@ class GreedyMapper(Mapper):
         row_policy: row-scan order of the underlying scheduler
             (``"first_fit"`` or ``"round_robin"``, see
             :class:`~repro.dbt.scheduler.SchedulerState`).
+        line_budget: per-column context-line budget; the default
+            follows the geometry's declared routing budget (elastic
+            unless ``ctx_lines`` was set explicitly), an int overrides
+            it, ``None`` forces elastic routing.
     """
 
     name = DEFAULT_MAPPER_KEY
 
-    def __init__(self, row_policy: str = "first_fit") -> None:
+    def __init__(
+        self,
+        row_policy: str = "first_fit",
+        line_budget: int | str | None = FOLLOW_GEOMETRY,
+    ) -> None:
         if row_policy not in ("first_fit", "round_robin"):
             raise ValueError(f"unknown row policy {row_policy!r}")
+        if isinstance(line_budget, str) and line_budget != FOLLOW_GEOMETRY:
+            raise ValueError(f"unknown line budget {line_budget!r}")
+        if isinstance(line_budget, int) and line_budget < 1:
+            raise ValueError("line_budget must be >= 1")
         self.row_policy = row_policy
+        self.line_budget = line_budget
 
     def map_unit(
         self,
@@ -106,8 +124,20 @@ class GreedyMapper(Mapper):
         if seed is not None and seed.mapper_key == self.identity():
             return seed
         return place_window(
-            ops, geometry, self.row_policy, mapper_key=self.identity()
+            ops,
+            geometry,
+            self.row_policy,
+            mapper_key=self.identity(),
+            line_budget=self.line_budget,
         )
 
     def identity(self) -> str:
-        return greedy_identity(self.row_policy)
+        # A non-default budget places differently, so it must name its
+        # own cache namespace; the geometry-following default keeps the
+        # seed scheduler's identity (discovery applies the same budget).
+        if self.line_budget == FOLLOW_GEOMETRY:
+            return greedy_identity(self.row_policy)
+        parts = [f"line_budget={self.line_budget}"]
+        if self.row_policy != "first_fit":
+            parts.append(f"row_policy={self.row_policy}")
+        return f"{self.name}({','.join(parts)})"

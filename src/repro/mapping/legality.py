@@ -13,7 +13,11 @@ oracle:
   after the producer's last column (the left-to-right interconnect
   carries values forward only);
 * **memory ports** — one pipelined read and one pipelined write port:
-  issue windows of two loads (or two stores) never overlap.
+  issue windows of two loads (or two stores) never overlap;
+* **routing** — per-column context-line pressure within the geometry's
+  declared budget (:mod:`repro.mapping.routing`). The check always
+  runs; with no declared budget (the default fabric) routing is
+  elastic and can never fail, so the paper pipeline is unaffected.
 
 The checker reports *all* violations (not just the first) so property
 tests produce actionable failures.
@@ -25,6 +29,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
 from repro.cgra.fu import (
     MEM_PORT_ISSUE_COLUMNS,
     FUKind,
@@ -34,6 +39,7 @@ from repro.cgra.fu import (
 from repro.dbt.dfg import build_dfg
 from repro.errors import MappingError
 from repro.isa.instructions import InstrClass
+from repro.mapping.routing import routing_violations
 from repro.sim.trace import TraceRecord
 
 
@@ -51,11 +57,14 @@ class LegalityReport:
 def check_unit(
     unit: VirtualConfiguration,
     records: Sequence[TraceRecord],
+    geometry: FabricGeometry | None = None,
 ) -> LegalityReport:
     """Validate ``unit`` against the instruction window it maps.
 
     ``records[i]`` must be the instruction at ``unit.pc_path[i]`` (the
-    window the mapper was given).
+    window the mapper was given). ``geometry`` supplies the routing
+    budget for the context-line check; omitted, it is derived from the
+    unit's grid shape (default sizing — elastic routing).
     """
     violations: list[str] = []
     records = tuple(records)
@@ -152,15 +161,19 @@ def check_unit(
                     f"per {MEM_PORT_ISSUE_COLUMNS} columns"
                 )
 
+    # -- context-line routing ------------------------------------------
+    violations.extend(routing_violations(unit, records, geometry))
+
     return LegalityReport(violations=tuple(violations))
 
 
 def assert_legal(
     unit: VirtualConfiguration,
     records: Sequence[TraceRecord],
+    geometry: FabricGeometry | None = None,
 ) -> None:
     """Raise :class:`MappingError` when ``unit`` violates any rule."""
-    report = check_unit(unit, records)
+    report = check_unit(unit, records, geometry)
     if not report.ok:
         summary = "; ".join(report.violations[:5])
         raise MappingError(

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.utilization import UtilizationTracker
 from repro.dbt.config_cache import ConfigCacheStats
@@ -20,6 +20,9 @@ class CGRAStats:
     squashed_instructions: int = 0
     misspeculations: int = 0
     cgra_cycles: int = 0
+    #: Worst per-column context-line pressure over the run's translated
+    #: units (see :mod:`repro.mapping.routing`).
+    peak_line_pressure: int = 0
 
     @property
     def commit_efficiency(self) -> float:

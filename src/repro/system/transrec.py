@@ -168,6 +168,7 @@ class TransRecSystem:
         activity.cgra_op_counts = dict(cgra_op_counts)
         activity.cache_misses = gpp.icache.misses + gpp.dcache.misses
         stats.cgra_cycles = cycles
+        stats.peak_line_pressure = engine.peak_line_pressure
         return cycles, stats, cache, allocator.tracker, activity
 
     def _launch(

@@ -218,3 +218,153 @@ class TestJsonable:
         assert payload["scalar"] == 7
         assert payload["cells"] == [[0, 1], [1, 2]]
         json.dumps(payload)
+
+
+class TestPairedSeedExpansion:
+    """``seed_mode="paired"``: seed s means (policy seed s, mapper
+    seed s), one design point per seed — vs the default cross
+    product."""
+
+    def _spec(self, seed_mode, seeds=(1, 2)):
+        from repro.campaign import MapperSpec
+
+        return CampaignSpec(
+            geometries=((2, 8),),
+            policies=(PolicySpec.make("random"),),
+            mappers=(MapperSpec.make("annealing"),),
+            workloads=("bitcount",),
+            seeds=seeds,
+            seed_mode=seed_mode,
+            name="paired-test",
+        )
+
+    def test_cross_mode_is_the_cross_product(self):
+        points = self._spec("cross").design_points()
+        assert len(points) == 4  # 2 policy seeds x 2 mapper seeds
+        combos = {
+            (p.mapper.as_kwargs()["seed"], p.policy.as_kwargs()["seed"])
+            for p in points
+        }
+        assert combos == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_paired_mode_ties_seeds(self):
+        points = self._spec("paired").design_points()
+        assert len(points) == 2  # one point per seed
+        combos = [
+            (p.mapper.as_kwargs()["seed"], p.policy.as_kwargs()["seed"])
+            for p in points
+        ]
+        assert combos == [(1, 1), (2, 2)]
+
+    def test_paired_mode_keeps_unseedable_components_once(self):
+        from repro.campaign import MapperSpec
+
+        spec = CampaignSpec(
+            geometries=((2, 8),),
+            policies=(
+                PolicySpec.make("baseline"),
+                PolicySpec.make("random"),
+            ),
+            mappers=(
+                MapperSpec.make("greedy"),
+                MapperSpec.make("annealing"),
+            ),
+            workloads=("bitcount",),
+            seeds=(3, 4),
+            seed_mode="paired",
+        )
+        points = spec.design_points()
+        # baseline+greedy has no seedable component: one point, not one
+        # per seed; every other combination expands per seed.
+        labels = [point.label for point in points]
+        assert len(points) == 7, labels
+        assert (
+            sum("baseline" in lab and "annealing" not in lab for lab in labels)
+            == 1
+        )
+
+    def test_paired_without_seeds_equals_cross(self):
+        cross = self._spec("cross", seeds=()).design_points()
+        paired = self._spec("paired", seeds=()).design_points()
+        assert cross == paired
+
+    def test_unknown_seed_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed mode"):
+            self._spec("zipped")
+
+    def test_seed_mode_json_round_trip(self):
+        spec = self._spec("paired")
+        payload = spec.to_jsonable()
+        assert payload["seed_mode"] == "paired"
+        clone = CampaignSpec.from_jsonable(
+            json.loads(json.dumps(payload))
+        )
+        assert clone == spec
+        assert clone.design_points() == spec.design_points()
+        # The default mode is not emitted: pre-paired manifests are
+        # byte-identical.
+        assert "seed_mode" not in self._spec("cross").to_jsonable()
+
+    def test_paired_runner_executes_each_seed_once(self):
+        traces = {"bitcount": run_workload("bitcount")}
+        spec = self._spec("paired")
+        result = CampaignRunner().run(spec, traces=traces)
+        assert len(result.runs) == 2
+        for point, run in result:
+            assert point.mapper.as_kwargs()["seed"] == (
+                point.policy.as_kwargs()["seed"]
+            )
+            assert set(run.results) == {"bitcount"}
+
+
+class TestDeclaredRoutingBudgetAxis:
+    """(rows, cols, ctx_lines) geometry entries flow from the spec to
+    the fabric and into artifacts."""
+
+    def test_three_tuple_geometry_design_point(self):
+        spec = small_spec(geometries=((2, 8), (2, 8, 4)))
+        points = spec.design_points()
+        assert [(p.rows, p.cols, p.ctx_lines) for p in points[:4:2]] == [
+            (2, 8, None),
+            (2, 8, 4),
+        ]
+        # The budgeted point is a distinct key/label; the unbudgeted
+        # ones keep their pre-routing names.
+        assert points[0].key.startswith("L8xW2__")
+        assert points[2].key.startswith("L8xW2xC4__")
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="ctx_lines"):
+            small_spec(geometries=((4, 8, 2),))
+        with pytest.raises(ConfigurationError, match="geometry entries"):
+            small_spec(geometries=((4, 8, 8, 1),)).design_points()
+
+    def test_budget_reaches_the_system(self):
+        traces = {"bitcount": run_workload("bitcount")}
+        spec = small_spec(
+            geometries=((2, 16, 2),),
+            policies=(PolicySpec.make("baseline"),),
+            workloads=("bitcount",),
+        )
+        result = CampaignRunner().run(spec, traces=traces)
+        run = result.only_run()
+        assert run.geometry.routing_budget == 2
+        # Translated units were held to the declared budget.
+        assert all(
+            res.cgra.peak_line_pressure <= 2
+            for res in run.results.values()
+        )
+
+    def test_budget_recorded_in_artifacts(self, tmp_path):
+        traces = {"bitcount": run_workload("bitcount")}
+        spec = small_spec(
+            geometries=((2, 16, 2),),
+            policies=(PolicySpec.make("baseline"),),
+            workloads=("bitcount",),
+        )
+        CampaignRunner(artifact_dir=tmp_path).run(spec, traces=traces)
+        manifest = json.loads((tmp_path / "campaign.json").read_text())
+        (key,) = manifest["design_points"]
+        payload = json.loads((tmp_path / f"{key}.json").read_text())
+        assert payload["ctx_lines"] == 2
+        assert manifest["spec"]["geometries"] == [[2, 16, 2]]

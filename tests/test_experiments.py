@@ -180,3 +180,62 @@ class TestMappingAblation:
         text = mapping_ablation.render(mapping_result)
         assert "Mapping ablation" in text
         assert "Peak-cell stress per workload" in text
+
+
+@pytest.fixture(scope="module")
+def routing_result():
+    from repro.experiments import routing_ablation
+
+    return routing_ablation.run()
+
+
+class TestRoutingAblation:
+    """Acceptance criteria of the context-line router model."""
+
+    def test_three_arms(self, routing_result):
+        assert [arm for arm, *_ in routing_result.arm_rows] == [
+            "unconstrained",
+            "hard-limit",
+            "cost-shaped",
+        ]
+
+    def test_hard_limit_respects_declared_budget(self, routing_result):
+        from repro.experiments.routing_ablation import LINE_BUDGET
+
+        pressures = {
+            arm: pressure
+            for arm, pressure, _, _ in routing_result.arm_rows
+        }
+        assert pressures["hard-limit"] <= LINE_BUDGET
+        # The unconstrained annealer really does overflow the sizing —
+        # otherwise this ablation would be vacuous.
+        assert pressures["unconstrained"] > LINE_BUDGET
+
+    def test_cost_term_reduces_pressure_on_two_workloads(
+        self, routing_result
+    ):
+        wins = [
+            name
+            for name, arms in routing_result.per_workload.items()
+            if arms["cost-shaped"][0] < arms["unconstrained"][0]
+        ]
+        assert len(wins) >= 2, routing_result.per_workload
+
+    def test_cost_term_costs_zero_cycles(self, routing_result):
+        overhead = {
+            arm: overhead
+            for arm, _, _, overhead in routing_result.arm_rows
+        }
+        # Same unit discovery, same greedy width cap: the congestion
+        # term may only re-shuffle within the bounding box.
+        assert overhead["cost-shaped"] <= 0.0
+        # The hard-limit arm re-shapes units; keep its price visible
+        # and bounded.
+        assert abs(overhead["hard-limit"]) <= 0.05
+
+    def test_render_has_both_tables(self, routing_result):
+        from repro.experiments import routing_ablation
+
+        text = routing_ablation.render(routing_result)
+        assert "Routing ablation" in text
+        assert "Peak context-line pressure per workload" in text

@@ -7,7 +7,6 @@ binary encoding and must execute identically; random allocation
 sequences must conserve stress exactly.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -199,3 +198,52 @@ class TestAssemblerRoundTrip:
         text = format_instruction(ins)
         reassembled = assemble(text).instructions[0]
         assert reassembled == ins
+
+
+class TestRoutingPressureProperties:
+    """Scheduler output is routable by construction.
+
+    The incremental line-pressure bookkeeping inside
+    :class:`SchedulerState` and the whole-unit profile of
+    :mod:`repro.mapping.routing` must be the same arithmetic, and any
+    placement emitted under a declared ``ctx_lines`` budget must fit
+    it — for every random window, geometry and budget, including the
+    minimal ``ctx_lines == rows``.
+    """
+
+    @given(
+        entries=window_entries,
+        rows=st.integers(min_value=1, max_value=4),
+        extra_lines=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_budgeted_schedule_fits_budget(self, entries, rows, extra_lines):
+        from repro.cgra.configuration import VirtualConfiguration
+        from repro.mapping.routing import routing_profile
+
+        window = build_window(entries)
+        geometry = FabricGeometry(
+            rows=rows, cols=32, ctx_lines=rows + extra_lines
+        )
+        state = SchedulerState(geometry)
+        ops = []
+        for offset, record in enumerate(window):
+            placed = state.try_place(record, offset)
+            if placed is None:
+                break  # overflow or full: discovery would close here
+            ops.append(placed)
+        if not ops:
+            return
+        unit = VirtualConfiguration(
+            start_pc=window[0].pc,
+            pc_path=tuple(r.pc for r in window[: len(ops)]),
+            ops=tuple(ops),
+            n_instructions=len(ops),
+            geometry_rows=geometry.rows,
+            geometry_cols=geometry.cols,
+        )
+        profile = routing_profile(unit, window, geometry)
+        assert profile.peak_pressure <= geometry.ctx_lines
+        assert profile.ok
+        # The scheduler's incremental tracker saw the same pressure.
+        assert state.peak_line_pressure == profile.peak_pressure
