@@ -1,8 +1,10 @@
-"""Allocation + mapping throughput tracking benchmark.
+"""Allocation + mapping + campaign throughput tracking benchmark.
 
 Times rotation-policy configuration launches through the scalar API and
-the vectorized batch API, plus simulated-annealing mapping throughput,
-on a real ``sha`` translation unit, and writes the numbers to
+the vectorized batch API, simulated-annealing mapping throughput (with
+the congestion cost term on and off), launch-schedule replay
+throughput, and an end-to-end policy-sweep campaign (shared schedules
+vs the coupled per-point walk), and writes the numbers to
 ``BENCH_alloc.json`` so successive PRs can track the hot paths' perf
 trajectory::
 
@@ -25,14 +27,26 @@ import sys
 import time
 from pathlib import Path
 
+from repro.campaign import CampaignRunner, CampaignSpec, PolicySpec
 from repro.cgra.fabric import FabricGeometry
 from repro.core.allocator import ConfigurationAllocator
 from repro.core.policy import make_policy
 from repro.dbt.window import build_unit
 from repro.mapping import SimulatedAnnealingMapper, routing_profile
+from repro.system import (
+    SystemParams,
+    clear_schedule_caches,
+    replay_schedule,
+    shared_schedule,
+)
 from repro.workloads.suite import run_workload
 
 ROWS, COLS = 4, 32
+
+#: Workload whose schedule drives the replay metric: crc32 has the
+#: suite's most interleaved launch stream (run length ~1.2), the case
+#: the deferred-accrual batch engine is built for.
+REPLAY_WORKLOAD = "crc32"
 
 
 def _scalar_launches_per_sec(unit, n_launches: int) -> float:
@@ -57,16 +71,104 @@ def _batch_launches_per_sec(unit, n_launches: int) -> float:
     return n_launches / elapsed
 
 
-def _sa_units_per_sec(trace, unit, n_units: int) -> float:
-    """Simulated-annealing mapping throughput on the same window."""
+def _sa_units_per_sec(
+    trace, unit, n_units: int, congestion_weight: float = 1.0
+) -> float:
+    """Simulated-annealing mapping throughput on the same window.
+
+    Measured both with the congestion cost term at its default weight
+    and with it off, so the history separates congestion-model cost
+    from the annealing core (the 255.8 -> 186.6 units/sec step across
+    PR 3 was indistinguishable before).
+    """
     geometry = FabricGeometry(rows=ROWS, cols=COLS)
     records = [trace[offset] for offset in range(unit.n_instructions)]
-    mapper = SimulatedAnnealingMapper(seed=0)
+    mapper = SimulatedAnnealingMapper(
+        seed=0, congestion_weight=congestion_weight
+    )
     start = time.perf_counter()
     for _ in range(n_units):
         mapper.map_unit(records, geometry, seed=unit)
     elapsed = time.perf_counter() - start
     return n_units / elapsed
+
+
+def _replay_metrics(n_replays: int) -> dict:
+    """Launch-schedule replay throughput (launches placed per second
+    through the vectorized policy replay of one recorded schedule)."""
+    trace = run_workload(REPLAY_WORKLOAD)
+    params = SystemParams(
+        geometry=FabricGeometry(rows=ROWS, cols=COLS), policy="rotation"
+    )
+    clear_schedule_caches()
+    schedule = shared_schedule(params, trace)
+    replay_schedule(schedule, params.geometry, make_policy("rotation"))
+    start = time.perf_counter()
+    for _ in range(n_replays):
+        replay_schedule(schedule, params.geometry, make_policy("rotation"))
+    elapsed = time.perf_counter() - start
+    return {
+        "schedule_replay_workload": REPLAY_WORKLOAD,
+        "schedule_replay_launches": schedule.n_launches,
+        "schedule_replays": n_replays,
+        "schedule_replay_launches_per_sec": round(
+            schedule.n_launches * n_replays / elapsed, 1
+        ),
+    }
+
+
+def _campaign_spec(quick: bool) -> CampaignSpec:
+    """The end-to-end metric's campaign: a 5-policy x 4-seed sweep on
+    L32xW4 over the full verified suite (seeds expand the seedable
+    ``random`` policy into per-seed points)."""
+    if quick:
+        return CampaignSpec(
+            geometries=((ROWS, COLS),),
+            policies=(
+                PolicySpec.make("baseline"),
+                PolicySpec.make("rotation"),
+            ),
+            workloads=("bitcount", "dijkstra"),
+            name="bench_campaign_quick",
+        )
+    return CampaignSpec(
+        geometries=((ROWS, COLS),),
+        policies=(
+            PolicySpec.make("baseline"),
+            PolicySpec.make("rotation"),
+            PolicySpec.make("static_remap"),
+            PolicySpec.make("stress_aware"),
+            PolicySpec.make("random"),
+        ),
+        seeds=(0, 1, 2, 3),
+        name="bench_campaign",
+    )
+
+
+def _campaign_metrics(quick: bool) -> dict:
+    """End-to-end campaign throughput, shared schedules vs the coupled
+    per-point walk (the pre-schedule pipeline), on one process."""
+    spec = _campaign_spec(quick)
+    n_points = len(spec.design_points())
+    for name in spec.resolved_workloads():
+        run_workload(name)
+    clear_schedule_caches()
+    start = time.perf_counter()
+    CampaignRunner().run(spec)
+    shared_elapsed = time.perf_counter() - start
+    clear_schedule_caches()
+    start = time.perf_counter()
+    CampaignRunner(share_schedules=False).run(spec)
+    coupled_elapsed = time.perf_counter() - start
+    return {
+        "campaign_points": n_points,
+        "campaign_workloads": len(spec.resolved_workloads()),
+        "campaign_points_per_sec": round(n_points / shared_elapsed, 2),
+        "campaign_coupled_points_per_sec": round(
+            n_points / coupled_elapsed, 2
+        ),
+        "campaign_speedup": round(coupled_elapsed / shared_elapsed, 2),
+    }
 
 
 def _routing_profiles_per_sec(trace, unit, n_profiles: int) -> float:
@@ -86,6 +188,8 @@ def run(
     batch_launches: int = 500_000,
     sa_units: int = 200,
     routing_profiles: int = 5_000,
+    schedule_replays: int = 100,
+    quick: bool = False,
 ) -> dict:
     """Measure all paths; returns one flat JSON record."""
     trace = run_workload("sha")
@@ -101,10 +205,13 @@ def run(
     scalar = _scalar_launches_per_sec(unit, scalar_launches)
     batch = _batch_launches_per_sec(unit, batch_launches)
     sa_rate = _sa_units_per_sec(trace, unit, sa_units)
+    sa_rate_no_congestion = _sa_units_per_sec(
+        trace, unit, sa_units, congestion_weight=0.0
+    )
     routing_rate = _routing_profiles_per_sec(trace, unit, routing_profiles)
     records = [trace[offset] for offset in range(unit.n_instructions)]
     profile = routing_profile(unit, records, geometry)
-    return {
+    record = {
         "benchmark": "rotation_allocation",
         "fabric": f"L{COLS}xW{ROWS}",
         "unit_cells": len(unit.cells),
@@ -115,13 +222,23 @@ def run(
         "batch_speedup": round(batch / scalar, 2),
         "sa_map_units": sa_units,
         "sa_map_units_per_sec": round(sa_rate, 1),
+        "sa_map_units_per_sec_congestion_off": round(
+            sa_rate_no_congestion, 1
+        ),
         "routing_profiles": routing_profiles,
         "routing_profiles_per_sec": round(routing_rate, 1),
         "peak_line_pressure": profile.peak_pressure,
         "ctx_lines_sized": geometry.ctx_lines,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
     }
+    record.update(_replay_metrics(schedule_replays))
+    record.update(_campaign_metrics(quick))
+    record.update(
+        {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        }
+    )
+    return record
 
 
 def append_history(output: Path, record: dict) -> dict:
@@ -183,6 +300,8 @@ def main(argv: list[str] | None = None) -> int:
             batch_launches=20_000,
             sa_units=20,
             routing_profiles=500,
+            schedule_replays=10,
+            quick=True,
         )
         record["quick"] = True
     else:

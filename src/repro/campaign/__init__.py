@@ -3,10 +3,13 @@
 A *campaign* is the cross product of fabric geometries, mappers,
 allocation policies, workloads and RNG seeds. :class:`CampaignSpec` declares it,
 :class:`CampaignRunner` evaluates every resulting design point (serially
-or on a process pool) against memoised workload traces, and per-point
-JSON artifacts make the results durable. The experiment drivers
-(``repro.experiments``) and the DSE sweep (``repro.dse.sweep``) are thin
-consumers of this package.
+or on a process pool) against memoised workload traces — grouping
+points that differ only in allocation policy onto shared launch
+schedules (one trace walk per pipeline, vectorized replay per policy;
+see :mod:`repro.system.schedule`) — and per-point JSON artifacts make
+the results durable. The experiment drivers (``repro.experiments``)
+and the DSE sweep (``repro.dse.sweep``) are thin consumers of this
+package.
 """
 
 from repro.campaign.artifacts import to_jsonable, write_json

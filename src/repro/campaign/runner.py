@@ -1,14 +1,23 @@
 """Campaign evaluation: serial or process-pool execution of design points.
 
-The runner owns the two scale levers the ROADMAP asks for:
+The runner owns the three scale levers the ROADMAP asks for:
 
 * **Shared memoised traces** — workload traces are design-independent,
   so they are verified once per process (``run_workload`` is cached)
   and warmed *before* a pool forks, letting every worker inherit them
   for free on fork-based platforms.
-* **Process-pool parallelism** — design points are embarrassingly
+* **Shared launch schedules** — design points whose pipelines differ
+  only in allocation policy (or policy seed) share one
+  policy-independent trace walk per workload and fan the policy axis
+  out as vectorized replays (:mod:`repro.system.schedule`). Points are
+  grouped by :func:`~repro.system.schedule.schedule_key`;
+  stress-coupled mappers (e.g. annealing with live stress feedback)
+  opt out and keep the coupled walk.
+* **Process-pool parallelism** — schedule groups are embarrassingly
   parallel; ``max_workers > 1`` fans them out over a
   ``ProcessPoolExecutor`` while keeping results in submission order.
+  Each group's points run in one worker, so the group's schedules are
+  computed exactly once.
 
 Artifacts: pass ``artifact_dir`` to persist one JSON summary per design
 point plus a ``campaign.json`` manifest describing the spec.
@@ -27,6 +36,7 @@ from repro.cgra.fabric import FabricGeometry
 from repro.errors import ConfigurationError
 from repro.sim.trace import Trace
 from repro.system.params import SystemParams
+from repro.system.schedule import params_stress_coupled, schedule_key
 from repro.system.transrec import TransRecSystem
 from repro.workloads.suite import run_workload
 
@@ -63,6 +73,7 @@ def evaluate_design_point(
     point: DesignPoint,
     base_params: SystemParams | None = None,
     traces: dict[str, Trace] | None = None,
+    mode: str = "auto",
 ) -> SuiteRun:
     """Run every workload of ``point`` on its system; returns the
     :class:`SuiteRun` with full per-workload results.
@@ -71,7 +82,9 @@ def evaluate_design_point(
     truncated traces); by default the memoised verified suite traces
     are used. Explicit traces must cover ``point.workloads`` — only
     the point's workloads are evaluated, so results and artifacts
-    always agree with the spec.
+    always agree with the spec. ``mode`` is forwarded to
+    :meth:`~repro.system.transrec.TransRecSystem.run_trace` (all modes
+    are bit-identical; ``"coupled"`` disables schedule sharing).
     """
     system = TransRecSystem(_build_params(point, base_params))
     if traces is None:
@@ -85,18 +98,28 @@ def evaluate_design_point(
             )
         traces = {name: traces[name] for name in point.workloads}
     results = {
-        name: system.run_trace(trace) for name, trace in traces.items()
+        name: system.run_trace(trace, mode=mode)
+        for name, trace in traces.items()
     }
     return SuiteRun(
         geometry=system.geometry, policy=point.policy.name, results=results
     )
 
 
-def _pool_evaluate(
-    payload: tuple[DesignPoint, SystemParams | None],
-) -> SuiteRun:
-    point, base_params = payload
-    return evaluate_design_point(point, base_params)
+def _pool_evaluate_group(
+    payload: tuple[tuple[DesignPoint, ...], SystemParams | None, str],
+) -> list[SuiteRun]:
+    """Evaluate one schedule group in a pool worker.
+
+    The group's points run sequentially in this process, so the first
+    point's walks warm the per-process schedule memo and every further
+    point replays them.
+    """
+    points, base_params, mode = payload
+    return [
+        evaluate_design_point(point, base_params, mode=mode)
+        for point in points
+    ]
 
 
 @dataclass
@@ -133,12 +156,16 @@ class CampaignRunner:
 
     Args:
         max_workers: ``None``/``0``/``1`` evaluates serially in-process
-            (sharing the memoised traces); ``> 1`` fans design points
-            out over a process pool.
+            (sharing the memoised traces and schedules); ``> 1`` fans
+            schedule groups out over a process pool.
         artifact_dir: when given, one JSON summary per design point and
             a ``campaign.json`` manifest are written there.
         base_params: timing/energy parameter overrides applied to every
             design point (geometry and policy are taken from the point).
+        share_schedules: ``False`` forces the coupled per-point walk
+            everywhere (the pre-schedule behaviour — results are
+            bit-identical either way; this is the measurement baseline
+            and escape hatch).
     """
 
     def __init__(
@@ -146,10 +173,65 @@ class CampaignRunner:
         max_workers: int | None = None,
         artifact_dir: str | Path | None = None,
         base_params: SystemParams | None = None,
+        share_schedules: bool = True,
     ) -> None:
         self.max_workers = max_workers
         self.artifact_dir = Path(artifact_dir) if artifact_dir else None
         self.base_params = base_params
+        self.share_schedules = share_schedules
+
+    def schedule_groups(
+        self, points: tuple[DesignPoint, ...]
+    ) -> list[list[int]]:
+        """Partition point indices into schedule-sharing groups.
+
+        Points with equal :func:`~repro.system.schedule.schedule_key`
+        (same geometry, mapper identity, DBT/cache/GPP/datapath
+        parameters — everything but the allocation policy) and equal
+        workloads walk each trace once and replay it per policy.
+        Stress-coupled points get singleton groups; with
+        ``share_schedules=False`` every group is a singleton.
+        """
+        if not self.share_schedules:
+            return [[index] for index in range(len(points))]
+        groups: dict[object, list[int]] = {}
+        order: list[object] = []
+        for index, point in enumerate(points):
+            params = _build_params(point, self.base_params)
+            if params_stress_coupled(params):
+                key: object = ("coupled", index)
+            else:
+                key = ("shared", schedule_key(params), point.workloads)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(index)
+        return [groups[key] for key in order]
+
+    @staticmethod
+    def _balanced_groups(
+        groups: list[list[int]], target: int
+    ) -> list[list[int]]:
+        """Split large schedule groups until at least ``target`` pool
+        payloads exist (or nothing is left to split).
+
+        A policy-only campaign collapses into one schedule group; one
+        worker walking and replaying everything would leave the rest of
+        the pool idle. Each chunk re-walks the shared schedule once in
+        its own worker — one extra walk buys parallelism across the
+        replay axis, and results stay bit-identical (replays are
+        independent).
+        """
+        groups = [list(group) for group in groups]
+        while len(groups) < target:
+            largest = max(groups, key=len)
+            if len(largest) < 2:
+                break
+            groups.remove(largest)
+            half = len(largest) // 2
+            groups.append(largest[:half])
+            groups.append(largest[half:])
+        return groups
 
     def run(
         self,
@@ -163,6 +245,7 @@ class CampaignRunner:
         the named workloads are resolved from the memoised suite.
         """
         points = spec.design_points()
+        mode = "auto" if self.share_schedules else "coupled"
         if traces is None:
             # Warm the shared trace cache once so serial evaluation
             # reuses it and fork-based pool workers inherit it.
@@ -175,16 +258,29 @@ class CampaignRunner:
             and len(points) > 1
         )
         if parallel:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                suite_runs = list(
-                    pool.map(
-                        _pool_evaluate,
-                        [(point, self.base_params) for point in points],
-                    )
+            groups = self._balanced_groups(
+                self.schedule_groups(points), self.max_workers
+            )
+            payloads = [
+                (
+                    tuple(points[index] for index in group),
+                    self.base_params,
+                    mode,
                 )
+                for group in groups
+            ]
+            suite_runs: list[SuiteRun | None] = [None] * len(points)
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                for group, group_runs in zip(
+                    groups, pool.map(_pool_evaluate_group, payloads)
+                ):
+                    for index, run in zip(group, group_runs):
+                        suite_runs[index] = run
         else:
+            # Serial evaluation shares schedules through the in-process
+            # memo regardless of point order; no grouping needed.
             suite_runs = [
-                evaluate_design_point(point, self.base_params, traces)
+                evaluate_design_point(point, self.base_params, traces, mode)
                 for point in points
             ]
         runs = dict(zip(points, suite_runs))

@@ -9,13 +9,17 @@ and records the stressed physical cells in the utilization tracker.
 Two entry points share one engine:
 
 * :meth:`ConfigurationAllocator.allocate_batch` — the vectorized path.
-  Launches are grouped into runs of consecutive identical
-  configurations; each run's pivots come from the policy's
-  :meth:`~repro.core.policy.AllocationPolicy.next_pivots` batch hook,
-  footprints are translated with integer arithmetic on the cached
-  numpy footprint and stress is accrued via ``np.add.at`` on flattened
-  indices. The tracker is updated between runs, so interleaved
-  sequences see exactly the stress state the scalar loop would.
+  Pivots are drawn run-by-run (consecutive identical configurations)
+  through the policy's
+  :meth:`~repro.core.policy.AllocationPolicy.next_pivots` batch hook —
+  or in one call for the whole sequence when the policy declares
+  itself :attr:`~repro.core.policy.AllocationPolicy.oblivious` — while
+  stress accrual is *deferred*: launches accumulate in per-
+  configuration groups and fold into the tracker with one
+  ``np.add.at`` per configuration. The policy receives a flushing
+  tracker view, so any read of accumulated stress materialises exactly
+  the state the scalar loop would have shown it; interleaved launch
+  schedules (run length ~1) no longer pay per-run numpy setup.
 * :meth:`ConfigurationAllocator.allocate` — the scalar API, the
   engine's single-launch fast path (shared validation and tracker
   accounting, no per-launch numpy batch overhead). Property tests
@@ -88,6 +92,48 @@ class BatchPlacement:
         return PhysicalPlacement(
             pivot=(pivot_row, pivot_col), cells=cells, config=config
         )
+
+
+#: Any single pivot suffices for the (pivot-independent) fold check.
+_ORIGIN_PIVOT = np.zeros((1, 2), dtype=np.int64)
+
+
+def _iter_runs(configs):
+    """Yield ``(config, start, stop)`` runs of consecutive identical
+    configuration objects — the single owner of the batch engine's
+    run-boundary rule."""
+    start = 0
+    n_launches = len(configs)
+    while start < n_launches:
+        config = configs[start]
+        stop = start + 1
+        while stop < n_launches and configs[stop] is config:
+            stop += 1
+        yield config, start, stop
+        start = stop
+
+
+class _FlushingTrackerView:
+    """Tracker proxy that folds deferred launches in before any read.
+
+    The batched allocator postpones stress accrual so it can group
+    launches by configuration; policies, however, must observe exactly
+    the counters the scalar loop would have shown them. Every
+    attribute access on this view first flushes the pending launches
+    into the real tracker, then delegates — a policy that never reads
+    the tracker (rotation, random, ...) never forces a flush.
+    """
+
+    __slots__ = ("_tracker", "_flush")
+
+    def __init__(self, tracker: UtilizationTracker, flush) -> None:
+        self._tracker = tracker
+        self._flush = flush
+
+    def __getattr__(self, name: str):
+        # Only reached for non-slot names, i.e. every delegated read.
+        self._flush()
+        return getattr(self._tracker, name)
 
 
 class ConfigurationAllocator:
@@ -185,36 +231,137 @@ class ConfigurationAllocator:
                     f"pivots must have shape ({n_launches}, 2), "
                     f"got {pivots.shape}"
                 )
-        pivots_out = np.empty((n_launches, 2), dtype=np.int64)
         observe = self._resolve_observe()
-        start = 0
-        while start < n_launches:
-            config = configs[start]
-            stop = start + 1
-            while stop < n_launches and configs[stop] is config:
-                stop += 1
-            count = stop - start
-            self._check_fit(config)
-            if pivots is None:
-                run_pivots = np.asarray(
-                    self._next_pivots(config, count), dtype=np.int64
+
+        # Deferred stress accrual: runs append (config, pivots, cycles)
+        # here; ``flush`` folds everything accumulated so far into the
+        # tracker, grouped by configuration (one footprint translation
+        # and one ``np.add.at`` per distinct config — integer accrual
+        # commutes, so regrouping is exact). Policies read stress only
+        # through the flushing view, which keeps interleaved sequences
+        # bit-identical to the scalar loop while run-of-one launch
+        # schedules skip almost all per-run numpy setup.
+        pending: list[tuple[VirtualConfiguration, np.ndarray, np.ndarray]] = []
+        checked_fit: set[int] = set()
+
+        def flush() -> None:
+            if not pending:
+                return
+            groups: dict[int, list] = {}
+            for config, run_pivots, run_cycles in pending:
+                group = groups.get(id(config))
+                if group is None:
+                    groups[id(config)] = [config, [run_pivots], [run_cycles]]
+                else:
+                    group[1].append(run_pivots)
+                    group[2].append(run_cycles)
+            pending.clear()
+            for config, pivot_runs, cycle_runs in groups.values():
+                group_pivots = (
+                    pivot_runs[0]
+                    if len(pivot_runs) == 1
+                    else np.concatenate(pivot_runs)
                 )
-                origin = f"policy {getattr(self.policy, 'name', '?')!r}"
-            else:
-                run_pivots = pivots[start:stop]
-                origin = "explicit pivots argument"
-            self._check_pivots(run_pivots, origin)
-            flat = candidate_footprints(config, run_pivots, self.geometry)
-            self._check_no_fold(config, flat)
-            self.tracker.record_batch(
-                config.start_pc, flat, cycles_arr[start:stop]
-            )
-            if observe is not None:
-                for pivot_row, pivot_col in run_pivots:
-                    observe(config, (int(pivot_row), int(pivot_col)))
-            pivots_out[start:stop] = run_pivots
-            self.launches += count
-            start = stop
+                group_cycles = (
+                    cycle_runs[0]
+                    if len(cycle_runs) == 1
+                    else np.concatenate(cycle_runs)
+                )
+                flat = candidate_footprints(
+                    config, group_pivots, self.geometry
+                )
+                self.tracker.record_batch(
+                    config.start_pc, flat, group_cycles
+                )
+
+        tracker_view = _FlushingTrackerView(self.tracker, flush)
+
+        def check_fit_once(config: VirtualConfiguration) -> None:
+            # Fit and wrap-around folding are both pivot-independent,
+            # so one check at first sight covers every launch of the
+            # config — and flush() can never raise, which keeps
+            # ``launches`` and the tracker in agreement on any
+            # mid-batch error path.
+            if id(config) not in checked_fit:
+                self._check_fit(config)
+                self._check_no_fold(
+                    config,
+                    candidate_footprints(
+                        config, _ORIGIN_PIVOT, self.geometry
+                    ),
+                )
+                checked_fit.add(id(config))
+
+        try:
+            if (
+                pivots is None
+                and observe is None
+                and n_launches > 0
+                and getattr(self.policy, "oblivious", False)
+            ):
+                # The pivot stream ignores both the configuration and
+                # the tracker: one batch hook call covers the whole
+                # sequence.
+                all_pivots = np.asarray(
+                    self._next_pivots(
+                        configs[0], tracker_view, n_launches
+                    ),
+                    dtype=np.int64,
+                )
+                self._check_pivots(
+                    all_pivots,
+                    f"policy {getattr(self.policy, 'name', '?')!r}",
+                )
+                for config, start, stop in _iter_runs(configs):
+                    check_fit_once(config)
+                    pending.append(
+                        (
+                            config,
+                            all_pivots[start:stop],
+                            cycles_arr[start:stop],
+                        )
+                    )
+                    self.launches += stop - start
+                flush()
+                return BatchPlacement(
+                    geometry=self.geometry,
+                    configs=configs,
+                    pivots=all_pivots,
+                    cycles=cycles_arr,
+                )
+
+            pivots_out = np.empty((n_launches, 2), dtype=np.int64)
+            for config, start, stop in _iter_runs(configs):
+                count = stop - start
+                check_fit_once(config)
+                if pivots is None:
+                    run_pivots = np.asarray(
+                        self._next_pivots(config, tracker_view, count),
+                        dtype=np.int64,
+                    )
+                    origin = f"policy {getattr(self.policy, 'name', '?')!r}"
+                else:
+                    run_pivots = pivots[start:stop]
+                    origin = "explicit pivots argument"
+                self._check_pivots(run_pivots, origin)
+                pending.append((config, run_pivots, cycles_arr[start:stop]))
+                if observe is not None:
+                    # The legacy contract ran observe after the run's
+                    # launches were recorded; flush so a hook that
+                    # inspects the tracker sees that exact state.
+                    flush()
+                    for pivot_row, pivot_col in run_pivots:
+                        observe(config, (int(pivot_row), int(pivot_col)))
+                pivots_out[start:stop] = run_pivots
+                self.launches += count
+        finally:
+            # Keep the allocator's observable state consistent even
+            # when a run fails validation (or a policy hook raises):
+            # the runs accepted before the error are recorded, so
+            # ``launches`` and the tracker agree — as the per-run
+            # legacy loop guaranteed. On success this is the ordinary
+            # final flush.
+            flush()
         return BatchPlacement(
             geometry=self.geometry,
             configs=configs,
@@ -238,16 +385,20 @@ class ConfigurationAllocator:
         return hook
 
     def _next_pivots(
-        self, config: VirtualConfiguration, count: int
+        self, config: VirtualConfiguration, tracker, count: int
     ) -> np.ndarray:
         """Ask the policy for a run of pivots, tolerating duck-typed
-        policies that only implement the scalar ``next_pivot``."""
+        policies that only implement the scalar ``next_pivot``.
+
+        ``tracker`` is the (possibly flushing-view) tracker the policy
+        should read accumulated stress through.
+        """
         batch_hook = getattr(self.policy, "next_pivots", None)
         if batch_hook is not None:
-            return batch_hook(config, self.tracker, count)
+            return batch_hook(config, tracker, count)
         pivots = np.empty((count, 2), dtype=np.int64)
         for index in range(count):
-            pivots[index] = self.policy.next_pivot(config, self.tracker)
+            pivots[index] = self.policy.next_pivot(config, tracker)
         return pivots
 
     # -- validation helpers ------------------------------------------------

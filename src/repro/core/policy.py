@@ -32,6 +32,13 @@ class AllocationPolicy:
     #: this to expand one policy into per-seed design points).
     seedable = False
 
+    #: Whether :meth:`next_pivots` ignores *both* its ``config`` and
+    #: ``tracker`` arguments — the pivot stream is a pure function of
+    #: internal policy state (a hardware counter, an RNG). The batched
+    #: allocator then draws one pivot run for a whole interleaved
+    #: launch schedule instead of one run per consecutive-config group.
+    oblivious = False
+
     def bind(self, geometry: FabricGeometry) -> None:
         """Attach the policy to a fabric; resets internal state."""
         self.geometry = geometry

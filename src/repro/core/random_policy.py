@@ -24,6 +24,7 @@ class RandomPolicy(AllocationPolicy):
 
     name = "random"
     seedable = True
+    oblivious = True
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed

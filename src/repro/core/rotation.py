@@ -32,6 +32,7 @@ class RotationPolicy(AllocationPolicy):
     """
 
     name = "rotation"
+    oblivious = True
 
     def __init__(self, pattern: str = "snake", stride: int = 1) -> None:
         self.pattern_name = pattern

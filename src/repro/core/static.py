@@ -18,6 +18,7 @@ class BaselinePolicy(AllocationPolicy):
     """
 
     name = "baseline"
+    oblivious = True
 
     def next_pivot(self, config: VirtualConfiguration, tracker) -> tuple[int, int]:
         return (0, 0)

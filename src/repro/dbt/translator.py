@@ -14,6 +14,8 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.cgra.configuration import VirtualConfiguration, greedy_identity
 from repro.cgra.fabric import FabricGeometry
 from repro.dbt.config_cache import ConfigCache
@@ -22,8 +24,6 @@ from repro.errors import ConfigurationError
 from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    import numpy as np
-
     from repro.mapping.base import Mapper
 
 
@@ -82,6 +82,21 @@ class DBTEngine:
         #: engine translated (the congestion metric campaigns report).
         self.peak_line_pressure = 0
 
+    @property
+    def stress_coupled(self) -> bool:
+        """Whether translations read the allocator's live stress map.
+
+        True only when a stress-coupled mapper is paired with a live
+        ``stress_provider``: then the launch stream depends on the
+        allocation policy and the run cannot share a policy-independent
+        :class:`~repro.system.schedule.LaunchSchedule`.
+        """
+        return (
+            self.mapper is not None
+            and self.stress_provider is not None
+            and getattr(self.mapper, "stress_coupled", False)
+        )
+
     def _stress_hint(self) -> "np.ndarray | None":
         if self.stress_provider is None or self.mapper is None:
             return None
@@ -93,7 +108,20 @@ class DBTEngine:
         """Whether ``trace[position]`` can start a translation unit."""
         if position == 0:
             return True
-        return trace[position - 1].redirects
+        return bool(trace.redirect_array[position - 1])
+
+    @staticmethod
+    def unit_head_flags(trace: Trace) -> "np.ndarray":
+        """Per-position :meth:`is_unit_head` flags, vectorized.
+
+        Single owner of the superblock-head rule shared with the
+        schedule walk (:mod:`repro.system.schedule`): position 0 and
+        every position after a control-flow redirect.
+        """
+        flags = np.ones(len(trace), dtype=bool)
+        if len(trace) > 1:
+            flags[1:] = trace.redirect_array[:-1]
+        return flags
 
     def translate_at(
         self, trace: Trace, position: int

@@ -5,7 +5,11 @@ Reproduces the exploration of Section IV-B: length (columns) from 8 to
 average FU utilization relative to the stand-alone GPP. Each (L, W)
 shape is one campaign design point; the campaign runner shares the
 memoised suite traces across all of them and can fan the grid out over
-a process pool (``max_workers``).
+a process pool (``max_workers``). Geometry points are distinct
+schedule groups (the walk depends on the fabric shape), so the sweep
+parallelises exactly as before; sweeping *policies* on one shape hits
+the shared-schedule replay path instead (see
+:mod:`repro.system.schedule`).
 """
 
 from __future__ import annotations

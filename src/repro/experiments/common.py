@@ -3,7 +3,12 @@
 ``run_suite`` evaluates one (geometry, policy) design point over the
 full verified workload suite through the campaign runner and memoises
 the result, so every figure/table that touches the same design point
-shares one simulation. :class:`SuiteRun` itself lives in
+shares one simulation. Design points that differ only in allocation
+policy additionally share one launch schedule per workload through the
+in-process memo (:mod:`repro.system.schedule`): the first policy walks
+each trace, every further policy is a vectorized replay — which is how
+the multi-policy figures (Fig. 7/8, Tables I–II) avoid re-walking the
+suite per policy. :class:`SuiteRun` itself lives in
 :mod:`repro.campaign.results`; it is re-exported here for the
 experiment drivers.
 """

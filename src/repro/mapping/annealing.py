@@ -139,6 +139,16 @@ class SimulatedAnnealingMapper(Mapper):
 
     # ------------------------------------------------------------------
 
+    @property
+    def stress_coupled(self) -> bool:
+        """Live-stress feedback is consumed only when it is weighted.
+
+        With ``stress_weight == 0`` the stress term contributes an
+        exact ``0.0`` to every move delta, so placements are
+        policy-independent and simulations may share launch schedules.
+        """
+        return self.stress_weight != 0.0
+
     def identity(self) -> str:
         parts = [f"seed={self.seed}"]
         for param in sorted(self._DEFAULTS):

@@ -58,6 +58,20 @@ class Mapper:
     #: only snapshots the allocator's live stress map when this is set.
     uses_stress = False
 
+    @property
+    def stress_coupled(self) -> bool:
+        """Whether placements depend on the allocator's *live* state.
+
+        A stress-coupled mapper closes the allocation→mapping feedback
+        loop: the units it produces (and therefore the whole launch
+        stream) change with the allocation policy, so its simulations
+        cannot share a policy-independent
+        :class:`~repro.system.schedule.LaunchSchedule`. Subclasses may
+        override to report decoupling when their configuration provably
+        ignores the hint (e.g. a zero stress weight).
+        """
+        return self.uses_stress
+
     def map_unit(
         self,
         ops: Sequence["TraceRecord"],

@@ -12,8 +12,16 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
 
 from repro.isa.instructions import InstrClass
+
+#: Canonical member order used to encode :attr:`TraceRecord.cls` as a
+#: small integer in :attr:`Trace.class_code_array`.
+_CLASS_MEMBERS = tuple(InstrClass)
+_CLASS_INDEX = {cls: index for index, cls in enumerate(_CLASS_MEMBERS)}
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,9 +83,99 @@ class Trace(Sequence[TraceRecord]):
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
+    # -- cached columnar views ---------------------------------------------
+    #
+    # The timing walkers touch a handful of record fields millions of
+    # times; these read-only numpy columns are extracted once per trace
+    # so the hot loops (prefix matching, unit-head detection, dcache
+    # costing) run on arrays instead of attribute chases. They rely on
+    # the trace being immutable-by-convention.
+
+    @cached_property
+    def pc_array(self) -> np.ndarray:
+        """Per-record PCs as a read-only int64 vector."""
+        pcs = np.fromiter(
+            (record.pc for record in self._records),
+            dtype=np.int64,
+            count=len(self._records),
+        )
+        pcs.flags.writeable = False
+        return pcs
+
+    @cached_property
+    def redirect_array(self) -> np.ndarray:
+        """Per-record :attr:`TraceRecord.redirects` flags (read-only)."""
+        flags = np.fromiter(
+            (record.redirects for record in self._records),
+            dtype=bool,
+            count=len(self._records),
+        )
+        flags.flags.writeable = False
+        return flags
+
+    @cached_property
+    def _mem_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        positions = []
+        addresses = []
+        for index, record in enumerate(self._records):
+            if record.mem_addr is not None:
+                positions.append(index)
+                addresses.append(record.mem_addr)
+        position_arr = np.asarray(positions, dtype=np.int64)
+        address_arr = np.asarray(addresses, dtype=np.int64)
+        position_arr.flags.writeable = False
+        address_arr.flags.writeable = False
+        return position_arr, address_arr
+
+    @property
+    def mem_positions(self) -> np.ndarray:
+        """Sorted record indices of all loads/stores (read-only)."""
+        return self._mem_arrays[0]
+
+    @property
+    def mem_addresses(self) -> np.ndarray:
+        """Effective addresses aligned with :attr:`mem_positions`."""
+        return self._mem_arrays[1]
+
+    @cached_property
+    def class_code_array(self) -> np.ndarray:
+        """Per-record instruction-class codes (read-only int64).
+
+        Codes index the canonical ``tuple(InstrClass)`` member order.
+        """
+        codes = np.fromiter(
+            (_CLASS_INDEX[record.cls] for record in self._records),
+            dtype=np.int64,
+            count=len(self._records),
+        )
+        codes.flags.writeable = False
+        return codes
+
+    @cached_property
+    def _class_counts(self) -> Counter[InstrClass]:
+        codes = self.class_code_array
+        if codes.size == 0:
+            return Counter()
+        values, first_index = np.unique(codes, return_index=True)
+        counts = np.bincount(codes)
+        # Preserve first-occurrence order: downstream energy sums
+        # iterate the dict, so insertion order is part of the
+        # bit-identical contract with the per-record Counter walk.
+        order = np.argsort(first_index, kind="stable")
+        return Counter(
+            {
+                _CLASS_MEMBERS[int(values[i])]: int(counts[values[i]])
+                for i in order
+            }
+        )
+
     def class_counts(self) -> Counter[InstrClass]:
-        """Histogram of committed instructions by functional class."""
-        return Counter(record.cls for record in self._records)
+        """Histogram of committed instructions by functional class.
+
+        Computed once per trace (cached); a copy is returned so callers
+        may mutate it freely.
+        """
+        return Counter(self._class_counts)
 
     def class_mix(self) -> dict[InstrClass, float]:
         """Fractional instruction mix by class (sums to 1.0)."""

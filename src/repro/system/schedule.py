@@ -1,0 +1,452 @@
+"""Launch-schedule computation and vectorized policy replay.
+
+The TransRec timing walk is split into two phases so campaigns that
+sweep *allocation policies* over one pipeline stop re-walking the trace
+per policy:
+
+* **Phase A — schedule computation** (:func:`compute_schedule`): one
+  walk per (trace, geometry, mapper identity, DBT/cache/GPP/datapath
+  parameters) records the policy-independent event stream as a
+  :class:`LaunchSchedule` — per-launch unit and execution cycles, the
+  final cycle count, fabric/cache counters and the energy-model
+  activity summary. The walk itself only feeds the allocator when one
+  is attached, which is required exactly when the mapper is
+  *stress-coupled* (it reads the allocator's live stress map, closing
+  the feedback loop that makes the launch stream policy-dependent).
+* **Phase B — replay** (:func:`replay_schedule`): any allocation
+  policy is applied to a recorded schedule through
+  :meth:`~repro.core.allocator.ConfigurationAllocator.allocate_batch`,
+  reconstructing the policy-dependent utilization tracker without
+  touching the trace. Replay is bit-identical to the interleaved walk
+  (the batch engine is property-tested against the scalar loop, and
+  ``tests/test_schedule_equivalence.py`` pins the system level).
+
+Schedules and the stand-alone GPP reference timing are memoised per
+process, keyed weakly by trace object, so serial campaigns and the
+experiment drivers share one walk per pipeline across the whole
+policy x seed axis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, replace
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.cgra.configuration import VirtualConfiguration
+from repro.cgra.datapath import configuration_cycles, execution_cycles
+from repro.cgra.reconfig import ReconfigLogicSpec
+from repro.core.allocator import ConfigurationAllocator
+from repro.core.policy import AllocationPolicy
+from repro.dbt.config_cache import ConfigCache, ConfigCacheStats
+from repro.dbt.translator import DBTEngine
+from repro.errors import ConfigurationError
+from repro.gpp.timing import GPPTimingModel, GPPTimingResult
+from repro.hw.energy import EnergyModel, EnergyReport, SystemActivity
+from repro.mapping import make_mapper
+from repro.sim.trace import Trace
+from repro.system.params import SystemParams
+from repro.system.stats import CGRAStats
+
+__all__ = [
+    "LaunchSchedule",
+    "clear_schedule_caches",
+    "compute_schedule",
+    "gpp_reference",
+    "params_stress_coupled",
+    "replay_schedule",
+    "schedule_key",
+    "shared_schedule",
+]
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+
+
+def _freeze(value):
+    """Canonical hashable form of a parameter bundle.
+
+    Dataclasses become (type name, frozen fields) tuples, dicts become
+    item tuples sorted by key repr (enum keys are not orderable), and
+    sequences become tuples; everything else must already be hashable.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (field.name, _freeze(getattr(value, field.name)))
+            for field in dataclasses.fields(value)
+        )
+    if isinstance(value, dict):
+        return tuple(
+            sorted(
+                ((_freeze(key), _freeze(item)) for key, item in value.items()),
+                key=repr,
+            )
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_freeze(item) for item in value), key=repr))
+    return value
+
+
+def schedule_key(params: SystemParams):
+    """Hashable identity of everything a :class:`LaunchSchedule`
+    depends on — the full :class:`~repro.system.params.SystemParams`
+    *minus* the allocation policy and the energy model (energy is pure
+    post-processing of the recorded activity). Two design points with
+    equal keys share one trace walk.
+    """
+    return (
+        _freeze(params.geometry),
+        params.mapper,
+        _freeze(params.mapper_kwargs),
+        _freeze(params.gpp),
+        _freeze(params.datapath),
+        _freeze(params.dbt),
+        params.config_cache_entries,
+    )
+
+
+def _make_walk_mapper(params: SystemParams):
+    """The walk's mapper instance (greedy inherits the DBT row policy,
+    keeping seed placements and the cache namespace in agreement)."""
+    mapper_kwargs = dict(params.mapper_kwargs)
+    if params.mapper == "greedy":
+        mapper_kwargs.setdefault("row_policy", params.dbt.row_policy)
+    return make_mapper(params.mapper, **mapper_kwargs)
+
+
+def params_stress_coupled(params: SystemParams) -> bool:
+    """Whether ``params``' mapper closes the allocation feedback loop.
+
+    Stress-coupled pipelines (e.g. the annealing mapper with a nonzero
+    stress weight) must keep the interleaved walk; everything else —
+    including the default greedy pipeline behind every paper figure —
+    can share policy-independent schedules.
+    """
+    return bool(_make_walk_mapper(params).stress_coupled)
+
+
+# ----------------------------------------------------------------------
+# The schedule
+
+
+@dataclass
+class LaunchSchedule:
+    """Policy-independent event stream of one timed TransRec run.
+
+    Everything in a :class:`~repro.system.stats.SystemResult` except
+    the utilization tracker is a function of the schedule alone; the
+    tracker is reconstructed per policy by :func:`replay_schedule`.
+
+    Attributes:
+        trace_name: name of the walked trace.
+        instructions: committed instructions in the trace.
+        stress_coupled: whether the walk consumed a live stress map —
+            such schedules are valid only for the policy they were
+            recorded under and are never shared.
+        configs: launched unit per fabric launch, in launch order
+            (consecutive replays of one cached unit repeat the same
+            object, which the batch allocator vectorizes as one run).
+        exec_cycles: per-launch execution cycles (the stress weight of
+            the launch), aligned with ``configs``.
+        transrec_cycles: total TransRec cycles of the walk.
+        cgra: final fabric counters (template — copied per result).
+        cache_stats: final configuration-cache counters (template).
+        activity: energy-model activity summary of the walk.
+        gpp_segments: half-open ``[start, stop)`` trace ranges executed
+            on the GPP side (diagnostics; replay never touches them).
+    """
+
+    trace_name: str
+    instructions: int
+    stress_coupled: bool
+    configs: tuple[VirtualConfiguration, ...]
+    exec_cycles: np.ndarray
+    transrec_cycles: int
+    cgra: CGRAStats
+    cache_stats: ConfigCacheStats
+    activity: SystemActivity
+    gpp_segments: tuple[tuple[int, int], ...]
+
+    @property
+    def n_launches(self) -> int:
+        return len(self.configs)
+
+    def result_template(self) -> tuple[CGRAStats, ConfigCacheStats]:
+        """Fresh copies of the mutable per-result stat containers."""
+        return replace(self.cgra), replace(self.cache_stats)
+
+
+def _match_length(
+    unit: VirtualConfiguration, trace_pcs: np.ndarray, position: int
+) -> int:
+    """Length of the common prefix of the unit's recorded path and the
+    actual upcoming trace (>= 1 since start PCs match)."""
+    path = unit.pc_path_array
+    limit = min(path.size, trace_pcs.size - position)
+    mismatch = np.flatnonzero(
+        trace_pcs[position : position + limit] != path[:limit]
+    )
+    if mismatch.size:
+        return int(mismatch[0])
+    return int(limit)
+
+
+def compute_schedule(
+    params: SystemParams,
+    trace: Trace,
+    allocator: ConfigurationAllocator | None = None,
+) -> LaunchSchedule:
+    """Walk ``trace`` once and record its launch schedule.
+
+    With ``allocator`` the walk is *coupled*: every recorded launch is
+    also allocated immediately (scalar fast path), so stress-coupled
+    mappers see the live stress map exactly as the legacy
+    single-phase simulation did. Without it the walk is
+    policy-independent; a stress-coupled mapper then raises, because
+    its placements would silently diverge from the coupled pipeline.
+    """
+    geometry = params.geometry
+    mapper = _make_walk_mapper(params)
+    if mapper.stress_coupled and allocator is None:
+        raise ConfigurationError(
+            f"mapper {mapper.identity()!r} is stress-coupled: its "
+            "placements read the allocator's live stress map, so a "
+            "policy-independent schedule cannot be computed — run the "
+            "coupled walk instead"
+        )
+    reconfig_spec = ReconfigLogicSpec(geometry)
+    gpp = GPPTimingModel(params.gpp)
+    cache = ConfigCache(
+        capacity=params.config_cache_entries, mapper_key=mapper.identity()
+    )
+    stress_provider = None
+    if allocator is not None:
+        stress_provider = lambda: allocator.tracker.stress_map  # noqa: E731
+    engine = DBTEngine(
+        geometry=geometry,
+        cache=cache,
+        limits=params.dbt,
+        mapper=mapper,
+        stress_provider=stress_provider,
+    )
+
+    datapath = params.datapath
+    dcache = gpp.dcache
+    stats = CGRAStats()
+    activity = SystemActivity(fabric_cells=geometry.n_cells)
+    gpp_class_counts: Counter = Counter()
+    cgra_op_counts: Counter = Counter()
+    launch_configs: list[VirtualConfiguration] = []
+    launch_exec_cycles: list[int] = []
+    gpp_segments: list[tuple[int, int]] = []
+
+    trace_pcs = trace.pc_array
+    head_flags = engine.unit_head_flags(trace)
+    mem_positions = trace.mem_positions
+    mem_addresses = trace.mem_addresses
+
+    cycles = 0
+    loaded_pc: int | None = None
+    position = 0
+    # A translated or replayed unit makes the instruction right after it
+    # a translation point too, so configurations tile long straight-line
+    # regions instead of only covering their heads.
+    pending_head = -1
+    # Whether the previous window ran on the fabric without a
+    # misspeculation (enables I/O overlap of chained launches).
+    chained = False
+    segment_start = -1
+    n_records = len(trace)
+    while position < n_records:
+        is_head = position == pending_head or bool(head_flags[position])
+        unit = None
+        if is_head:
+            activity.config_cache_accesses += 1
+            unit = cache.lookup(int(trace_pcs[position]))
+        if unit is not None:
+            if segment_start >= 0:
+                gpp_segments.append((segment_start, position))
+                segment_start = -1
+            # Replay the unit on the fabric: commit the matching prefix
+            # of its recorded path, squash on divergence.
+            matched = _match_length(unit, trace_pcs, position)
+            cold = loaded_pc != unit.start_pc
+            launch_cost = configuration_cycles(
+                geometry, datapath, unit, cold=cold, back_to_back=chained
+            )
+            # Data-cache effects of the unit's memory ops (shared L1) —
+            # only the precomputed load/store positions are touched.
+            lo = int(np.searchsorted(mem_positions, position))
+            hi = int(np.searchsorted(mem_positions, position + matched))
+            for index in range(lo, hi):
+                launch_cost += dcache.access_cycles(int(mem_addresses[index]))
+            if matched < unit.n_instructions:
+                launch_cost += datapath.misspeculation_penalty
+                stats.misspeculations += 1
+                stats.squashed_instructions += unit.n_instructions - matched
+            exec_cost = execution_cycles(datapath, unit)
+            launch_configs.append(unit)
+            launch_exec_cycles.append(exec_cost)
+            if allocator is not None:
+                allocator.allocate(unit, cycles=exec_cost)
+            stats.launches += 1
+            if cold:
+                stats.cold_launches += 1
+                activity.cold_config_bits += (
+                    reconfig_spec.config_bits_per_column * unit.used_cols
+                )
+            stats.committed_instructions += matched
+            activity.launches += 1
+            activity.active_column_launches += unit.used_cols
+            for op in unit.ops:
+                cgra_op_counts[op.kind] += 1
+            loaded_pc = unit.start_pc
+            engine.note_replay(unit, matched)
+            chained = matched == unit.n_instructions
+            cycles += launch_cost
+            position += matched
+            pending_head = position
+            continue
+        chained = False
+        if segment_start < 0:
+            segment_start = position
+        record = trace[position]
+        cycles += gpp.record_cycles(record)
+        gpp_class_counts[record.cls] += 1
+        if is_head:
+            new_unit = engine.translate_at(trace, position)
+            if new_unit is not None:
+                pending_head = position + new_unit.n_instructions
+            else:
+                # Unmappable or too-short head: resume translation at
+                # the next instruction so the code after a DIV/syscall/
+                # indirect jump still gets configurations.
+                pending_head = position + 1
+        position += 1
+
+    if segment_start >= 0:
+        gpp_segments.append((segment_start, n_records))
+    activity.cycles = cycles
+    activity.gpp_class_counts = dict(gpp_class_counts)
+    activity.cgra_op_counts = dict(cgra_op_counts)
+    activity.cache_misses = gpp.icache.misses + gpp.dcache.misses
+    stats.cgra_cycles = cycles
+    stats.peak_line_pressure = engine.peak_line_pressure
+    return LaunchSchedule(
+        trace_name=trace.name,
+        instructions=n_records,
+        stress_coupled=engine.stress_coupled,
+        configs=tuple(launch_configs),
+        exec_cycles=np.asarray(launch_exec_cycles, dtype=np.int64),
+        transrec_cycles=cycles,
+        cgra=stats,
+        cache_stats=cache.stats,
+        activity=activity,
+        gpp_segments=tuple(gpp_segments),
+    )
+
+
+def replay_schedule(
+    schedule: LaunchSchedule,
+    geometry,
+    policy: AllocationPolicy,
+) -> ConfigurationAllocator:
+    """Apply ``policy`` to a recorded schedule (vectorized).
+
+    Returns the allocator whose tracker holds the policy's stress
+    outcome; the launch stream itself is replayed bit-identically to
+    the coupled walk through
+    :meth:`~repro.core.allocator.ConfigurationAllocator.allocate_batch`.
+    """
+    if schedule.stress_coupled:
+        raise ConfigurationError(
+            "stress-coupled schedules are policy-dependent and cannot "
+            "be replayed under a different policy"
+        )
+    allocator = ConfigurationAllocator(geometry, policy)
+    if schedule.configs:
+        allocator.allocate_batch(
+            schedule.configs, cycles=schedule.exec_cycles
+        )
+    return allocator
+
+
+# ----------------------------------------------------------------------
+# Per-process memoisation (weak on the trace, LRU-bounded per trace)
+
+#: Distinct pipelines memoised per trace before LRU eviction. Large
+#: geometry sweeps stream through without pinning every fabric's
+#: schedule in memory.
+_SCHEDULES_PER_TRACE = 16
+
+_SCHEDULE_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+_GPP_CACHE: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def shared_schedule(params: SystemParams, trace: Trace) -> LaunchSchedule:
+    """Memoised :func:`compute_schedule` for decoupled pipelines.
+
+    One walk per (trace, :func:`schedule_key`) per process; campaigns
+    and the experiment drivers fan every policy and seed out as replays
+    of the shared schedule.
+    """
+    key = schedule_key(params)
+    per_trace = _SCHEDULE_CACHE.get(trace)
+    if per_trace is None:
+        per_trace = OrderedDict()
+        _SCHEDULE_CACHE[trace] = per_trace
+    schedule = per_trace.get(key)
+    if schedule is None:
+        schedule = compute_schedule(params, trace)
+        per_trace[key] = schedule
+        while len(per_trace) > _SCHEDULES_PER_TRACE:
+            per_trace.popitem(last=False)
+    else:
+        per_trace.move_to_end(key)
+    return schedule
+
+
+def gpp_reference(
+    trace: Trace, params: SystemParams
+) -> tuple[GPPTimingResult, EnergyReport]:
+    """Stand-alone GPP reference timing + energy, memoised.
+
+    The reference is identical across every policy and mapper point of
+    a campaign (it never touches the fabric), so it is computed once
+    per (trace, GPP params, energy params) per process. A fresh copy
+    of the timing result is returned per call — results are mutable
+    dataclasses and must not alias across
+    :class:`~repro.system.stats.SystemResult`\\ s.
+    """
+    key = (_freeze(params.gpp), _freeze(params.energy))
+    per_trace = _GPP_CACHE.get(trace)
+    if per_trace is None:
+        per_trace = {}
+        _GPP_CACHE[trace] = per_trace
+    entry = per_trace.get(key)
+    if entry is None:
+        timing = GPPTimingModel(params.gpp).run(trace)
+        activity = SystemActivity(
+            cycles=timing.cycles,
+            gpp_class_counts=dict(trace.class_counts()),
+            cache_misses=timing.icache_misses + timing.dcache_misses,
+            fabric_cells=0,
+        )
+        energy = EnergyModel(params.energy).report(activity)
+        entry = (timing, energy)
+        per_trace[key] = entry
+    timing, energy = entry
+    return replace(timing), energy
+
+
+def clear_schedule_caches() -> None:
+    """Drop all memoised schedules and GPP references (benchmarking
+    and test isolation)."""
+    _SCHEDULE_CACHE.clear()
+    _GPP_CACHE.clear()

@@ -12,28 +12,41 @@ The simulator walks a committed trace once:
   DBT translates a new unit in the background (no cycle cost — the DBT
   is a parallel hardware module).
 
-The same walk accumulates the activity counts the energy model needs.
+The walk lives in :mod:`repro.system.schedule`: it records the
+policy-independent :class:`~repro.system.schedule.LaunchSchedule`
+(everything above plus the activity counts the energy model needs),
+and the allocation policy is applied either *coupled* — interleaved
+with the walk, required when the mapper reads the allocator's live
+stress map — or as a vectorized *replay* of a schedule shared across
+every policy of the same pipeline (the default; bit-identical, and the
+lever that makes policy-sweep campaigns cheap).
 """
 
 from __future__ import annotations
 
-from collections import Counter
-
-from repro.cgra.datapath import configuration_cycles, execution_cycles
-from repro.cgra.configuration import VirtualConfiguration
-from repro.cgra.reconfig import ReconfigLogicSpec
 from repro.core.allocator import ConfigurationAllocator
 from repro.core.policy import make_policy
-from repro.dbt.config_cache import ConfigCache
-from repro.dbt.translator import DBTEngine
-from repro.gpp.timing import GPPTimingModel, GPPTimingResult
-from repro.mapping import make_mapper
-from repro.hw.energy import EnergyModel, EnergyReport, SystemActivity
+from repro.errors import ConfigurationError
+from repro.hw.energy import EnergyModel
 from repro.isa.program import Program
 from repro.sim.cpu import CPU
 from repro.sim.trace import Trace
 from repro.system.params import SystemParams
-from repro.system.stats import CGRAStats, SystemResult
+from repro.system.schedule import (
+    LaunchSchedule,
+    compute_schedule,
+    gpp_reference,
+    params_stress_coupled,
+    replay_schedule,
+    shared_schedule,
+)
+from repro.system.stats import SystemResult
+
+#: ``run_trace`` execution modes: ``auto`` replays a shared schedule
+#: whenever the pipeline permits it, ``coupled`` forces the legacy
+#: interleaved walk, ``replay`` demands schedule sharing (raising for
+#: stress-coupled pipelines).
+RUN_MODES = ("auto", "coupled", "replay")
 
 
 class TransRecSystem:
@@ -42,191 +55,73 @@ class TransRecSystem:
     def __init__(self, params: SystemParams) -> None:
         self.params = params
         self.geometry = params.geometry
-        self._reconfig_spec = ReconfigLogicSpec(self.geometry)
         self._energy_model = EnergyModel(params.energy)
 
+    @property
+    def stress_coupled(self) -> bool:
+        """Whether this pipeline's mapper reads live allocation stress
+        (such design points cannot share launch schedules)."""
+        return params_stress_coupled(self.params)
+
     # ------------------------------------------------------------------
 
-    def run_program(self, program: Program) -> SystemResult:
+    def run_program(self, program: Program, mode: str = "auto") -> SystemResult:
         """Functionally execute ``program``, then time the trace."""
         trace = CPU(program).run().trace
-        return self.run_trace(trace)
+        return self.run_trace(trace, mode=mode)
 
-    def run_trace(self, trace: Trace) -> SystemResult:
-        """Time ``trace`` on the stand-alone GPP and on TransRec."""
-        gpp_reference = GPPTimingModel(self.params.gpp).run(trace)
-        gpp_energy = self._gpp_energy(trace, gpp_reference)
-        transrec_cycles, cgra_stats, cache, tracker, activity = (
-            self._run_transrec(trace)
-        )
-        return SystemResult(
-            name=trace.name,
-            gpp=gpp_reference,
-            transrec_cycles=transrec_cycles,
-            cgra=cgra_stats,
-            cache_stats=cache.stats,
-            tracker=tracker,
-            gpp_energy=gpp_energy,
-            transrec_energy=self._energy_model.report(activity),
-            instructions=len(trace),
-        )
+    def run_trace(self, trace: Trace, mode: str = "auto") -> SystemResult:
+        """Time ``trace`` on the stand-alone GPP and on TransRec.
+
+        Args:
+            trace: the committed trace to time.
+            mode: ``"auto"`` (default) replays the memoised shared
+                schedule unless the mapper is stress-coupled;
+                ``"coupled"`` forces the interleaved walk (every launch
+                allocated as it is discovered); ``"replay"`` forces
+                schedule sharing and raises for stress-coupled mappers.
+                All modes produce bit-identical results.
+        """
+        if mode not in RUN_MODES:
+            raise ConfigurationError(
+                f"unknown run mode {mode!r}; available: {list(RUN_MODES)}"
+            )
+        coupled = self.stress_coupled
+        if mode == "replay" and coupled:
+            raise ConfigurationError(
+                f"mapper {self.params.mapper!r} is stress-coupled; its "
+                "launch stream depends on the allocation policy, so "
+                "schedule replay would diverge — use mode='coupled'"
+            )
+        if mode == "coupled" or coupled:
+            allocator = ConfigurationAllocator(self.geometry, self._policy())
+            schedule = compute_schedule(self.params, trace, allocator=allocator)
+        else:
+            schedule = shared_schedule(self.params, trace)
+            allocator = replay_schedule(schedule, self.geometry, self._policy())
+        return self._assemble(schedule, allocator, trace)
 
     # ------------------------------------------------------------------
 
-    def _gpp_energy(
-        self, trace: Trace, timing: GPPTimingResult
-    ) -> EnergyReport:
-        activity = SystemActivity(
-            cycles=timing.cycles,
-            gpp_class_counts=dict(trace.class_counts()),
-            cache_misses=timing.icache_misses + timing.dcache_misses,
-            fabric_cells=0,
-        )
-        return self._energy_model.report(activity)
+    def _policy(self):
+        return make_policy(self.params.policy, **self.params.policy_kwargs)
 
-    def _run_transrec(self, trace: Trace):
-        params = self.params
-        gpp = GPPTimingModel(params.gpp)
-        mapper_kwargs = dict(params.mapper_kwargs)
-        if params.mapper == "greedy":
-            # The DBT's discovery scheduler *is* the greedy mapper, so
-            # the legacy scheduler-level row-policy knob (DBTLimits)
-            # flows into the mapper unless explicitly overridden —
-            # seed placements and cache namespace then agree.
-            mapper_kwargs.setdefault("row_policy", params.dbt.row_policy)
-        mapper = make_mapper(params.mapper, **mapper_kwargs)
-        cache = ConfigCache(
-            capacity=params.config_cache_entries,
-            mapper_key=mapper.identity(),
-        )
-        allocator = ConfigurationAllocator(
-            self.geometry, make_policy(params.policy, **params.policy_kwargs)
-        )
-        # The default greedy mapper returns the discovery scheduler's
-        # seed placement untouched (O(1)), so unconditional injection
-        # is byte-identical to the hardwired pipeline.
-        engine = DBTEngine(
-            geometry=self.geometry,
-            cache=cache,
-            limits=params.dbt,
-            mapper=mapper,
-            stress_provider=lambda: allocator.tracker.stress_map,
-        )
-        stats = CGRAStats()
-        activity = SystemActivity(fabric_cells=self.geometry.n_cells)
-        gpp_class_counts: Counter = Counter()
-        cgra_op_counts: Counter = Counter()
-
-        cycles = 0
-        loaded_pc: int | None = None
-        position = 0
-        # A translated or replayed unit makes the instruction right
-        # after it a translation point too, so configurations tile long
-        # straight-line regions instead of only covering their heads.
-        pending_head = -1
-        # Whether the previous window ran on the fabric without a
-        # misspeculation (enables I/O overlap of chained launches).
-        chained = False
-        n_records = len(trace)
-        while position < n_records:
-            record = trace[position]
-            is_head = (
-                position == pending_head
-                or engine.is_unit_head(trace, position)
-            )
-            unit = None
-            if is_head:
-                activity.config_cache_accesses += 1
-                unit = cache.lookup(record.pc)
-            if unit is not None:
-                consumed, cgra_cycles, loaded_pc = self._launch(
-                    unit, trace, position, allocator, stats, activity,
-                    cgra_op_counts, gpp, loaded_pc, chained,
-                )
-                engine.note_replay(unit, consumed)
-                chained = consumed == unit.n_instructions
-                cycles += cgra_cycles
-                position += consumed
-                pending_head = position
-                continue
-            chained = False
-            cycles += gpp.record_cycles(record)
-            gpp_class_counts[record.cls] += 1
-            if is_head:
-                new_unit = engine.translate_at(trace, position)
-                if new_unit is not None:
-                    pending_head = position + new_unit.n_instructions
-                else:
-                    # Unmappable or too-short head: resume translation
-                    # at the next instruction so the code after a DIV/
-                    # syscall/indirect jump still gets configurations.
-                    pending_head = position + 1
-            position += 1
-
-        activity.cycles = cycles
-        activity.gpp_class_counts = dict(gpp_class_counts)
-        activity.cgra_op_counts = dict(cgra_op_counts)
-        activity.cache_misses = gpp.icache.misses + gpp.dcache.misses
-        stats.cgra_cycles = cycles
-        stats.peak_line_pressure = engine.peak_line_pressure
-        return cycles, stats, cache, allocator.tracker, activity
-
-    def _launch(
+    def _assemble(
         self,
-        unit: VirtualConfiguration,
-        trace: Trace,
-        position: int,
+        schedule: LaunchSchedule,
         allocator: ConfigurationAllocator,
-        stats: CGRAStats,
-        activity: SystemActivity,
-        cgra_op_counts: Counter,
-        gpp: GPPTimingModel,
-        loaded_pc: int | None,
-        chained: bool,
-    ) -> tuple[int, int, int]:
-        """Replay ``unit`` against the trace; returns ``(consumed
-        records, cycles, newly loaded pc)``."""
-        params = self.params
-        matched = self._match_length(unit, trace, position)
-        cold = loaded_pc != unit.start_pc
-        launch_cycles = configuration_cycles(
-            self.geometry, params.datapath, unit, cold=cold,
-            back_to_back=chained,
+        trace: Trace,
+    ) -> SystemResult:
+        gpp_timing, gpp_energy = gpp_reference(trace, self.params)
+        cgra_stats, cache_stats = schedule.result_template()
+        return SystemResult(
+            name=schedule.trace_name,
+            gpp=gpp_timing,
+            transrec_cycles=schedule.transrec_cycles,
+            cgra=cgra_stats,
+            cache_stats=cache_stats,
+            tracker=allocator.tracker,
+            gpp_energy=gpp_energy,
+            transrec_energy=self._energy_model.report(schedule.activity),
+            instructions=schedule.instructions,
         )
-        # Data-cache effects of the unit's memory ops (shared L1).
-        for offset in range(matched):
-            record = trace[position + offset]
-            if record.mem_addr is not None:
-                launch_cycles += gpp.dcache.access_cycles(record.mem_addr)
-        if matched < unit.n_instructions:
-            launch_cycles += params.datapath.misspeculation_penalty
-            stats.misspeculations += 1
-            stats.squashed_instructions += unit.n_instructions - matched
-        exec_cycles = execution_cycles(params.datapath, unit)
-        allocator.allocate(unit, cycles=exec_cycles)
-        stats.launches += 1
-        if cold:
-            stats.cold_launches += 1
-            activity.cold_config_bits += (
-                self._reconfig_spec.config_bits_per_column * unit.used_cols
-            )
-        stats.committed_instructions += matched
-        activity.launches += 1
-        activity.active_column_launches += unit.used_cols
-        for op in unit.ops:
-            cgra_op_counts[op.kind] += 1
-        return matched, launch_cycles, unit.start_pc
-
-    @staticmethod
-    def _match_length(
-        unit: VirtualConfiguration, trace: Trace, position: int
-    ) -> int:
-        """Length of the common prefix of the unit's recorded path and
-        the actual upcoming trace (>= 1 since start PCs match)."""
-        limit = min(len(unit.pc_path), len(trace) - position)
-        matched = 0
-        for offset in range(limit):
-            if unit.pc_path[offset] != trace[position + offset].pc:
-                break
-            matched += 1
-        return matched

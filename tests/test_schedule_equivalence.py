@@ -1,0 +1,341 @@
+"""Schedule-replay vs coupled-walk equivalence.
+
+The two-phase simulation (one policy-independent
+:class:`~repro.system.schedule.LaunchSchedule` walk + vectorized
+policy replay) must be *bit-identical* to the legacy interleaved walk:
+same cycles, same fabric/cache counters, same tracker matrices, same
+energy floats — for every allocation policy, on every workload of the
+verified suite. Stress-coupled pipelines (annealing with live stress
+feedback) must refuse to share schedules; a decoupled annealing
+configuration (zero stress weight) must share and stay exact.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aging.sensor import SensorArray
+from repro.campaign import CampaignRunner, CampaignSpec, MapperSpec, PolicySpec
+from repro.cgra.fabric import FabricGeometry
+from repro.errors import ConfigurationError
+from repro.system import (
+    SystemParams,
+    TransRecSystem,
+    clear_schedule_caches,
+    compute_schedule,
+    schedule_key,
+    shared_schedule,
+)
+from repro.system.schedule import gpp_reference, params_stress_coupled
+from repro.workloads.suite import run_workload, workload_names
+
+ROWS, COLS = 4, 16
+GEOMETRY = FabricGeometry(rows=ROWS, cols=COLS)
+
+#: Every registered allocation policy with state-exercising kwargs
+#: (mirrors tests/test_batch_equivalence.py: stateful constructor
+#: arguments must be fresh per system).
+POLICIES = (
+    ("baseline", dict),
+    ("random", lambda: {"seed": 11}),
+    ("rotation", lambda: {"pattern": "snake"}),
+    ("stress_aware", lambda: {"interval": 3}),
+    (
+        "stress_aware",
+        lambda: {
+            "interval": 3,
+            "sensor": SensorArray(levels=8, sample_period=2),
+        },
+    ),
+    ("static_remap", dict),
+)
+
+
+def make_params(policy_name, make_kwargs, **overrides):
+    return SystemParams(
+        geometry=GEOMETRY,
+        policy=policy_name,
+        policy_kwargs=make_kwargs(),
+        **overrides,
+    )
+
+
+def assert_results_identical(coupled, replayed):
+    """Field-by-field bit-identity of two SystemResults."""
+    assert coupled.name == replayed.name
+    assert coupled.instructions == replayed.instructions
+    assert coupled.transrec_cycles == replayed.transrec_cycles
+    assert dataclasses.astuple(coupled.cgra) == dataclasses.astuple(
+        replayed.cgra
+    )
+    assert dataclasses.astuple(coupled.cache_stats) == dataclasses.astuple(
+        replayed.cache_stats
+    )
+    assert dataclasses.astuple(coupled.gpp) == dataclasses.astuple(
+        replayed.gpp
+    )
+    # Energy reports are frozen float dataclasses; exact equality is
+    # intended — both sides must run the identical float computation.
+    assert coupled.gpp_energy == replayed.gpp_energy
+    assert coupled.transrec_energy == replayed.transrec_energy
+    np.testing.assert_array_equal(
+        coupled.tracker.execution_counts, replayed.tracker.execution_counts
+    )
+    np.testing.assert_array_equal(
+        coupled.tracker.cycle_counts, replayed.tracker.cycle_counts
+    )
+    assert (
+        coupled.tracker.total_executions == replayed.tracker.total_executions
+    )
+    assert coupled.tracker.total_cycles == replayed.tracker.total_cycles
+    assert (
+        coupled.tracker.config_footprints
+        == replayed.tracker.config_footprints
+    )
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("workload", workload_names())
+    @pytest.mark.parametrize(
+        "policy_name,make_kwargs",
+        POLICIES,
+        ids=[
+            "baseline",
+            "random",
+            "rotation",
+            "stress_aware",
+            "stress_aware-sensor",
+            "static_remap",
+        ],
+    )
+    def test_bit_identical_across_suite(
+        self, workload, policy_name, make_kwargs
+    ):
+        trace = run_workload(workload)
+        params = make_params(policy_name, make_kwargs)
+        coupled = TransRecSystem(params).run_trace(trace, mode="coupled")
+        params = make_params(policy_name, make_kwargs)
+        replayed = TransRecSystem(params).run_trace(trace, mode="replay")
+        assert_results_identical(coupled, replayed)
+
+    def test_auto_mode_matches_coupled(self):
+        trace = run_workload("sha")
+        params = make_params("rotation", dict)
+        auto = TransRecSystem(params).run_trace(trace)
+        coupled = TransRecSystem(params).run_trace(trace, mode="coupled")
+        assert_results_identical(coupled, auto)
+
+    def test_unknown_mode_rejected(self):
+        params = make_params("baseline", dict)
+        with pytest.raises(ConfigurationError, match="unknown run mode"):
+            TransRecSystem(params).run_trace(
+                run_workload("bitcount"), mode="vectorized"
+            )
+
+    @settings(deadline=None, max_examples=8)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        workload=st.sampled_from(("bitcount", "crc32", "dijkstra")),
+    )
+    def test_random_policy_property(self, seed, workload):
+        trace = run_workload(workload)
+        params = SystemParams(
+            geometry=GEOMETRY, policy="random", policy_kwargs={"seed": seed}
+        )
+        coupled = TransRecSystem(params).run_trace(trace, mode="coupled")
+        replayed = TransRecSystem(params).run_trace(trace, mode="replay")
+        assert_results_identical(coupled, replayed)
+
+
+class TestStressCoupling:
+    def test_annealing_is_stress_coupled(self):
+        params = SystemParams(
+            geometry=GEOMETRY,
+            mapper="annealing",
+            mapper_kwargs={"seed": 0},
+        )
+        assert params_stress_coupled(params)
+        assert TransRecSystem(params).stress_coupled
+
+    def test_stress_coupled_point_refuses_replay(self):
+        params = SystemParams(
+            geometry=GEOMETRY,
+            policy="rotation",
+            mapper="annealing",
+            mapper_kwargs={"seed": 0},
+        )
+        with pytest.raises(ConfigurationError, match="stress-coupled"):
+            TransRecSystem(params).run_trace(
+                run_workload("bitcount"), mode="replay"
+            )
+
+    def test_compute_schedule_refuses_stress_coupled_without_allocator(self):
+        params = SystemParams(
+            geometry=GEOMETRY,
+            mapper="annealing",
+            mapper_kwargs={"seed": 0},
+        )
+        with pytest.raises(ConfigurationError, match="stress-coupled"):
+            compute_schedule(params, run_workload("bitcount"))
+
+    def test_stress_coupled_auto_equals_coupled(self):
+        trace = run_workload("bitcount")
+        params = SystemParams(
+            geometry=GEOMETRY,
+            policy="rotation",
+            mapper="annealing",
+            mapper_kwargs={"seed": 3},
+        )
+        auto = TransRecSystem(params).run_trace(trace)
+        coupled = TransRecSystem(params).run_trace(trace, mode="coupled")
+        assert_results_identical(coupled, auto)
+
+    def test_zero_stress_weight_annealing_shares_schedules(self):
+        trace = run_workload("bitcount")
+        params = SystemParams(
+            geometry=GEOMETRY,
+            policy="rotation",
+            mapper="annealing",
+            mapper_kwargs={"seed": 0, "stress_weight": 0.0},
+        )
+        assert not params_stress_coupled(params)
+        coupled = TransRecSystem(params).run_trace(trace, mode="coupled")
+        replayed = TransRecSystem(params).run_trace(trace, mode="replay")
+        assert_results_identical(coupled, replayed)
+
+
+class TestScheduleSharing:
+    def test_shared_schedule_memoised_across_policies(self):
+        clear_schedule_caches()
+        trace = run_workload("sha")
+        params_a = SystemParams(geometry=GEOMETRY, policy="baseline")
+        params_b = SystemParams(geometry=GEOMETRY, policy="stress_aware")
+        assert schedule_key(params_a) == schedule_key(params_b)
+        first = shared_schedule(params_a, trace)
+        second = shared_schedule(params_b, trace)
+        assert first is second  # one walk, two policies
+
+    def test_schedule_key_separates_pipelines(self):
+        base = SystemParams(geometry=GEOMETRY)
+        assert schedule_key(base) != schedule_key(
+            SystemParams(geometry=FabricGeometry(rows=2, cols=16))
+        )
+        assert schedule_key(base) != schedule_key(
+            dataclasses.replace(base, config_cache_entries=8)
+        )
+        assert schedule_key(base) != schedule_key(
+            dataclasses.replace(
+                base, mapper_kwargs={"row_policy": "round_robin"}
+            )
+        )
+        # The allocation policy axis must NOT split schedules.
+        assert schedule_key(base) == schedule_key(
+            base.with_policy("random", seed=5)
+        )
+
+    def test_gpp_reference_memoised_copies(self):
+        clear_schedule_caches()
+        trace = run_workload("bitcount")
+        params = SystemParams(geometry=GEOMETRY)
+        timing_a, energy_a = gpp_reference(trace, params)
+        timing_b, energy_b = gpp_reference(trace, params)
+        # Equal values, distinct mutable containers (results must not
+        # alias across SystemResults).
+        assert timing_a is not timing_b
+        assert dataclasses.astuple(timing_a) == dataclasses.astuple(timing_b)
+        assert energy_a == energy_b
+
+    def test_results_do_not_alias_mutable_stats(self):
+        trace = run_workload("bitcount")
+        params = SystemParams(geometry=GEOMETRY, policy="baseline")
+        system = TransRecSystem(params)
+        first = system.run_trace(trace)
+        second = system.run_trace(trace)
+        assert first.cgra is not second.cgra
+        assert first.cache_stats is not second.cache_stats
+        assert first.gpp is not second.gpp
+        first.cgra.launches += 1
+        assert first.cgra.launches == second.cgra.launches + 1
+
+
+class TestCampaignGrouping:
+    def _spec(self):
+        return CampaignSpec(
+            geometries=((4, 8),),
+            policies=(
+                PolicySpec.make("baseline"),
+                PolicySpec.make("rotation"),
+                PolicySpec.make("stress_aware", interval=3),
+                PolicySpec.make("random"),
+            ),
+            seeds=(0, 1),
+            workloads=("bitcount", "dijkstra"),
+        )
+
+    def test_policy_sweep_collapses_to_one_group(self):
+        spec = self._spec()
+        points = spec.design_points()
+        groups = CampaignRunner().schedule_groups(points)
+        assert len(groups) == 1
+        assert sorted(groups[0]) == list(range(len(points)))
+
+    def test_share_schedules_false_is_all_singletons(self):
+        spec = self._spec()
+        points = spec.design_points()
+        groups = CampaignRunner(share_schedules=False).schedule_groups(points)
+        assert groups == [[index] for index in range(len(points))]
+
+    def test_stress_coupled_points_get_singleton_groups(self):
+        spec = CampaignSpec(
+            geometries=((4, 8),),
+            policies=(
+                PolicySpec.make("baseline"),
+                PolicySpec.make("rotation"),
+            ),
+            mappers=(
+                MapperSpec.make("greedy"),
+                MapperSpec.make("annealing"),
+            ),
+            seeds=(0, 1),
+            workloads=("bitcount",),
+        )
+        points = spec.design_points()
+        groups = CampaignRunner().schedule_groups(points)
+        coupled_indices = [
+            index
+            for index, point in enumerate(points)
+            if point.mapper.name == "annealing"
+        ]
+        singleton_groups = [group for group in groups if len(group) == 1]
+        assert sorted(
+            index for group in singleton_groups for index in group
+        ) == sorted(coupled_indices)
+        # The greedy points all share one walk.
+        shared = [group for group in groups if len(group) > 1]
+        assert len(shared) == 1
+
+    def test_grouped_campaign_bit_identical_to_coupled(self):
+        spec = self._spec()
+        shared = CampaignRunner().run(spec)
+        coupled = CampaignRunner(share_schedules=False).run(spec)
+        for point in spec.design_points():
+            run_a = shared.runs[point]
+            run_b = coupled.runs[point]
+            for name in run_a.results:
+                assert_results_identical(
+                    run_b.results[name], run_a.results[name]
+                )
+
+    def test_parallel_grouped_campaign_matches_serial(self):
+        spec = self._spec()
+        serial = CampaignRunner().run(spec)
+        parallel = CampaignRunner(max_workers=2).run(spec)
+        for point in spec.design_points():
+            for name in serial.runs[point].results:
+                assert_results_identical(
+                    serial.runs[point].results[name],
+                    parallel.runs[point].results[name],
+                )
