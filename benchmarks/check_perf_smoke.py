@@ -1,21 +1,26 @@
 """CI perf-smoke guard over the BENCH_alloc.json history.
 
 Compares the newest benchmark record (the ``--quick`` run CI just
-appended) against the *committed* baseline — the **minimum** of the
+appended) against the *committed* baseline — the **minimum** of each
 guarded metric over the last few history records without the ``quick``
 flag (single committed samples swing ~30% on one machine, which would
 consume the whole tolerance before cross-machine variance is added) —
-and fails when the metric dropped by more than the tolerance::
+and fails when any metric dropped by more than the tolerance::
 
     PYTHONPATH=src python benchmarks/check_perf_smoke.py \
         [--history BENCH_alloc.json] [--metric batch_launches_per_sec] \
         [--tolerance 0.30] [--baseline-window 3]
 
-The default 30% tolerance below the committed floor absorbs quick-run
-noise and runner-to-runner machine variance; the CI step is
-additionally skippable via the ``skip-perf-smoke`` PR label for
-known-noisy environments. Exit codes: 0 pass (or nothing to compare),
-1 regression, 2 usage/data error.
+``--metric`` may be repeated; the default set guards the batch
+allocation engine (``batch_launches_per_sec``) and the stress-aware
+segment replay (``schedule_replay_launches_per_sec_stress_aware``) —
+the two hot paths with committed floors. Metrics absent from the
+whole history are reported and skipped, so the guard keeps working as
+metrics are added. The default 30% tolerance below the committed floor
+absorbs quick-run noise and runner-to-runner machine variance; the CI
+step is additionally skippable via the ``skip-perf-smoke`` PR label
+for known-noisy environments. Exit codes: 0 pass (or nothing to
+compare), 1 regression, 2 usage/data error.
 """
 
 from __future__ import annotations
@@ -24,6 +29,14 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+#: Metrics guarded when no ``--metric`` is passed: the batch engine
+#: and the stress-aware replay floor (the sequence-planning redesign's
+#: headline number).
+DEFAULT_METRICS = (
+    "batch_launches_per_sec",
+    "schedule_replay_launches_per_sec_stress_aware",
+)
 
 
 def find_candidate_and_baseline(
@@ -67,8 +80,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--metric",
-        default="batch_launches_per_sec",
-        help="guarded throughput metric (default: batch_launches_per_sec)",
+        action="append",
+        dest="metrics",
+        metavar="METRIC",
+        help="guarded throughput metric; repeatable "
+        f"(default: {', '.join(DEFAULT_METRICS)})",
     )
     parser.add_argument(
         "--tolerance",
@@ -101,34 +117,39 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(f"error: unrecognised payload in {args.history}", file=sys.stderr)
         return 2
-    candidate, baseline = find_candidate_and_baseline(
-        history, args.metric, args.baseline_window
-    )
-    if candidate is None:
-        print(f"perf-smoke: no record carries {args.metric!r}; nothing to check")
-        return 0
-    if baseline is None:
-        print(
-            f"perf-smoke: no committed baseline for {args.metric!r}; "
-            "nothing to compare against"
+    metrics = args.metrics or list(DEFAULT_METRICS)
+    failed = []
+    for metric in metrics:
+        candidate, baseline = find_candidate_and_baseline(
+            history, metric, args.baseline_window
         )
-        return 0
-    new = float(candidate[args.metric])
-    if baseline <= 0:
-        print(f"perf-smoke: baseline {args.metric} is {baseline}; skipping")
-        return 0
-    drop = 1.0 - new / baseline
-    verdict = "REGRESSION" if drop > args.tolerance else "ok"
-    print(
-        f"perf-smoke [{verdict}]: {args.metric} {baseline:.1f} -> {new:.1f} "
-        f"(committed floor over last {args.baseline_window}, "
-        f"{-drop:+.1%}, tolerance -{args.tolerance:.0%})"
-    )
-    if drop > args.tolerance:
+        if candidate is None:
+            print(f"perf-smoke: no record carries {metric!r}; nothing to check")
+            continue
+        if baseline is None:
+            print(
+                f"perf-smoke: no committed baseline for {metric!r}; "
+                "nothing to compare against"
+            )
+            continue
+        new = float(candidate[metric])
+        if baseline <= 0:
+            print(f"perf-smoke: baseline {metric} is {baseline}; skipping")
+            continue
+        drop = 1.0 - new / baseline
+        verdict = "REGRESSION" if drop > args.tolerance else "ok"
         print(
-            "perf-smoke: quick-run throughput dropped beyond tolerance; "
-            "if this machine/runner is known-noisy, re-run or apply the "
-            "'skip-perf-smoke' label",
+            f"perf-smoke [{verdict}]: {metric} {baseline:.1f} -> {new:.1f} "
+            f"(committed floor over last {args.baseline_window}, "
+            f"{-drop:+.1%}, tolerance -{args.tolerance:.0%})"
+        )
+        if drop > args.tolerance:
+            failed.append(metric)
+    if failed:
+        print(
+            f"perf-smoke: quick-run throughput dropped beyond tolerance "
+            f"for {', '.join(failed)}; if this machine/runner is "
+            "known-noisy, re-run or apply the 'skip-perf-smoke' label",
             file=sys.stderr,
         )
         return 1

@@ -17,7 +17,11 @@ The runner owns the three scale levers the ROADMAP asks for:
   parallel; ``max_workers > 1`` fans them out over a
   ``ProcessPoolExecutor`` while keeping results in submission order.
   Each group's points run in one worker, so the group's schedules are
-  computed exactly once.
+  computed exactly once. Splitting a large group for parallelism costs
+  one extra walk per chunk; an opt-in on-disk schedule cache
+  (``schedule_cache_dir=...``) removes even that, letting chunks and
+  repeated campaigns load pickled walks instead of recomputing them
+  (the ROADMAP's cross-process schedule reuse).
 
 Artifacts: pass ``artifact_dir`` to persist one JSON summary per design
 point plus a ``campaign.json`` manifest describing the spec.
@@ -36,7 +40,11 @@ from repro.cgra.fabric import FabricGeometry
 from repro.errors import ConfigurationError
 from repro.sim.trace import Trace
 from repro.system.params import SystemParams
-from repro.system.schedule import params_stress_coupled, schedule_key
+from repro.system.schedule import (
+    params_stress_coupled,
+    schedule_key,
+    set_schedule_cache_dir,
+)
 from repro.system.transrec import TransRecSystem
 from repro.workloads.suite import run_workload
 
@@ -107,15 +115,21 @@ def evaluate_design_point(
 
 
 def _pool_evaluate_group(
-    payload: tuple[tuple[DesignPoint, ...], SystemParams | None, str],
+    payload: tuple[
+        tuple[DesignPoint, ...], SystemParams | None, str, str | None
+    ],
 ) -> list[SuiteRun]:
     """Evaluate one schedule group in a pool worker.
 
     The group's points run sequentially in this process, so the first
     point's walks warm the per-process schedule memo and every further
-    point replays them.
+    point replays them. A configured on-disk cache is activated before
+    the first walk, so chunks of one split group (and workers of a
+    repeated campaign) share walks across process boundaries too.
     """
-    points, base_params, mode = payload
+    points, base_params, mode, cache_dir = payload
+    if cache_dir is not None:
+        set_schedule_cache_dir(cache_dir)
     return [
         evaluate_design_point(point, base_params, mode=mode)
         for point in points
@@ -166,6 +180,16 @@ class CampaignRunner:
             everywhere (the pre-schedule behaviour — results are
             bit-identical either way; this is the measurement baseline
             and escape hatch).
+        schedule_cache_dir: when given, policy-independent trace walks
+            are additionally pickled there keyed by
+            :func:`~repro.system.schedule.schedule_key` + trace
+            fingerprint, so shared-geometry groups landing in
+            different pool workers — or successive campaigns over the
+            same pipelines — stop recomputing walks (and their GPP
+            references' traces) from scratch. Corrupt or stale cache
+            files are ignored and rewritten, and results stay
+            bit-identical (replay never depends on where the schedule
+            came from).
     """
 
     def __init__(
@@ -174,11 +198,15 @@ class CampaignRunner:
         artifact_dir: str | Path | None = None,
         base_params: SystemParams | None = None,
         share_schedules: bool = True,
+        schedule_cache_dir: str | Path | None = None,
     ) -> None:
         self.max_workers = max_workers
         self.artifact_dir = Path(artifact_dir) if artifact_dir else None
         self.base_params = base_params
         self.share_schedules = share_schedules
+        self.schedule_cache_dir = (
+            Path(schedule_cache_dir) if schedule_cache_dir else None
+        )
 
     def schedule_groups(
         self, points: tuple[DesignPoint, ...]
@@ -208,9 +236,22 @@ class CampaignRunner:
             groups[key].append(index)
         return [groups[key] for key in order]
 
-    @staticmethod
+    #: Relative replay cost per plan granularity, used to balance pool
+    #: payloads: a whole-schedule plan replays in one vectorized pass,
+    #: while finer granularities re-enter the policy per epoch /
+    #: search interval / launch.
+    _GRANULARITY_COST = {"schedule": 1, "epoch": 2, "interval": 4, "launch": 8}
+
+    @classmethod
+    def _point_cost(cls, point: DesignPoint) -> int:
+        return cls._GRANULARITY_COST.get(point.policy.plan_granularity, 8)
+
+    @classmethod
     def _balanced_groups(
-        groups: list[list[int]], target: int
+        cls,
+        groups: list[list[int]],
+        target: int,
+        points: tuple[DesignPoint, ...],
     ) -> list[list[int]]:
         """Split large schedule groups until at least ``target`` pool
         payloads exist (or nothing is left to split).
@@ -219,14 +260,27 @@ class CampaignRunner:
         worker walking and replaying everything would leave the rest of
         the pool idle. Each chunk re-walks the shared schedule once in
         its own worker — one extra walk buys parallelism across the
-        replay axis, and results stay bit-identical (replays are
-        independent).
+        replay axis (an on-disk schedule cache removes even that), and
+        results stay bit-identical (replays are independent). The
+        group to split is the one with the highest estimated replay
+        cost — points are weighted by their policy's
+        :attr:`~repro.core.policy.AllocationPolicy.plan_granularity`,
+        so a group of per-interval stress-search replays splits before
+        an equally sized group of one-segment oblivious replays.
         """
         groups = [list(group) for group in groups]
+
+        def cost(group: list[int]) -> int:
+            return sum(cls._point_cost(points[index]) for index in group)
+
         while len(groups) < target:
-            largest = max(groups, key=len)
-            if len(largest) < 2:
+            # Only multi-point groups can split; an expensive singleton
+            # (e.g. one stress-coupled point) must not stall the loop
+            # while cheaper groups still have parallelism to give.
+            splittable = [group for group in groups if len(group) >= 2]
+            if not splittable:
                 break
+            largest = max(splittable, key=cost)
             groups.remove(largest)
             half = len(largest) // 2
             groups.append(largest[:half])
@@ -257,15 +311,21 @@ class CampaignRunner:
             and traces is None
             and len(points) > 1
         )
+        cache_dir = (
+            str(self.schedule_cache_dir)
+            if self.schedule_cache_dir is not None
+            else None
+        )
         if parallel:
             groups = self._balanced_groups(
-                self.schedule_groups(points), self.max_workers
+                self.schedule_groups(points), self.max_workers, points
             )
             payloads = [
                 (
                     tuple(points[index] for index in group),
                     self.base_params,
                     mode,
+                    cache_dir,
                 )
                 for group in groups
             ]
@@ -278,11 +338,24 @@ class CampaignRunner:
                         suite_runs[index] = run
         else:
             # Serial evaluation shares schedules through the in-process
-            # memo regardless of point order; no grouping needed.
-            suite_runs = [
-                evaluate_design_point(point, self.base_params, traces, mode)
-                for point in points
-            ]
+            # memo regardless of point order; no grouping needed. The
+            # runner's disk cache (when set) is scoped to the run so it
+            # does not leak into the caller's process state.
+            previous_cache = (
+                set_schedule_cache_dir(cache_dir)
+                if cache_dir is not None
+                else None
+            )
+            try:
+                suite_runs = [
+                    evaluate_design_point(
+                        point, self.base_params, traces, mode
+                    )
+                    for point in points
+                ]
+            finally:
+                if cache_dir is not None:
+                    set_schedule_cache_dir(previous_cache)
         runs = dict(zip(points, suite_runs))
         result = CampaignResult(spec=spec, runs=runs)
         if self.artifact_dir is not None:

@@ -96,6 +96,18 @@ class PolicySpec(ComponentSpec):
     def _class_of(cls, name: str) -> type:
         return policy_class(name)
 
+    @property
+    def plan_granularity(self) -> str:
+        """How often the policy re-enters its segment planner (one of
+        :data:`repro.core.policy.PLAN_GRANULARITIES`) — the
+        generalisation of the old boolean ``oblivious`` flag. The
+        runner weights design points by it when balancing pool
+        payloads: per-launch legacy policies replay far slower than
+        whole-``"schedule"`` planners."""
+        return str(
+            getattr(self._class_of(self.name), "plan_granularity", "launch")
+        )
+
 
 @dataclass(frozen=True)
 class MapperSpec(ComponentSpec):

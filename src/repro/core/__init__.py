@@ -5,7 +5,11 @@ A *virtual configuration* produced by the DBT is anchored at origin
 *pivot* — the physical cell where the virtual origin lands — and the
 :class:`ConfigurationAllocator` translates every op by that pivot with
 wrap-around in both axes (Fig. 3), recording per-FU stress in a
-:class:`UtilizationTracker`.
+:class:`UtilizationTracker`. Batched, the policy plans *whole launch
+schedules* as :class:`SegmentPlan` sequences (see
+:mod:`repro.core.policy` for the protocol and migration notes);
+``next_pivot``-only policies keep working through
+:class:`LegacyPolicyAdapter`.
 
 Policies:
 
@@ -28,7 +32,15 @@ from repro.core.patterns import (
     raster_pattern,
     snake_pattern,
 )
-from repro.core.policy import AllocationPolicy, available_policies, make_policy
+from repro.core.policy import (
+    PLAN_GRANULARITIES,
+    AllocationPolicy,
+    LegacyPolicyAdapter,
+    ScheduleView,
+    SegmentPlan,
+    available_policies,
+    make_policy,
+)
 from repro.core.random_policy import RandomPolicy
 from repro.core.rotation import RotationPolicy
 from repro.core.static import BaselinePolicy
@@ -40,10 +52,14 @@ __all__ = [
     "AllocationPolicy",
     "BaselinePolicy",
     "ConfigurationAllocator",
+    "LegacyPolicyAdapter",
     "MOVEMENT_PATTERNS",
+    "PLAN_GRANULARITIES",
     "PhysicalPlacement",
     "RandomPolicy",
     "RotationPolicy",
+    "ScheduleView",
+    "SegmentPlan",
     "StaticRemapPolicy",
     "StressAwarePolicy",
     "UtilizationTracker",

@@ -9,17 +9,19 @@ and records the stressed physical cells in the utilization tracker.
 Two entry points share one engine:
 
 * :meth:`ConfigurationAllocator.allocate_batch` — the vectorized path.
-  Pivots are drawn run-by-run (consecutive identical configurations)
-  through the policy's
-  :meth:`~repro.core.policy.AllocationPolicy.next_pivots` batch hook —
-  or in one call for the whole sequence when the policy declares
-  itself :attr:`~repro.core.policy.AllocationPolicy.oblivious` — while
+  The policy plans the whole launch sequence as *schedule segments*
+  (contiguous launch ranges with precomputed pivot arrays) through its
+  :meth:`~repro.core.policy.AllocationPolicy.plan_segments` hook;
   stress accrual is *deferred*: launches accumulate in per-
   configuration groups and fold into the tracker with one
-  ``np.add.at`` per configuration. The policy receives a flushing
-  tracker view, so any read of accumulated stress materialises exactly
-  the state the scalar loop would have shown it; interleaved launch
-  schedules (run length ~1) no longer pay per-run numpy setup.
+  ``np.add.at`` per configuration, flushed only at segment boundaries
+  (and before any tracker read). The policy reads stress through a
+  flushing tracker view, so every resumption of its plan generator
+  observes exactly the counter state the scalar loop would have shown
+  it. Policies implementing only the pre-segment
+  ``next_pivot``/``next_pivots`` API are served run-by-run through a
+  :class:`~repro.core.policy.LegacyPolicyAdapter` (with a one-time
+  ``DeprecationWarning``), bit-identically to the old engine.
 * :meth:`ConfigurationAllocator.allocate` — the scalar API, the
   engine's single-launch fast path (shared validation and tracker
   accounting, no per-launch numpy batch overhead). Property tests
@@ -35,7 +37,13 @@ import numpy as np
 
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
-from repro.core.policy import AllocationPolicy, candidate_footprints
+from repro.core.policy import (
+    AllocationPolicy,
+    ScheduleView,
+    candidate_footprints,
+    iter_runs,
+    resolve_planner,
+)
 from repro.core.utilization import UtilizationTracker
 from repro.errors import AllocationError
 
@@ -96,21 +104,6 @@ class BatchPlacement:
 
 #: Any single pivot suffices for the (pivot-independent) fold check.
 _ORIGIN_PIVOT = np.zeros((1, 2), dtype=np.int64)
-
-
-def _iter_runs(configs):
-    """Yield ``(config, start, stop)`` runs of consecutive identical
-    configuration objects — the single owner of the batch engine's
-    run-boundary rule."""
-    start = 0
-    n_launches = len(configs)
-    while start < n_launches:
-        config = configs[start]
-        stop = start + 1
-        while stop < n_launches and configs[stop] is config:
-            stop += 1
-        yield config, start, stop
-        start = stop
 
 
 class _FlushingTrackerView:
@@ -213,13 +206,16 @@ class ConfigurationAllocator:
                 consecutive repeats of the same object are vectorized
                 as one run).
             pivots: optional ``(n_launches, 2)`` pivot overrides; when
-                omitted the bound policy chooses via its
-                ``next_pivots`` batch hook.
+                omitted the bound policy plans the sequence via its
+                ``plan_segments`` hook (legacy ``next_pivots``-only
+                policies fall back to per-run planning through
+                :class:`~repro.core.policy.LegacyPolicyAdapter`).
             cycles: scalar or per-launch execution cycle counts.
 
         Raises:
             AllocationError: if any configuration does not fit the
-                fabric or any pivot is outside it.
+                fabric, any pivot is outside it, or the policy's
+                segment plans do not tile the sequence contiguously.
         """
         configs = tuple(configs)
         n_launches = len(configs)
@@ -292,75 +288,53 @@ class ConfigurationAllocator:
                 )
                 checked_fit.add(id(config))
 
-        try:
-            if (
-                pivots is None
-                and observe is None
-                and n_launches > 0
-                and getattr(self.policy, "oblivious", False)
-            ):
-                # The pivot stream ignores both the configuration and
-                # the tracker: one batch hook call covers the whole
-                # sequence.
-                all_pivots = np.asarray(
-                    self._next_pivots(
-                        configs[0], tracker_view, n_launches
-                    ),
-                    dtype=np.int64,
-                )
-                self._check_pivots(
-                    all_pivots,
-                    f"policy {getattr(self.policy, 'name', '?')!r}",
-                )
-                for config, start, stop in _iter_runs(configs):
-                    check_fit_once(config)
-                    pending.append(
-                        (
-                            config,
-                            all_pivots[start:stop],
-                            cycles_arr[start:stop],
-                        )
-                    )
-                    self.launches += stop - start
-                flush()
-                return BatchPlacement(
-                    geometry=self.geometry,
-                    configs=configs,
-                    pivots=all_pivots,
-                    cycles=cycles_arr,
-                )
-
-            pivots_out = np.empty((n_launches, 2), dtype=np.int64)
-            for config, start, stop in _iter_runs(configs):
-                count = stop - start
+        def record_runs(
+            seg_pivots: np.ndarray, seg_start: int, seg_stop: int
+        ) -> None:
+            """Defer the segment's launches run by run (validating fit
+            at first sight of each configuration); observe hooks keep
+            the legacy contract — they fire after the launches up to
+            and including their run have been folded in."""
+            for config, start, stop in iter_runs(configs, seg_start, seg_stop):
                 check_fit_once(config)
-                if pivots is None:
-                    run_pivots = np.asarray(
-                        self._next_pivots(config, tracker_view, count),
-                        dtype=np.int64,
-                    )
-                    origin = f"policy {getattr(self.policy, 'name', '?')!r}"
-                else:
-                    run_pivots = pivots[start:stop]
-                    origin = "explicit pivots argument"
-                self._check_pivots(run_pivots, origin)
+                run_pivots = seg_pivots[start - seg_start : stop - seg_start]
                 pending.append((config, run_pivots, cycles_arr[start:stop]))
+                self.launches += stop - start
                 if observe is not None:
-                    # The legacy contract ran observe after the run's
-                    # launches were recorded; flush so a hook that
-                    # inspects the tracker sees that exact state.
                     flush()
                     for pivot_row, pivot_col in run_pivots:
                         observe(config, (int(pivot_row), int(pivot_col)))
-                pivots_out[start:stop] = run_pivots
-                self.launches += count
+
+        pivots_out = np.empty((n_launches, 2), dtype=np.int64)
+        try:
+            if pivots is not None:
+                self._check_pivots(pivots, "explicit pivots argument")
+                record_runs(pivots, 0, n_launches)
+                pivots_out[:] = pivots
+            elif n_launches > 0:
+                origin = f"policy {getattr(self.policy, 'name', '?')!r}"
+                planner = resolve_planner(self.policy)
+                schedule = ScheduleView(configs, cycles_arr)
+                planned = 0
+                for plan in planner(schedule, tracker_view):
+                    seg_pivots = np.asarray(plan.pivots, dtype=np.int64)
+                    self._check_plan(plan, seg_pivots, planned, n_launches, origin)
+                    self._check_pivots(seg_pivots, origin)
+                    record_runs(seg_pivots, plan.start, plan.stop)
+                    pivots_out[plan.start : plan.stop] = seg_pivots
+                    planned = plan.stop
+                if planned != n_launches:
+                    raise AllocationError(
+                        f"{origin} planned segments covering only "
+                        f"{planned} of {n_launches} launches"
+                    )
         finally:
             # Keep the allocator's observable state consistent even
-            # when a run fails validation (or a policy hook raises):
-            # the runs accepted before the error are recorded, so
-            # ``launches`` and the tracker agree — as the per-run
-            # legacy loop guaranteed. On success this is the ordinary
-            # final flush.
+            # when a segment fails validation (or a policy hook
+            # raises): the runs accepted before the error are
+            # recorded, so ``launches`` and the tracker agree — as the
+            # per-run legacy loop guaranteed. On success this is the
+            # ordinary final flush.
             flush()
         return BatchPlacement(
             geometry=self.geometry,
@@ -384,24 +358,32 @@ class ConfigurationAllocator:
             return None
         return hook
 
-    def _next_pivots(
-        self, config: VirtualConfiguration, tracker, count: int
-    ) -> np.ndarray:
-        """Ask the policy for a run of pivots, tolerating duck-typed
-        policies that only implement the scalar ``next_pivot``.
-
-        ``tracker`` is the (possibly flushing-view) tracker the policy
-        should read accumulated stress through.
-        """
-        batch_hook = getattr(self.policy, "next_pivots", None)
-        if batch_hook is not None:
-            return batch_hook(config, tracker, count)
-        pivots = np.empty((count, 2), dtype=np.int64)
-        for index in range(count):
-            pivots[index] = self.policy.next_pivot(config, tracker)
-        return pivots
-
     # -- validation helpers ------------------------------------------------
+
+    @staticmethod
+    def _check_plan(
+        plan, seg_pivots: np.ndarray, expected_start: int,
+        n_launches: int, origin: str,
+    ) -> None:
+        """Segment plans must tile the sequence contiguously from the
+        front, each carrying one pivot row per covered launch."""
+        if plan.start != expected_start or plan.stop > n_launches:
+            raise AllocationError(
+                f"{origin} yielded segment [{plan.start}, {plan.stop}) "
+                f"out of order; expected the next segment to start at "
+                f"{expected_start} (schedule has {n_launches} launches)"
+            )
+        if plan.stop < plan.start:
+            raise AllocationError(
+                f"{origin} yielded negative-length segment "
+                f"[{plan.start}, {plan.stop})"
+            )
+        if seg_pivots.shape != (plan.stop - plan.start, 2):
+            raise AllocationError(
+                f"{origin} segment [{plan.start}, {plan.stop}) pivots "
+                f"must have shape ({plan.stop - plan.start}, 2), got "
+                f"{seg_pivots.shape}"
+            )
 
     @staticmethod
     def _cycles_array(

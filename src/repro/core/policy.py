@@ -1,8 +1,67 @@
-"""Allocation-policy interface and registry."""
+"""Allocation-policy interface and registry.
+
+The policy API is built around *sequence planning*: the unit of work a
+policy is asked for is a **schedule segment** — a contiguous range of
+upcoming launches with precomputed pivots — not a single launch. A
+policy's :meth:`AllocationPolicy.plan_segments` consumes a
+:class:`ScheduleView` of the whole launch sequence and yields
+:class:`SegmentPlan`\\ s covering it front to back; the generator is
+re-entered only at segment boundaries, which is exactly where the
+policy may read fresh tracker state (the
+:class:`~repro.core.allocator.ConfigurationAllocator` folds the
+previous segment's stress into the tracker before any read). Policies
+declare how often they need those re-entry points via
+:attr:`AllocationPolicy.plan_granularity`:
+
+``"schedule"``
+    the pivot stream is a pure function of internal policy state — one
+    segment covers the whole schedule (baseline, rotation, random);
+``"epoch"``
+    re-planning happens only at rare state changes, e.g. the first
+    launch of a new configuration (static_remap);
+``"interval"``
+    re-planning happens on a fixed duty cycle (stress_aware's periodic
+    pivot search);
+``"launch"``
+    every launch needs fresh tracker state — the legacy per-launch
+    protocol, served by :class:`LegacyPolicyAdapter`.
+
+Migration notes for custom-policy authors
+-----------------------------------------
+Policies written against the pre-segment API — a scalar
+:meth:`AllocationPolicy.next_pivot` and optionally the batched
+:meth:`AllocationPolicy.next_pivots` — keep working unchanged: the
+allocator wraps them in a :class:`LegacyPolicyAdapter`, which replays
+them run by run (one segment per run of consecutive identical
+configurations, the old batch engine's unit of work) and emits a
+one-time :class:`DeprecationWarning` per policy class. To migrate,
+implement::
+
+    def plan_segments(self, schedule, tracker):
+        # schedule: ScheduleView (configs, runs(), n_launches)
+        # tracker: UtilizationTracker view; any read observes exactly
+        #          the stress of every launch planned so far
+        yield SegmentPlan(start=0, stop=schedule.n_launches, pivots=...)
+
+and declare the matching :attr:`~AllocationPolicy.plan_granularity`.
+Yield plans in order, contiguously from 0 to ``schedule.n_launches``;
+``pivots`` is an ``(stop - start, 2)`` int64 array of in-range fabric
+coordinates. Read the tracker *between* yields only — each resumption
+sees the counters exactly as the scalar launch loop would have shown
+them at that launch index. Keep ``next_pivot`` implemented: it remains
+the single-launch fast path used by
+:meth:`~repro.core.allocator.ConfigurationAllocator.allocate`. The
+class attribute ``oblivious`` (pre-segment API) is now derived from
+``plan_granularity == "schedule"``; legacy subclasses that still set
+``oblivious = True`` get the whole-schedule fallback through the
+adapter.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -14,15 +73,106 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.utilization import UtilizationTracker
 
 
+#: Valid :attr:`AllocationPolicy.plan_granularity` values, coarsest
+#: first. The granularity is declarative metadata (campaign tooling
+#: uses it to weight replay cost); the allocator always drives
+#: whatever segments the policy actually yields.
+PLAN_GRANULARITIES = ("schedule", "epoch", "interval", "launch")
+
+
+def iter_runs(configs, start: int = 0, stop: int | None = None):
+    """Yield ``(config, start, stop)`` runs of consecutive identical
+    configuration objects within ``configs[start:stop]`` — the single
+    owner of the run-boundary rule shared by the batch allocator, the
+    :class:`ScheduleView` and the :class:`LegacyPolicyAdapter`.
+    """
+    position = start
+    end = len(configs) if stop is None else stop
+    while position < end:
+        config = configs[position]
+        run_stop = position + 1
+        while run_stop < end and configs[run_stop] is config:
+            run_stop += 1
+        yield config, position, run_stop
+        position = run_stop
+
+
+class ScheduleView:
+    """Read-only view of a launch sequence handed to ``plan_segments``.
+
+    Wraps the launch order (configuration per launch, repeats allowed)
+    plus the per-launch execution cycle weights; policies plan pivots
+    over it without being able to mutate the allocator's batch state.
+    """
+
+    __slots__ = ("_configs", "_cycles")
+
+    def __init__(
+        self,
+        configs: tuple[VirtualConfiguration, ...],
+        cycles: np.ndarray | None = None,
+    ) -> None:
+        self._configs = tuple(configs)
+        if cycles is not None:
+            # Policies plan over the view but must not be able to edit
+            # the cycle weights the allocator goes on to record.
+            cycles = cycles.view()
+            cycles.flags.writeable = False
+        self._cycles = cycles
+
+    @property
+    def configs(self) -> tuple[VirtualConfiguration, ...]:
+        """Launched configuration per launch slot, in launch order."""
+        return self._configs
+
+    @property
+    def cycles(self) -> np.ndarray | None:
+        """Per-launch execution cycles (stress weights), if known
+        (read-only view)."""
+        return self._cycles
+
+    @property
+    def n_launches(self) -> int:
+        return len(self._configs)
+
+    def runs(self, start: int = 0, stop: int | None = None):
+        """Runs of consecutive identical configurations (see
+        :func:`iter_runs`)."""
+        return iter_runs(self._configs, start, stop)
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """A contiguous launch range with precomputed pivots.
+
+    Attributes:
+        start: first launch index covered (inclusive).
+        stop: first launch index *not* covered (exclusive).
+        pivots: ``(stop - start, 2)`` int64 pivot per covered launch.
+    """
+
+    start: int
+    stop: int
+    pivots: np.ndarray = field(repr=False)
+
+    @property
+    def n_launches(self) -> int:
+        return self.stop - self.start
+
+
 class AllocationPolicy:
-    """Chooses the pivot cell for each configuration launch.
+    """Chooses pivot cells for configuration launches.
 
     Lifecycle: the :class:`~repro.core.allocator.ConfigurationAllocator`
-    calls :meth:`bind` once with the fabric geometry, then
-    :meth:`next_pivot` before every launch and :meth:`observe` after the
-    launch has been recorded. The batched path calls :meth:`next_pivots`
-    once per run of consecutive launches of the same configuration
-    instead.
+    calls :meth:`bind` once with the fabric geometry. The batched path
+    then drives :meth:`plan_segments` over the whole launch sequence
+    (see the module docstring for the protocol and migration notes);
+    the scalar path calls :meth:`next_pivot` before every launch and
+    :meth:`observe` after it. Policies that implement only the scalar
+    hooks are served through :class:`LegacyPolicyAdapter`.
     """
 
     #: Registry key; subclasses override.
@@ -32,12 +182,17 @@ class AllocationPolicy:
     #: this to expand one policy into per-seed design points).
     seedable = False
 
-    #: Whether :meth:`next_pivots` ignores *both* its ``config`` and
-    #: ``tracker`` arguments — the pivot stream is a pure function of
-    #: internal policy state (a hardware counter, an RNG). The batched
-    #: allocator then draws one pivot run for a whole interleaved
-    #: launch schedule instead of one run per consecutive-config group.
-    oblivious = False
+    #: How often the policy needs fresh tracker state while planning a
+    #: schedule (one of :data:`PLAN_GRANULARITIES`). The base class is
+    #: conservative: per-launch, the legacy fallback granularity.
+    plan_granularity = "launch"
+
+    @property
+    def oblivious(self) -> bool:
+        """Whether the pivot stream ignores both the configurations and
+        the tracker (pre-segment API name, kept for compatibility —
+        now derived from :attr:`plan_granularity`)."""
+        return self.plan_granularity == "schedule"
 
     def bind(self, geometry: FabricGeometry) -> None:
         """Attach the policy to a fabric; resets internal state."""
@@ -49,7 +204,9 @@ class AllocationPolicy:
         """Pivot ``(row, col)`` for the upcoming launch of ``config``.
 
         ``tracker`` exposes the accumulated per-FU stress for policies
-        that adapt to run-time aging information.
+        that adapt to run-time aging information. This remains the
+        single-launch fast path of
+        :meth:`~repro.core.allocator.ConfigurationAllocator.allocate`.
         """
         raise NotImplementedError
 
@@ -59,19 +216,33 @@ class AllocationPolicy:
         tracker: "UtilizationTracker",
         count: int,
     ) -> np.ndarray:
-        """Pivots for ``count`` consecutive launches of ``config``.
+        """Pivots for ``count`` consecutive launches of ``config``
+        (pre-segment batch hook, used by :class:`LegacyPolicyAdapter`).
 
         Returns an ``(count, 2)`` int64 array. The default falls back
         to ``count`` scalar :meth:`next_pivot` calls *without*
         intermediate stress recording — exact for policies that ignore
-        ``tracker``. Policies that read accumulated stress must override
-        this with a batch-exact implementation that models the stress
-        their own launches accrue (all built-in policies do).
+        ``tracker``. Policies that read accumulated stress must either
+        override this with a batch-exact implementation or implement
+        :meth:`plan_segments` directly (all built-in policies do both).
         """
         pivots = np.empty((count, 2), dtype=np.int64)
         for index in range(count):
             pivots[index] = self.next_pivot(config, tracker)
         return pivots
+
+    # ``plan_segments`` is intentionally *not* defined on the base
+    # class: the allocator distinguishes sequence-planning policies
+    # (which define it) from legacy per-launch policies (which get the
+    # LegacyPolicyAdapter fallback + DeprecationWarning) by its
+    # presence. The protocol:
+    #
+    #   def plan_segments(self, schedule: ScheduleView, tracker)
+    #           -> Iterator[SegmentPlan]
+    #
+    # Yield contiguous SegmentPlans covering [0, schedule.n_launches);
+    # any tracker read between yields observes exactly the stress of
+    # every launch planned so far.
 
     def observe(
         self, config: VirtualConfiguration, pivot: tuple[int, int]
@@ -81,6 +252,85 @@ class AllocationPolicy:
     def describe(self) -> str:
         """One-line human-readable description."""
         return self.name
+
+
+#: Policy classes already warned about missing ``plan_segments`` (the
+#: DeprecationWarning is one-time per class, not per batch).
+_LEGACY_WARNED: set[type] = set()
+
+
+class LegacyPolicyAdapter:
+    """Serves ``next_pivot``/``next_pivots``-only policies through the
+    segment-plan protocol.
+
+    The adapter replays the pre-segment batch engine's behaviour
+    exactly: one segment per run of consecutive identical
+    configurations, pivots drawn through the policy's ``next_pivots``
+    batch hook (or ``count`` scalar ``next_pivot`` calls when even
+    that is missing); a policy whose ``oblivious`` attribute is set
+    keeps the old whole-schedule fast path. Construction emits a
+    one-time :class:`DeprecationWarning` per policy class unless
+    ``warn=False`` — the per-launch fallback stays bit-identical but
+    forfeits the vectorized segment replay.
+    """
+
+    def __init__(self, policy, warn: bool = True) -> None:
+        self.policy = policy
+        if warn and type(policy) not in _LEGACY_WARNED:
+            _LEGACY_WARNED.add(type(policy))
+            warnings.warn(
+                f"allocation policy {getattr(policy, 'name', '?')!r} "
+                f"({type(policy).__name__}) implements only the "
+                "per-launch next_pivot/next_pivots API; implement "
+                "plan_segments(schedule, tracker) for whole-schedule "
+                "segment planning — the per-launch fallback path is "
+                "deprecated",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    def _next_pivots(self, config, tracker, count: int) -> np.ndarray:
+        """The policy's batch hook, tolerating duck-typed policies that
+        only implement the scalar ``next_pivot``."""
+        batch_hook = getattr(self.policy, "next_pivots", None)
+        if batch_hook is not None:
+            return np.asarray(batch_hook(config, tracker, count), dtype=np.int64)
+        pivots = np.empty((count, 2), dtype=np.int64)
+        for index in range(count):
+            pivots[index] = self.policy.next_pivot(config, tracker)
+        return pivots
+
+    def plan_segments(
+        self, schedule: ScheduleView, tracker
+    ) -> Iterator[SegmentPlan]:
+        n_launches = schedule.n_launches
+        if n_launches == 0:
+            return
+        if getattr(self.policy, "oblivious", False):
+            # The pivot stream ignores both the configuration and the
+            # tracker: one batch-hook call covers the whole sequence.
+            pivots = self._next_pivots(
+                schedule.configs[0], tracker, n_launches
+            )
+            yield SegmentPlan(start=0, stop=n_launches, pivots=pivots)
+            return
+        for config, start, stop in schedule.runs():
+            yield SegmentPlan(
+                start=start,
+                stop=stop,
+                pivots=self._next_pivots(config, tracker, stop - start),
+            )
+
+
+def resolve_planner(policy, warn: bool = True):
+    """The policy's segment planner: its own ``plan_segments`` when it
+    implements the sequence-planning protocol, else a
+    :class:`LegacyPolicyAdapter` fallback (with a one-time
+    :class:`DeprecationWarning` unless ``warn=False``)."""
+    planner = getattr(policy, "plan_segments", None)
+    if planner is not None:
+        return planner
+    return LegacyPolicyAdapter(policy, warn=warn).plan_segments
 
 
 def min_stress_index(stress_per_candidate: np.ndarray) -> int:

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
-from repro.core.policy import AllocationPolicy, register_policy
+from repro.core.policy import AllocationPolicy, SegmentPlan, register_policy
 
 
 @register_policy
@@ -24,7 +24,7 @@ class RandomPolicy(AllocationPolicy):
 
     name = "random"
     seedable = True
-    oblivious = True
+    plan_granularity = "schedule"
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
@@ -53,6 +53,13 @@ class RandomPolicy(AllocationPolicy):
             pivots[index, 0] = randrange(rows)
             pivots[index, 1] = randrange(cols)
         return pivots
+
+    def plan_segments(self, schedule, tracker):
+        """One whole-schedule segment on the scalar RNG stream."""
+        count = schedule.n_launches
+        yield SegmentPlan(
+            start=0, stop=count, pivots=self.next_pivots(None, tracker, count)
+        )
 
     def describe(self) -> str:
         return f"random(seed={self.seed})"

@@ -16,7 +16,7 @@ import numpy as np
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
 from repro.core.patterns import movement_pattern
-from repro.core.policy import AllocationPolicy, register_policy
+from repro.core.policy import AllocationPolicy, SegmentPlan, register_policy
 
 
 @register_policy
@@ -32,7 +32,7 @@ class RotationPolicy(AllocationPolicy):
     """
 
     name = "rotation"
-    oblivious = True
+    plan_granularity = "schedule"
 
     def __init__(self, pattern: str = "snake", stride: int = 1) -> None:
         self.pattern_name = pattern
@@ -67,6 +67,14 @@ class RotationPolicy(AllocationPolicy):
             (self._position + self.stride * count) % length
         )
         return self._pattern_array[positions]
+
+    def plan_segments(self, schedule, tracker):
+        """The hardware counter never reads stress: one strided gather
+        from the pattern covers the whole schedule."""
+        count = schedule.n_launches
+        yield SegmentPlan(
+            start=0, stop=count, pivots=self.next_pivots(None, tracker, count)
+        )
 
     def describe(self) -> str:
         return f"rotation({self.pattern_name}, stride={self.stride})"

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cgra.configuration import VirtualConfiguration
-from repro.core.policy import AllocationPolicy, register_policy
+from repro.core.policy import AllocationPolicy, SegmentPlan, register_policy
 
 
 @register_policy
@@ -18,7 +18,7 @@ class BaselinePolicy(AllocationPolicy):
     """
 
     name = "baseline"
-    oblivious = True
+    plan_granularity = "schedule"
 
     def next_pivot(self, config: VirtualConfiguration, tracker) -> tuple[int, int]:
         return (0, 0)
@@ -27,3 +27,10 @@ class BaselinePolicy(AllocationPolicy):
         self, config: VirtualConfiguration, tracker, count: int
     ) -> np.ndarray:
         return np.zeros((count, 2), dtype=np.int64)
+
+    def plan_segments(self, schedule, tracker):
+        """One all-origin segment covers any schedule."""
+        count = schedule.n_launches
+        yield SegmentPlan(
+            start=0, stop=count, pivots=np.zeros((count, 2), dtype=np.int64)
+        )

@@ -23,6 +23,7 @@ from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
 from repro.core.policy import (
     AllocationPolicy,
+    SegmentPlan,
     candidate_footprints,
     min_stress_index,
     register_policy,
@@ -34,6 +35,7 @@ class StaticRemapPolicy(AllocationPolicy):
     """One stress-aware pivot per configuration, frozen at first use."""
 
     name = "static_remap"
+    plan_granularity = "epoch"
 
     def __init__(self) -> None:
         self._pivots: dict[int, tuple[int, int]] = {}
@@ -63,6 +65,40 @@ class StaticRemapPolicy(AllocationPolicy):
         # tiled — exactly what the scalar loop would produce.
         pivot = self.next_pivot(config, tracker)
         return np.tile(np.asarray(pivot, dtype=np.int64), (count, 1))
+
+    def plan_segments(self, schedule, tracker):
+        """One segment per *remap epoch*: a new segment opens exactly
+        at the first launch of a not-yet-frozen configuration, because
+        choosing its pivot must observe the stress of every launch
+        before it. Within an epoch all pivots are frozen, so the fill
+        is a pure per-run tile — a schedule whose configurations are
+        all known collapses to a single segment.
+        """
+        n_launches = schedule.n_launches
+        pivots = np.empty((n_launches, 2), dtype=np.int64)
+        segment_start = 0
+        for config, start, stop in schedule.runs():
+            pivot = self._pivots.get(config.start_pc)
+            if pivot is None:
+                if start > segment_start:
+                    # Close the running epoch; the allocator records it
+                    # before resuming us, so the tracker read below
+                    # sees exactly the scalar-loop state at ``start``.
+                    yield SegmentPlan(
+                        start=segment_start,
+                        stop=start,
+                        pivots=pivots[segment_start:start],
+                    )
+                    segment_start = start
+                pivot = self._choose_pivot(config, tracker)
+                self._pivots[config.start_pc] = pivot
+            pivots[start:stop] = pivot
+        if segment_start < n_launches:
+            yield SegmentPlan(
+                start=segment_start,
+                stop=n_launches,
+                pivots=pivots[segment_start:],
+            )
 
     def _choose_pivot(
         self, config: VirtualConfiguration, tracker

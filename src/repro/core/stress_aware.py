@@ -28,6 +28,7 @@ from repro.cgra.fabric import FabricGeometry
 from repro.core.patterns import movement_pattern
 from repro.core.policy import (
     AllocationPolicy,
+    SegmentPlan,
     candidate_footprints,
     min_stress_index,
     register_policy,
@@ -48,6 +49,7 @@ class StressAwarePolicy(AllocationPolicy):
     """
 
     name = "stress_aware"
+    plan_granularity = "interval"
 
     def __init__(
         self,
@@ -65,6 +67,12 @@ class StressAwarePolicy(AllocationPolicy):
         self._pattern_index: dict[tuple[int, int], int] = {}
         self._position = 0
         self._launches = 0
+        # (config, footprint-matrix) memo for the pivot search, keyed
+        # by object id. The stored config reference keeps the object
+        # alive, so a cached id can never be recycled; bounded because
+        # a pipeline cycles through its configuration-cache working
+        # set.
+        self._footprint_memo: dict[int, tuple] = {}
 
     def bind(self, geometry: FabricGeometry) -> None:
         super().bind(geometry)
@@ -77,6 +85,7 @@ class StressAwarePolicy(AllocationPolicy):
         }
         self._position = 0
         self._launches = 0
+        self._footprint_memo = {}
         if self.sensor is not None:
             self.sensor.reset()
 
@@ -112,9 +121,7 @@ class StressAwarePolicy(AllocationPolicy):
             self._launches += 1
             if self._launches % self.interval == 1 or self.interval == 1:
                 if footprints is None:
-                    footprints = candidate_footprints(
-                        config, self._pattern_array, self.geometry
-                    )
+                    footprints = self._pattern_footprints(config)
                     counts = np.array(tracker.execution_counts, dtype=np.int64)
                     flat_counts = counts.reshape(-1)
                     for position in pending:
@@ -131,6 +138,51 @@ class StressAwarePolicy(AllocationPolicy):
             else:
                 flat_counts[footprints[self._position]] += 1
         return pivots
+
+    def plan_segments(self, schedule, tracker):
+        """One segment per re-search window: each segment opens on a
+        *search* launch (whose pivot needs the accumulated stress of
+        every launch before it — the allocator folds the previous
+        segment in before we read the tracker) and extends through the
+        snake-following launches until the next search, which is a
+        pure vectorized gather from the movement pattern. This is what
+        closes the replay gap to the whole-schedule policies: the
+        allocator's per-segment work is amortised over ``interval``
+        launches instead of per run-of-~1 ``next_pivots`` calls.
+        """
+        n_launches = schedule.n_launches
+        configs = schedule.configs
+        length = len(self._pattern)
+        index = 0
+        while index < n_launches:
+            self._launches += 1
+            if self._launches % self.interval == 1 or self.interval == 1:
+                # Search launch: reading the tracker flushes all
+                # previously planned launches, so the candidate scan
+                # sees exactly the scalar-loop counter state.
+                pivot = self._best_pivot(
+                    configs[index], tracker.execution_counts
+                )
+                self._position = self._pattern_index[pivot]
+            else:
+                self._position = (self._position + 1) % length
+            # Snake-follow until the launch before the next search:
+            # searches fire whenever the launch counter is ≡ 1 mod
+            # interval, so (-launches) mod interval more launches pass
+            # before the counter gets there again.
+            follow = (-self._launches) % self.interval
+            count = min(1 + follow, n_launches - index)
+            positions = (
+                self._position + np.arange(count, dtype=np.int64)
+            ) % length
+            self._position = int(positions[-1])
+            self._launches += count - 1
+            yield SegmentPlan(
+                start=index,
+                stop=index + count,
+                pivots=self._pattern_array[positions],
+            )
+            index += count
 
     def _visible_counts(self, counts: np.ndarray) -> np.ndarray:
         """Counters as the controller sees them (sensor-filtered)."""
@@ -150,11 +202,27 @@ class StressAwarePolicy(AllocationPolicy):
         """
         if self.sensor is not None:
             counts = self.sensor.read(counts)
-        footprints = candidate_footprints(
-            config, self._pattern_array, self.geometry
+        best = min_stress_index(
+            np.asarray(counts).reshape(-1)[self._pattern_footprints(config)]
         )
-        best = min_stress_index(np.asarray(counts).reshape(-1)[footprints])
         return self._pattern[best]
+
+    def _pattern_footprints(self, config: VirtualConfiguration) -> np.ndarray:
+        """``config``'s stressed cells under every pattern pivot,
+        memoised per configuration object (searches repeat over the
+        pipeline's small configuration working set)."""
+        entry = self._footprint_memo.get(id(config))
+        if entry is None:
+            if len(self._footprint_memo) >= 256:
+                self._footprint_memo.clear()
+            entry = (
+                config,
+                candidate_footprints(
+                    config, self._pattern_array, self.geometry
+                ),
+            )
+            self._footprint_memo[id(config)] = entry
+        return entry[1]
 
     def describe(self) -> str:
         return f"stress_aware(interval={self.interval})"

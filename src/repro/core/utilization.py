@@ -38,10 +38,11 @@ class UtilizationTracker:
         shape = (geometry.rows, geometry.cols)
         self._execution_counts = np.zeros(shape, dtype=np.int64)
         self._cycle_counts = np.zeros(shape, dtype=np.int64)
-        # Mutable sets internally (in-place update per launch beats
-        # frozenset re-union); exposed as frozensets via
+        # Per-config footprints as flat boolean bitmaps internally
+        # (``mask[flat_indices] = True`` is O(cells) per record with no
+        # tuple churn); exposed as frozensets of ``(row, col)`` via
         # :attr:`config_footprints`.
-        self._config_cells: dict[int, set[tuple[int, int]]] = {}
+        self._config_cells: dict[int, np.ndarray] = {}
         self.total_executions = 0
         self.total_cycles = 0
 
@@ -62,11 +63,10 @@ class UtilizationTracker:
         self._cycle_counts[rows, cols] += cycles
         self.total_executions += 1
         self.total_cycles += cycles
-        footprint = self._config_cells.get(config_key)
-        if footprint is None:
-            self._config_cells[config_key] = set(cells)
-        else:
-            footprint.update(cells)
+        mask = self._footprint_mask(config_key)
+        n_cols = self.geometry.cols
+        for row, col in cells:
+            mask[row * n_cols + col] = True
 
     def record_batch(
         self,
@@ -107,12 +107,15 @@ class UtilizationTracker:
             )
         self.total_executions += int(n_launches)
         self.total_cycles += int(cycles.sum())
-        cols = self.geometry.cols
-        footprint = self._config_cells.setdefault(config_key, set())
-        footprint.update(
-            (index // cols, index % cols)
-            for index in map(int, np.unique(flat_cells))
-        )
+        self._footprint_mask(config_key)[flat] = True
+
+    def _footprint_mask(self, config_key: int) -> np.ndarray:
+        """The config's flat footprint bitmap, created on first use."""
+        mask = self._config_cells.get(config_key)
+        if mask is None:
+            mask = np.zeros(self.geometry.n_cells, dtype=bool)
+            self._config_cells[config_key] = mask
+        return mask
 
     # -- reports -----------------------------------------------------------
 
@@ -132,9 +135,8 @@ class UtilizationTracker:
         counts = np.zeros(
             (self.geometry.rows, self.geometry.cols), dtype=np.int64
         )
-        for cells in self._config_cells.values():
-            for row, col in cells:
-                counts[row, col] += 1
+        for mask in self._config_cells.values():
+            counts += mask.reshape(counts.shape)
         n_configs = len(self._config_cells)
         if n_configs == 0:
             return counts.astype(float)
@@ -174,9 +176,13 @@ class UtilizationTracker:
     @property
     def config_footprints(self) -> dict[int, frozenset[tuple[int, int]]]:
         """Per-configuration stressed-cell footprints (copy)."""
+        cols = self.geometry.cols
         return {
-            key: frozenset(cells)
-            for key, cells in self._config_cells.items()
+            key: frozenset(
+                (int(index) // cols, int(index) % cols)
+                for index in np.flatnonzero(mask)
+            )
+            for key, mask in self._config_cells.items()
         }
 
     @property

@@ -24,14 +24,24 @@ per policy:
 Schedules and the stand-alone GPP reference timing are memoised per
 process, keyed weakly by trace object, so serial campaigns and the
 experiment drivers share one walk per pipeline across the whole
-policy x seed axis.
+policy x seed axis. An opt-in *on-disk* cache
+(:func:`set_schedule_cache_dir`, surfaced as
+``CampaignRunner(schedule_cache_dir=...)``) extends the reuse across
+processes: pool workers that land different policy groups of the same
+pipeline load the pickled walk instead of recomputing it, keyed by the
+trace's content fingerprint plus :func:`schedule_key`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, replace
+from pathlib import Path
 from weakref import WeakKeyDictionary
 
 import numpy as np
@@ -58,7 +68,9 @@ __all__ = [
     "gpp_reference",
     "params_stress_coupled",
     "replay_schedule",
+    "schedule_cache_dir",
     "schedule_key",
+    "set_schedule_cache_dir",
     "shared_schedule",
 ]
 
@@ -362,7 +374,11 @@ def replay_schedule(
     Returns the allocator whose tracker holds the policy's stress
     outcome; the launch stream itself is replayed bit-identically to
     the coupled walk through
-    :meth:`~repro.core.allocator.ConfigurationAllocator.allocate_batch`.
+    :meth:`~repro.core.allocator.ConfigurationAllocator.allocate_batch`,
+    which drives the policy's whole-schedule *segment plans*
+    (:meth:`~repro.core.policy.AllocationPolicy.plan_segments`): the
+    policy sees the full launch sequence up front and is re-entered
+    only where it actually needs fresh tracker state.
     """
     if schedule.stress_coupled:
         raise ConfigurationError(
@@ -375,6 +391,117 @@ def replay_schedule(
             schedule.configs, cycles=schedule.exec_cycles
         )
     return allocator
+
+
+# ----------------------------------------------------------------------
+# Opt-in on-disk schedule cache (cross-process reuse)
+
+#: Directory holding pickled schedules, or ``None`` (disabled, the
+#: default). Process-wide: pool workers enable it via their payload.
+_DISK_CACHE_DIR: Path | None = None
+
+#: Bump when the on-disk payload layout changes; stale-version files
+#: are ignored and rewritten rather than unpickled into a new schema.
+_DISK_CACHE_VERSION = 1
+
+_TRACE_FINGERPRINTS: WeakKeyDictionary = WeakKeyDictionary()
+
+
+def set_schedule_cache_dir(path: str | Path | None) -> Path | None:
+    """Configure the process-wide on-disk schedule cache.
+
+    ``None`` disables disk caching (the default). Returns the previous
+    setting so callers can restore it. The directory is created on
+    first write; corrupt or truncated cache files are ignored and
+    recomputed, never fatal.
+    """
+    global _DISK_CACHE_DIR
+    previous = _DISK_CACHE_DIR
+    _DISK_CACHE_DIR = Path(path) if path is not None else None
+    return previous
+
+
+def schedule_cache_dir() -> Path | None:
+    """The active on-disk schedule cache directory (``None`` = off)."""
+    return _DISK_CACHE_DIR
+
+
+def _trace_fingerprint(trace: Trace) -> str:
+    """Content digest of everything the walk reads from a trace.
+
+    Trace *names* are not unique across custom/truncated traces, so
+    the disk key hashes the committed event stream itself: PCs,
+    redirects, memory positions/addresses and instruction classes.
+    Memoised weakly per trace object.
+    """
+    digest = _TRACE_FINGERPRINTS.get(trace)
+    if digest is None:
+        hasher = hashlib.sha256()
+        for column in (
+            trace.pc_array,
+            trace.redirect_array,
+            trace.mem_positions,
+            trace.mem_addresses,
+            trace.class_code_array,
+        ):
+            hasher.update(np.ascontiguousarray(column).tobytes())
+        digest = hasher.hexdigest()
+        _TRACE_FINGERPRINTS[trace] = digest
+    return digest
+
+
+def _disk_cache_path(params: SystemParams, trace: Trace) -> Path:
+    """Cache file for (trace contents, pipeline schedule key)."""
+    key_digest = hashlib.sha256(
+        repr((_DISK_CACHE_VERSION, schedule_key(params))).encode()
+    ).hexdigest()
+    name = f"{trace.name}-{_trace_fingerprint(trace)[:16]}-{key_digest[:16]}.pkl"
+    return _DISK_CACHE_DIR / "".join(
+        ch if ch.isalnum() or ch in "-_." else "-" for ch in name
+    )
+
+
+def _disk_cache_load(path: Path) -> LaunchSchedule | None:
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except OSError:
+        return None
+    except Exception:
+        # Truncated/corrupt/incompatible pickle: recompute and let the
+        # writer replace the file.
+        return None
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and payload[0] == _DISK_CACHE_VERSION
+        and isinstance(payload[1], LaunchSchedule)
+    ):
+        return payload[1]
+    return None
+
+
+def _disk_cache_store(path: Path, schedule: LaunchSchedule) -> None:
+    """Atomic best-effort write (tmp file + rename): concurrent pool
+    workers may race on the same key, and either winner's bytes are
+    valid; I/O failures degrade to recomputation, never an error."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump((_DISK_CACHE_VERSION, schedule), handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -394,7 +521,9 @@ def shared_schedule(params: SystemParams, trace: Trace) -> LaunchSchedule:
 
     One walk per (trace, :func:`schedule_key`) per process; campaigns
     and the experiment drivers fan every policy and seed out as replays
-    of the shared schedule.
+    of the shared schedule. With an on-disk cache configured
+    (:func:`set_schedule_cache_dir`) an in-memory miss first tries the
+    pickled walk of another process before recomputing.
     """
     key = schedule_key(params)
     per_trace = _SCHEDULE_CACHE.get(trace)
@@ -403,7 +532,17 @@ def shared_schedule(params: SystemParams, trace: Trace) -> LaunchSchedule:
         _SCHEDULE_CACHE[trace] = per_trace
     schedule = per_trace.get(key)
     if schedule is None:
-        schedule = compute_schedule(params, trace)
+        disk_path = (
+            _disk_cache_path(params, trace)
+            if _DISK_CACHE_DIR is not None
+            else None
+        )
+        if disk_path is not None:
+            schedule = _disk_cache_load(disk_path)
+        if schedule is None:
+            schedule = compute_schedule(params, trace)
+            if disk_path is not None:
+                _disk_cache_store(disk_path, schedule)
         per_trace[key] = schedule
         while len(per_trace) > _SCHEDULES_PER_TRACE:
             per_trace.popitem(last=False)
@@ -446,7 +585,9 @@ def gpp_reference(
 
 
 def clear_schedule_caches() -> None:
-    """Drop all memoised schedules and GPP references (benchmarking
-    and test isolation)."""
+    """Drop all in-process memoised schedules, GPP references and
+    trace fingerprints (benchmarking and test isolation). The on-disk
+    cache directory setting — and its files — are left alone."""
     _SCHEDULE_CACHE.clear()
     _GPP_CACHE.clear()
+    _TRACE_FINGERPRINTS.clear()

@@ -19,7 +19,11 @@ and the allocation policy is applied either *coupled* — interleaved
 with the walk, required when the mapper reads the allocator's live
 stress map — or as a vectorized *replay* of a schedule shared across
 every policy of the same pipeline (the default; bit-identical, and the
-lever that makes policy-sweep campaigns cheap).
+lever that makes policy-sweep campaigns cheap). Replay hands the
+policy the whole launch sequence as segment plans
+(:meth:`~repro.core.policy.AllocationPolicy.plan_segments`), so even
+stress-searching policies replay in a few vectorized passes per search
+interval rather than launch by launch.
 """
 
 from __future__ import annotations

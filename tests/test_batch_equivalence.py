@@ -126,6 +126,80 @@ def test_suite_equivalence_all_policies(suite_units, policy_name, make_kwargs):
 
 
 @pytest.mark.parametrize("policy_name,make_kwargs", POLICIES)
+def test_run_of_one_interleaving_equivalence(
+    suite_units, policy_name, make_kwargs
+):
+    """A fully interleaved schedule — every run has length 1, the
+    worst case for per-run planning — matches the scalar loop exactly
+    for every policy."""
+    distinct = suite_units[:4]
+    sequence = [distinct[index % len(distinct)] for index in range(60)]
+    cycles = [1 + index % 7 for index in range(60)]
+    scalar = build_allocator(policy_name, make_kwargs)
+    batched = build_allocator(policy_name, make_kwargs)
+    pivots = [
+        scalar.allocate(config, cycles=cyc).pivot
+        for config, cyc in zip(sequence, cycles)
+    ]
+    batch = batched.allocate_batch(sequence, cycles=cycles)
+    assert_trackers_identical(scalar, batched)
+    np.testing.assert_array_equal(
+        batch.pivots, np.asarray(pivots, dtype=np.int64)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    prefix=st.integers(min_value=0, max_value=12),
+    interleave=st.booleans(),
+    policy_index=st.integers(min_value=0, max_value=len(POLICIES) - 1),
+)
+def test_property_mid_batch_error_equivalence(prefix, interleave, policy_index):
+    """A configuration that cannot fit, appearing mid-sequence, raises
+    from both paths with the launches before it recorded identically —
+    ``launches`` and the tracker stay in agreement on the error path."""
+    small_a = synthetic_config([(0, 0), (1, 3)], start_pc=0x1000)
+    small_b = synthetic_config([(2, 1)], start_pc=0x2000)
+    oversized = VirtualConfiguration(
+        start_pc=0x3000,
+        pc_path=(0x3000,),
+        ops=(
+            PlacedOp(
+                op="add", kind=FUKind.ALU, row=0, col=0, width=1,
+                trace_offset=0,
+            ),
+        ),
+        n_instructions=1,
+        geometry_rows=ROWS + 1,
+        geometry_cols=COLS,
+    )
+    if interleave:
+        good = [small_a if index % 2 else small_b for index in range(prefix)]
+    else:
+        good = [small_a] * prefix
+    sequence = good + [oversized] + [small_b] * 3
+    policy_name, make_kwargs = POLICIES[policy_index]
+    scalar = build_allocator(policy_name, make_kwargs)
+    batched = build_allocator(policy_name, make_kwargs)
+    with pytest.raises(AllocationError):
+        for config in sequence:
+            scalar.allocate(config)
+    with pytest.raises(AllocationError):
+        batched.allocate_batch(sequence)
+    # The scalar loop records exactly the launches before the bad
+    # config; the batch path may have planned further ahead, but must
+    # *record* the same accepted prefix.
+    np.testing.assert_array_equal(
+        scalar.tracker.execution_counts, batched.tracker.execution_counts
+    )
+    np.testing.assert_array_equal(
+        scalar.tracker.cycle_counts, batched.tracker.cycle_counts
+    )
+    assert scalar.launches == batched.launches == prefix
+    assert batched.tracker.total_executions == prefix
+
+
+@pytest.mark.parametrize("policy_name,make_kwargs", POLICIES)
 def test_chunked_batches_equal_one_batch(suite_units, policy_name, make_kwargs):
     """Splitting a launch sequence into arbitrary chunks leaves the
     accumulated stress unchanged (tracker updates between runs see the

@@ -52,6 +52,11 @@ class TestPolicySpec:
             PolicySpec.make("random", seed=3).label == "random(seed=3)"
         )
 
+    def test_plan_granularity_reflects_policy_class(self):
+        assert PolicySpec.make("rotation").plan_granularity == "schedule"
+        assert PolicySpec.make("static_remap").plan_granularity == "epoch"
+        assert PolicySpec.make("stress_aware").plan_granularity == "interval"
+
 
 class TestCampaignSpec:
     def test_design_point_product(self):
@@ -177,6 +182,114 @@ class TestRunner:
         np.testing.assert_array_equal(
             direct.utilization(), via_runner.utilization()
         )
+
+
+class TestScheduleCacheDir:
+    """CampaignRunner(schedule_cache_dir=...): cross-process schedule
+    reuse through the on-disk pickle cache, bit-identical either way."""
+
+    def _spec(self):
+        return small_spec(
+            geometries=((2, 8),),
+            workloads=("bitcount",),
+            policies=(
+                PolicySpec.make("baseline"),
+                PolicySpec.make("stress_aware", interval=3),
+            ),
+        )
+
+    def test_cache_populated_and_bit_identical(self, tmp_path):
+        from repro.system import clear_schedule_caches
+
+        spec = self._spec()
+        clear_schedule_caches()
+        cold = CampaignRunner(schedule_cache_dir=tmp_path).run(spec)
+        cache_files = list(tmp_path.glob("*.pkl"))
+        assert len(cache_files) == 1  # one pipeline, one workload
+        clear_schedule_caches()
+        warm = CampaignRunner(schedule_cache_dir=tmp_path).run(spec)
+        uncached = CampaignRunner().run(spec)
+        for point in spec.design_points():
+            for name in cold.runs[point].results:
+                for other in (warm, uncached):
+                    a = cold.runs[point].results[name]
+                    b = other.runs[point].results[name]
+                    assert a.transrec_cycles == b.transrec_cycles
+                    np.testing.assert_array_equal(
+                        a.tracker.execution_counts,
+                        b.tracker.execution_counts,
+                    )
+
+    def test_pool_workers_share_disk_cache(self, tmp_path):
+        from repro.system import clear_schedule_caches
+
+        spec = self._spec()
+        serial = CampaignRunner().run(spec)
+        # Drop the in-memory memo before forking, or the workers
+        # inherit the serial run's walks and never touch the disk.
+        clear_schedule_caches()
+        pooled = CampaignRunner(
+            max_workers=2, schedule_cache_dir=tmp_path
+        ).run(spec)
+        assert list(tmp_path.glob("*.pkl"))  # workers wrote the walks
+        for point in spec.design_points():
+            for name in serial.runs[point].results:
+                np.testing.assert_array_equal(
+                    serial.runs[point].results[name].tracker.execution_counts,
+                    pooled.runs[point].results[name].tracker.execution_counts,
+                )
+
+    def test_runner_does_not_leak_cache_setting(self, tmp_path):
+        from repro.system import schedule_cache_dir
+
+        CampaignRunner(schedule_cache_dir=tmp_path).run(self._spec())
+        assert schedule_cache_dir() is None
+
+    def test_granularity_weighted_balancing_covers_all_points(self):
+        spec = small_spec(
+            geometries=((2, 8),),
+            workloads=("bitcount",),
+            policies=(
+                PolicySpec.make("baseline"),
+                PolicySpec.make("rotation"),
+                PolicySpec.make("stress_aware", interval=3),
+                PolicySpec.make("static_remap"),
+            ),
+        )
+        points = spec.design_points()
+        runner = CampaignRunner()
+        groups = runner._balanced_groups(
+            runner.schedule_groups(points), 3, points
+        )
+        assert sorted(
+            index for group in groups for index in group
+        ) == list(range(len(points)))
+        assert len(groups) == 3
+
+    def test_expensive_singleton_does_not_stall_balancing(self):
+        """An unsplittable high-cost group (e.g. one stress-coupled
+        point) must not stop cheaper multi-point groups from splitting
+        to fill the pool."""
+        spec = small_spec(
+            geometries=((2, 8),),
+            workloads=("bitcount",),
+            policies=(
+                PolicySpec.make("baseline"),
+                PolicySpec.make("rotation"),
+                PolicySpec.make("stress_aware", interval=3),
+            ),
+        )
+        points = spec.design_points()
+        # A singleton whose cost (stress_aware: 4) exceeds the
+        # two-point oblivious group's (2): with max-by-cost alone the
+        # singleton would be picked and the loop would stall at 2
+        # payloads.
+        groups = [[2], [0, 1]]
+        balanced = CampaignRunner()._balanced_groups(groups, 3, points)
+        assert len(balanced) == 3
+        assert sorted(
+            index for group in balanced for index in group
+        ) == [0, 1, 2]
 
 
 class TestSuiteRunGuards:

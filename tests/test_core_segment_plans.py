@@ -1,0 +1,453 @@
+"""The sequence-planning policy protocol: segment plans, the schedule
+view, the legacy adapter and the allocator's plan validation.
+
+Companion to ``tests/test_batch_equivalence.py`` (which pins the
+engine's bit-identity to the scalar loop): this file pins the protocol
+itself — plan granularities, contiguity validation, the
+``LegacyPolicyAdapter`` fallback with its one-time DeprecationWarning,
+and the migrated ``examples/adaptive_policy.py`` custom policies (new
+protocol and legacy variant).
+"""
+
+import importlib.util
+import sys
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cgra.configuration import PlacedOp, VirtualConfiguration
+from repro.cgra.fabric import FabricGeometry
+from repro.cgra.fu import FUKind
+from repro.core.allocator import ConfigurationAllocator
+from repro.core.policy import (
+    PLAN_GRANULARITIES,
+    AllocationPolicy,
+    LegacyPolicyAdapter,
+    ScheduleView,
+    SegmentPlan,
+    iter_runs,
+    make_policy,
+    policy_class,
+    resolve_planner,
+)
+from repro.core.policy import _LEGACY_WARNED
+from repro.errors import AllocationError
+
+ROWS, COLS = 4, 8
+GEOMETRY = FabricGeometry(rows=ROWS, cols=COLS)
+
+
+def synthetic_config(cells, start_pc=0x1000):
+    ops = tuple(
+        PlacedOp(
+            op="add", kind=FUKind.ALU, row=row, col=col, width=1,
+            trace_offset=index,
+        )
+        for index, (row, col) in enumerate(cells)
+    )
+    return VirtualConfiguration(
+        start_pc=start_pc,
+        pc_path=tuple(start_pc + 4 * i for i in range(len(cells))),
+        ops=ops,
+        n_instructions=len(cells),
+        geometry_rows=ROWS,
+        geometry_cols=COLS,
+    )
+
+
+CONFIG_A = synthetic_config([(0, 0), (1, 1)], start_pc=0x1000)
+CONFIG_B = synthetic_config([(0, 2)], start_pc=0x2000)
+
+
+class TestScheduleView:
+    def test_runs_follow_object_identity(self):
+        view = ScheduleView((CONFIG_A, CONFIG_A, CONFIG_B, CONFIG_A))
+        assert list(view.runs()) == [
+            (CONFIG_A, 0, 2),
+            (CONFIG_B, 2, 3),
+            (CONFIG_A, 3, 4),
+        ]
+        assert view.n_launches == len(view) == 4
+
+    def test_runs_within_slice(self):
+        configs = (CONFIG_A, CONFIG_A, CONFIG_B, CONFIG_B, CONFIG_A)
+        assert list(iter_runs(configs, 1, 4)) == [
+            (CONFIG_A, 1, 2),
+            (CONFIG_B, 2, 4),
+        ]
+
+    def test_cycles_exposed_read_only(self):
+        cycles = np.asarray([3, 5], dtype=np.int64)
+        view = ScheduleView((CONFIG_A, CONFIG_A), cycles)
+        np.testing.assert_array_equal(view.cycles, cycles)
+        # The view must not let a planner edit the weights the
+        # allocator goes on to record.
+        assert not view.cycles.flags.writeable
+        with pytest.raises(ValueError):
+            view.cycles[0] = 9
+        assert ScheduleView((CONFIG_A,)).cycles is None
+
+
+class TestPlanGranularity:
+    @pytest.mark.parametrize(
+        "name,granularity",
+        [
+            ("baseline", "schedule"),
+            ("rotation", "schedule"),
+            ("random", "schedule"),
+            ("static_remap", "epoch"),
+            ("stress_aware", "interval"),
+        ],
+    )
+    def test_builtin_declarations(self, name, granularity):
+        assert policy_class(name).plan_granularity == granularity
+        assert granularity in PLAN_GRANULARITIES
+
+    def test_base_class_defaults_to_per_launch(self):
+        assert AllocationPolicy.plan_granularity == "launch"
+
+    def test_oblivious_derived_from_granularity(self):
+        assert make_policy("rotation").oblivious
+        assert make_policy("baseline").oblivious
+        assert make_policy("random").oblivious
+        assert not make_policy("static_remap").oblivious
+        assert not make_policy("stress_aware").oblivious
+
+    def test_legacy_oblivious_class_attribute_still_wins(self):
+        class Legacy(AllocationPolicy):
+            name = "legacy_oblivious"
+            oblivious = True
+
+        assert Legacy().oblivious
+
+
+class TestBuiltinPlans:
+    def test_whole_schedule_policies_yield_one_segment(self):
+        for name in ("baseline", "rotation", "random"):
+            policy = make_policy(name)
+            policy.bind(GEOMETRY)
+            plans = list(
+                policy.plan_segments(
+                    ScheduleView((CONFIG_A, CONFIG_B, CONFIG_A)), None
+                )
+            )
+            assert [(p.start, p.stop) for p in plans] == [(0, 3)]
+            assert plans[0].pivots.shape == (3, 2)
+            assert plans[0].n_launches == 3
+
+    def test_static_remap_segments_break_at_new_configs(self):
+        policy = make_policy("static_remap")
+        allocator = ConfigurationAllocator(GEOMETRY, policy)
+        view = ScheduleView(
+            (CONFIG_A, CONFIG_A, CONFIG_B, CONFIG_A, CONFIG_B)
+        )
+        plans = list(policy.plan_segments(view, allocator.tracker))
+        # One epoch per first-seen config: [0, 2) closes when B first
+        # appears, then [2, 5) runs to the end (no further new configs).
+        assert [(p.start, p.stop) for p in plans] == [(0, 2), (2, 5)]
+
+    def test_stress_aware_segments_align_to_search_interval(self):
+        policy = make_policy("stress_aware", interval=4)
+        allocator = ConfigurationAllocator(GEOMETRY, policy)
+        view = ScheduleView((CONFIG_A,) * 10)
+        plans = list(policy.plan_segments(view, allocator.tracker))
+        assert [(p.start, p.stop) for p in plans] == [(0, 4), (4, 8), (8, 10)]
+
+    def test_stress_aware_segments_resume_mid_interval(self):
+        policy = make_policy("stress_aware", interval=4)
+        allocator = ConfigurationAllocator(GEOMETRY, policy)
+        allocator.allocate(CONFIG_A)
+        allocator.allocate(CONFIG_A)
+        plans = list(
+            policy.plan_segments(
+                ScheduleView((CONFIG_A,) * 6), allocator.tracker
+            )
+        )
+        # Two scalar launches consumed the first half of the interval:
+        # the first segment only runs to the next search boundary.
+        assert [(p.start, p.stop) for p in plans] == [(0, 2), (2, 6)]
+
+
+class FixedLegacyPolicy(AllocationPolicy):
+    """next_pivot-only policy: raster-walks pivots per launch."""
+
+    name = "fixed_legacy"
+
+    def __init__(self):
+        self._step = 0
+
+    def next_pivot(self, config, tracker):
+        pivot = (self._step % ROWS, self._step % COLS)
+        self._step += 1
+        return pivot
+
+
+class TestLegacyAdapter:
+    def test_adapter_yields_one_segment_per_run(self):
+        policy = FixedLegacyPolicy()
+        policy.bind(GEOMETRY)
+        adapter = LegacyPolicyAdapter(policy, warn=False)
+        view = ScheduleView((CONFIG_A, CONFIG_A, CONFIG_B))
+        plans = list(adapter.plan_segments(view, None))
+        assert [(p.start, p.stop) for p in plans] == [(0, 2), (2, 3)]
+        np.testing.assert_array_equal(
+            np.concatenate([p.pivots for p in plans]),
+            [[0, 0], [1, 1], [2, 2]],
+        )
+
+    def test_adapter_oblivious_policy_keeps_whole_schedule_path(self):
+        class LegacyOblivious(AllocationPolicy):
+            name = "legacy_oblivious_batch"
+            oblivious = True
+            calls = 0
+
+            def next_pivots(self, config, tracker, count):
+                type(self).calls += 1
+                return np.zeros((count, 2), dtype=np.int64)
+
+        policy = LegacyOblivious()
+        policy.bind(GEOMETRY)
+        adapter = LegacyPolicyAdapter(policy, warn=False)
+        plans = list(
+            adapter.plan_segments(
+                ScheduleView((CONFIG_A, CONFIG_B, CONFIG_A)), None
+            )
+        )
+        assert [(p.start, p.stop) for p in plans] == [(0, 3)]
+        assert LegacyOblivious.calls == 1
+
+    def test_adapter_empty_schedule_yields_nothing(self):
+        adapter = LegacyPolicyAdapter(FixedLegacyPolicy(), warn=False)
+        assert list(adapter.plan_segments(ScheduleView(()), None)) == []
+
+    def test_deprecation_warning_once_per_class(self):
+        class WarnOnce(FixedLegacyPolicy):
+            name = "warn_once"
+
+        _LEGACY_WARNED.discard(WarnOnce)
+        with pytest.warns(DeprecationWarning, match="plan_segments"):
+            LegacyPolicyAdapter(WarnOnce())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            LegacyPolicyAdapter(WarnOnce())  # second wrap: silent
+
+    def test_resolve_planner_prefers_policy_hook(self):
+        policy = make_policy("rotation")
+        assert resolve_planner(policy) == policy.plan_segments
+
+    def test_resolve_planner_wraps_legacy(self):
+        class Wrapped(FixedLegacyPolicy):
+            name = "wrapped_legacy"
+
+        policy = Wrapped()
+        policy.bind(GEOMETRY)
+        _LEGACY_WARNED.discard(Wrapped)
+        with pytest.warns(DeprecationWarning):
+            planner = resolve_planner(policy)
+        plans = list(planner(ScheduleView((CONFIG_A,)), None))
+        assert [(p.start, p.stop) for p in plans] == [(0, 1)]
+
+    def test_legacy_policy_batch_matches_scalar(self):
+        scalar = ConfigurationAllocator(GEOMETRY, FixedLegacyPolicy())
+        batched = ConfigurationAllocator(GEOMETRY, FixedLegacyPolicy())
+        sequence = [CONFIG_A, CONFIG_A, CONFIG_B, CONFIG_A, CONFIG_B]
+        pivots = [scalar.allocate(c).pivot for c in sequence]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            batch = batched.allocate_batch(sequence)
+        np.testing.assert_array_equal(
+            batch.pivots, np.asarray(pivots, dtype=np.int64)
+        )
+        np.testing.assert_array_equal(
+            scalar.tracker.execution_counts,
+            batched.tracker.execution_counts,
+        )
+
+
+class _MisplannedPolicy(AllocationPolicy):
+    """Yields whatever segments the test injects."""
+
+    name = "misplanned"
+
+    def __init__(self, plans):
+        self._plans = plans
+
+    def next_pivot(self, config, tracker):  # pragma: no cover
+        return (0, 0)
+
+    def plan_segments(self, schedule, tracker):
+        yield from self._plans
+
+
+def _zeros(count):
+    return np.zeros((count, 2), dtype=np.int64)
+
+
+class TestPlanValidation:
+    def _allocate(self, plans, sequence=None):
+        sequence = sequence or [CONFIG_A] * 4
+        allocator = ConfigurationAllocator(
+            GEOMETRY, _MisplannedPolicy(plans)
+        )
+        return allocator, lambda: allocator.allocate_batch(sequence)
+
+    def test_gap_between_segments_rejected(self):
+        _, run = self._allocate(
+            [SegmentPlan(0, 2, _zeros(2)), SegmentPlan(3, 4, _zeros(1))]
+        )
+        with pytest.raises(AllocationError, match="out of order"):
+            run()
+
+    def test_overlapping_segments_rejected(self):
+        _, run = self._allocate(
+            [SegmentPlan(0, 3, _zeros(3)), SegmentPlan(2, 4, _zeros(2))]
+        )
+        with pytest.raises(AllocationError, match="out of order"):
+            run()
+
+    def test_overrunning_segment_rejected(self):
+        _, run = self._allocate([SegmentPlan(0, 9, _zeros(9))])
+        with pytest.raises(AllocationError, match="out of order"):
+            run()
+
+    def test_short_coverage_rejected(self):
+        _, run = self._allocate([SegmentPlan(0, 2, _zeros(2))])
+        with pytest.raises(AllocationError, match="covering only 2 of 4"):
+            run()
+
+    def test_bad_pivot_shape_rejected(self):
+        _, run = self._allocate([SegmentPlan(0, 4, _zeros(3))])
+        with pytest.raises(AllocationError, match="shape"):
+            run()
+
+    def test_out_of_range_pivot_rejected(self):
+        bad = _zeros(4)
+        bad[2] = (ROWS, 0)
+        _, run = self._allocate([SegmentPlan(0, 4, bad)])
+        with pytest.raises(AllocationError, match="outside"):
+            run()
+
+    def test_tracker_consistent_after_bad_plan(self):
+        """Segments accepted before the error are recorded; launches
+        and the tracker agree (the legacy per-run loop's guarantee)."""
+        allocator, run = self._allocate(
+            [SegmentPlan(0, 2, _zeros(2)), SegmentPlan(3, 4, _zeros(1))]
+        )
+        with pytest.raises(AllocationError):
+            run()
+        assert allocator.launches == 2
+        assert allocator.tracker.total_executions == 2
+
+
+def _load_example(name="example_adaptive_policy"):
+    path = Path(__file__).parent.parent / "examples" / "adaptive_policy.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplePolicies:
+    """examples/adaptive_policy.py stays on the supported path: the
+    migrated sequence-planning policy and its legacy per-launch
+    variant are bit-identical, and the legacy one warns."""
+
+    @pytest.fixture(scope="class")
+    def example(self):
+        return _load_example()
+
+    def test_modern_and_legacy_variants_identical(self, example):
+        _LEGACY_WARNED.discard(example.LegacyCoolestCornerPolicy)
+        modern, legacy, deprecations = example.demo_custom_policy()
+        np.testing.assert_array_equal(
+            modern.execution_counts, legacy.execution_counts
+        )
+        np.testing.assert_array_equal(
+            modern.cycle_counts, legacy.cycle_counts
+        )
+        assert modern.config_footprints == legacy.config_footprints
+        assert len(deprecations) == 1
+
+    @pytest.mark.parametrize("epoch", [3, 5, 7, 16, 64])
+    def test_variants_identical_across_epochs(self, example, epoch):
+        """Bit-identity must hold for any epoch, not just the demo's —
+        the legacy variant's batch-exact ``next_pivots`` models its
+        own runs' stress so mid-run re-anchors see live counters."""
+        from repro.system import SystemParams, replay_schedule, shared_schedule
+        from repro.workloads.suite import run_workload
+
+        geometry = FabricGeometry(rows=4, cols=16)
+        schedule = shared_schedule(
+            SystemParams(geometry=geometry), run_workload("crc32")
+        )
+        modern = replay_schedule(
+            schedule, geometry, example.CoolestCornerPolicy(epoch=epoch)
+        )
+        legacy = replay_schedule(
+            schedule, geometry, example.LegacyCoolestCornerPolicy(epoch=epoch)
+        )
+        np.testing.assert_array_equal(
+            modern.tracker.execution_counts,
+            legacy.tracker.execution_counts,
+        )
+
+    @pytest.mark.parametrize("epoch", [3, 16])
+    def test_modern_variant_matches_scalar_loop(self, example, epoch):
+        """The ground truth is the scalar launch loop; both variants
+        must match it, not merely each other."""
+        sequence = [CONFIG_A, CONFIG_B, CONFIG_B, CONFIG_A] * 9
+        scalar = ConfigurationAllocator(
+            GEOMETRY, example.CoolestCornerPolicy(epoch=epoch)
+        )
+        planned = ConfigurationAllocator(
+            GEOMETRY, example.CoolestCornerPolicy(epoch=epoch)
+        )
+        legacy = ConfigurationAllocator(
+            GEOMETRY, example.LegacyCoolestCornerPolicy(epoch=epoch)
+        )
+        for config in sequence:
+            scalar.allocate(config)
+        planned.allocate_batch(sequence)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy.allocate_batch(sequence)
+        np.testing.assert_array_equal(
+            scalar.tracker.execution_counts,
+            planned.tracker.execution_counts,
+        )
+        np.testing.assert_array_equal(
+            scalar.tracker.execution_counts,
+            legacy.tracker.execution_counts,
+        )
+
+    def test_modern_variant_plans_epoch_segments(self, example):
+        policy = example.CoolestCornerPolicy(epoch=4)
+        policy.bind(GEOMETRY)
+        allocator = ConfigurationAllocator(GEOMETRY, policy)
+        plans = list(
+            policy.plan_segments(
+                ScheduleView((CONFIG_A,) * 10), allocator.tracker
+            )
+        )
+        assert [(p.start, p.stop) for p in plans] == [(0, 4), (4, 8), (8, 10)]
+
+    def test_scalar_and_planned_example_policy_agree(self, example):
+        sequence = [CONFIG_A, CONFIG_A, CONFIG_B] * 7
+        scalar = ConfigurationAllocator(
+            GEOMETRY, example.CoolestCornerPolicy(epoch=5)
+        )
+        batched = ConfigurationAllocator(
+            GEOMETRY, example.CoolestCornerPolicy(epoch=5)
+        )
+        pivots = [scalar.allocate(c).pivot for c in sequence]
+        batch = batched.allocate_batch(sequence)
+        np.testing.assert_array_equal(
+            batch.pivots, np.asarray(pivots, dtype=np.int64)
+        )
+        np.testing.assert_array_equal(
+            scalar.tracker.execution_counts,
+            batched.tracker.execution_counts,
+        )

@@ -402,23 +402,96 @@ class TestSystemLevelAcceptance:
         )
 
 
+def _load_bench_module(stem):
+    import importlib.util
+    from pathlib import Path
+
+    bench_path = (
+        Path(__file__).resolve().parent.parent / "benchmarks" / f"{stem}.py"
+    )
+    spec = importlib.util.spec_from_file_location(stem, bench_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPerfSmokeGuard:
+    """`check_perf_smoke.py` guards multiple metrics, including the
+    stress-aware replay floor, skipping metrics the history predates."""
+
+    def _run(self, tmp_path, history, argv=()):
+        module = _load_bench_module("check_perf_smoke")
+        path = tmp_path / "BENCH_alloc.json"
+        path.write_text(json.dumps({"history": history}))
+        return module.main(["--history", str(path), *argv])
+
+    def test_default_metrics_include_stress_aware_floor(self):
+        module = _load_bench_module("check_perf_smoke")
+        assert (
+            "schedule_replay_launches_per_sec_stress_aware"
+            in module.DEFAULT_METRICS
+        )
+        assert "batch_launches_per_sec" in module.DEFAULT_METRICS
+
+    def test_stress_aware_regression_fails(self, tmp_path):
+        history = [
+            {
+                "batch_launches_per_sec": 100.0,
+                "schedule_replay_launches_per_sec_stress_aware": 100.0,
+            },
+            {
+                "batch_launches_per_sec": 99.0,
+                "schedule_replay_launches_per_sec_stress_aware": 10.0,
+                "quick": True,
+            },
+        ]
+        assert self._run(tmp_path, history) == 1
+
+    def test_within_tolerance_passes(self, tmp_path):
+        history = [
+            {
+                "batch_launches_per_sec": 100.0,
+                "schedule_replay_launches_per_sec_stress_aware": 100.0,
+            },
+            {
+                "batch_launches_per_sec": 90.0,
+                "schedule_replay_launches_per_sec_stress_aware": 80.0,
+                "quick": True,
+            },
+        ]
+        assert self._run(tmp_path, history) == 0
+
+    def test_metric_missing_from_history_skipped(self, tmp_path):
+        history = [
+            {"batch_launches_per_sec": 100.0},
+            {"batch_launches_per_sec": 95.0, "quick": True},
+        ]
+        assert self._run(tmp_path, history) == 0
+
+    def test_explicit_metric_flags_override_defaults(self, tmp_path):
+        history = [
+            {"batch_launches_per_sec": 100.0, "other_metric": 100.0},
+            {
+                "batch_launches_per_sec": 99.0,
+                "other_metric": 1.0,
+                "quick": True,
+            },
+        ]
+        assert (
+            self._run(tmp_path, history, ("--metric", "batch_launches_per_sec"))
+            == 0
+        )
+        assert (
+            self._run(tmp_path, history, ("--metric", "other_metric")) == 1
+        )
+
+
 class TestBenchAppendHistory:
     """`run_bench.py --append` accumulates a history list."""
 
     @staticmethod
     def _append_history():
-        import importlib.util
-        from pathlib import Path
-
-        bench_path = (
-            Path(__file__).resolve().parent.parent
-            / "benchmarks"
-            / "run_bench.py"
-        )
-        spec = importlib.util.spec_from_file_location("run_bench", bench_path)
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)
-        return module.append_history
+        return _load_bench_module("run_bench").append_history
 
     def test_fresh_file_starts_history(self, tmp_path):
         append_history = self._append_history()

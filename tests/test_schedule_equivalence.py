@@ -20,13 +20,18 @@ from hypothesis import strategies as st
 from repro.aging.sensor import SensorArray
 from repro.campaign import CampaignRunner, CampaignSpec, MapperSpec, PolicySpec
 from repro.cgra.fabric import FabricGeometry
-from repro.errors import ConfigurationError
+from repro.core.allocator import ConfigurationAllocator
+from repro.core.policy import AllocationPolicy, make_policy
+from repro.errors import AllocationError, ConfigurationError
 from repro.system import (
     SystemParams,
     TransRecSystem,
     clear_schedule_caches,
     compute_schedule,
+    replay_schedule,
+    schedule_cache_dir,
     schedule_key,
+    set_schedule_cache_dir,
     shared_schedule,
 )
 from repro.system.schedule import gpp_reference, params_stress_coupled
@@ -148,6 +153,261 @@ class TestReplayEquivalence:
         coupled = TransRecSystem(params).run_trace(trace, mode="coupled")
         replayed = TransRecSystem(params).run_trace(trace, mode="replay")
         assert_results_identical(coupled, replayed)
+
+
+def _distinct_units(schedule, limit=4):
+    """The schedule's first ``limit`` distinct launched units."""
+    units = []
+    for config in schedule.configs:
+        if config not in units:
+            units.append(config)
+        if len(units) == limit:
+            break
+    return units
+
+
+def _synthetic_schedule(base, configs, exec_cycles):
+    """A real schedule with a hand-built launch stream substituted."""
+    return dataclasses.replace(
+        base,
+        configs=tuple(configs),
+        exec_cycles=np.asarray(exec_cycles, dtype=np.int64),
+    )
+
+
+class TestSyntheticScheduleReplay:
+    """Per-policy replay ≡ scalar loop on hand-built launch streams:
+    heavy interleavings, run-of-1 schedules and mid-batch errors —
+    shapes the recorded suite schedules only partially exercise."""
+
+    @pytest.fixture(scope="class")
+    def base_schedule(self):
+        params = SystemParams(geometry=GEOMETRY)
+        return shared_schedule(params, run_workload("bitcount"))
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        order=st.lists(
+            st.integers(min_value=0, max_value=3), min_size=1, max_size=48
+        ),
+        policy_index=st.integers(min_value=0, max_value=len(POLICIES) - 1),
+    )
+    def test_replay_matches_scalar_on_synthetic_streams(
+        self, base_schedule, order, policy_index
+    ):
+        units = _distinct_units(base_schedule)
+        configs = [units[index % len(units)] for index in order]
+        cycles = [1 + (index * 5) % 9 for index in range(len(order))]
+        schedule = _synthetic_schedule(base_schedule, configs, cycles)
+        policy_name, make_kwargs = POLICIES[policy_index]
+        replayed = replay_schedule(
+            schedule, GEOMETRY, make_policy(policy_name, **make_kwargs())
+        )
+        scalar = ConfigurationAllocator(
+            GEOMETRY, make_policy(policy_name, **make_kwargs())
+        )
+        for config, cyc in zip(configs, cycles):
+            scalar.allocate(config, cycles=cyc)
+        np.testing.assert_array_equal(
+            scalar.tracker.execution_counts,
+            replayed.tracker.execution_counts,
+        )
+        np.testing.assert_array_equal(
+            scalar.tracker.cycle_counts, replayed.tracker.cycle_counts
+        )
+        assert (
+            scalar.tracker.config_footprints
+            == replayed.tracker.config_footprints
+        )
+
+    @pytest.mark.parametrize(
+        "policy_name,make_kwargs",
+        POLICIES,
+        ids=[
+            "baseline",
+            "random",
+            "rotation",
+            "stress_aware",
+            "stress_aware-sensor",
+            "static_remap",
+        ],
+    )
+    def test_run_of_one_schedule_replay(
+        self, base_schedule, policy_name, make_kwargs
+    ):
+        units = _distinct_units(base_schedule)
+        configs = [units[index % len(units)] for index in range(40)]
+        cycles = [2 + index % 5 for index in range(40)]
+        schedule = _synthetic_schedule(base_schedule, configs, cycles)
+        replayed = replay_schedule(
+            schedule, GEOMETRY, make_policy(policy_name, **make_kwargs())
+        )
+        scalar = ConfigurationAllocator(
+            GEOMETRY, make_policy(policy_name, **make_kwargs())
+        )
+        for config, cyc in zip(configs, cycles):
+            scalar.allocate(config, cycles=cyc)
+        np.testing.assert_array_equal(
+            scalar.tracker.execution_counts,
+            replayed.tracker.execution_counts,
+        )
+
+    @pytest.mark.parametrize(
+        "policy_name,make_kwargs",
+        POLICIES,
+        ids=[
+            "baseline",
+            "random",
+            "rotation",
+            "stress_aware",
+            "stress_aware-sensor",
+            "static_remap",
+        ],
+    )
+    def test_mid_batch_error_schedule_replay(
+        self, base_schedule, policy_name, make_kwargs
+    ):
+        """A schedule carrying a unit that cannot fit the replay fabric
+        fails identically to the scalar loop, with the accepted prefix
+        recorded."""
+        units = _distinct_units(base_schedule, limit=2)
+        oversized = dataclasses.replace(
+            units[0], geometry_rows=GEOMETRY.rows + 1
+        )
+        configs = [units[index % 2] for index in range(7)]
+        configs += [oversized, units[0], units[1]]
+        cycles = list(range(1, len(configs) + 1))
+        schedule = _synthetic_schedule(base_schedule, configs, cycles)
+        policy = make_policy(policy_name, **make_kwargs())
+        with pytest.raises(AllocationError):
+            replay_schedule(schedule, GEOMETRY, policy)
+        scalar = ConfigurationAllocator(
+            GEOMETRY, make_policy(policy_name, **make_kwargs())
+        )
+        with pytest.raises(AllocationError):
+            for config, cyc in zip(configs, cycles):
+                scalar.allocate(config, cycles=cyc)
+        assert scalar.launches == 7
+
+
+class LegacyProbePolicy(AllocationPolicy):
+    """next_pivot-only policy used to pin the adapter at system level."""
+
+    name = "legacy_probe"
+
+    def __init__(self):
+        self._step = 0
+
+    def bind(self, geometry):
+        super().bind(geometry)
+        self._step = 0
+
+    def next_pivot(self, config, tracker):
+        pivot = (
+            self._step % self.geometry.rows,
+            (self._step // 2) % self.geometry.cols,
+        )
+        self._step += 1
+        return pivot
+
+
+class TestLegacyPolicyReplay:
+    def test_legacy_policy_replay_matches_coupled_walk(self):
+        trace = run_workload("bitcount")
+        params = SystemParams(geometry=GEOMETRY)
+        coupled_allocator = ConfigurationAllocator(
+            GEOMETRY, LegacyProbePolicy()
+        )
+        compute_schedule(params, trace, allocator=coupled_allocator)
+        schedule = shared_schedule(params, trace)
+        with pytest.warns(DeprecationWarning, match="plan_segments"):
+            replayed = replay_schedule(schedule, GEOMETRY, LegacyProbePolicy())
+        np.testing.assert_array_equal(
+            coupled_allocator.tracker.execution_counts,
+            replayed.tracker.execution_counts,
+        )
+        np.testing.assert_array_equal(
+            coupled_allocator.tracker.cycle_counts,
+            replayed.tracker.cycle_counts,
+        )
+        assert (
+            coupled_allocator.tracker.config_footprints
+            == replayed.tracker.config_footprints
+        )
+
+
+class TestDiskScheduleCache:
+    def _params(self):
+        return SystemParams(geometry=GEOMETRY, policy="rotation")
+
+    def test_round_trip_skips_recompute(self, tmp_path, monkeypatch):
+        trace = run_workload("bitcount")
+        previous = set_schedule_cache_dir(tmp_path)
+        try:
+            clear_schedule_caches()
+            first = shared_schedule(self._params(), trace)
+            files = list(tmp_path.glob("*.pkl"))
+            assert len(files) == 1
+            clear_schedule_caches()
+            # A cold process must load the pickle, not walk again.
+            monkeypatch.setattr(
+                "repro.system.schedule.compute_schedule",
+                lambda *args, **kwargs: pytest.fail(
+                    "disk-cached schedule was recomputed"
+                ),
+            )
+            second = shared_schedule(self._params(), trace)
+            assert second.transrec_cycles == first.transrec_cycles
+            assert second.n_launches == first.n_launches
+            np.testing.assert_array_equal(
+                second.exec_cycles, first.exec_cycles
+            )
+            # Replays of the loaded schedule equal replays of the
+            # walked one.
+            a = replay_schedule(first, GEOMETRY, make_policy("rotation"))
+            b = replay_schedule(second, GEOMETRY, make_policy("rotation"))
+            np.testing.assert_array_equal(
+                a.tracker.execution_counts, b.tracker.execution_counts
+            )
+        finally:
+            set_schedule_cache_dir(previous)
+            clear_schedule_caches()
+
+    def test_corrupt_cache_file_recomputed(self, tmp_path):
+        trace = run_workload("bitcount")
+        previous = set_schedule_cache_dir(tmp_path)
+        try:
+            clear_schedule_caches()
+            first = shared_schedule(self._params(), trace)
+            for path in tmp_path.glob("*.pkl"):
+                path.write_bytes(b"not a pickle")
+            clear_schedule_caches()
+            second = shared_schedule(self._params(), trace)
+            assert second.transrec_cycles == first.transrec_cycles
+        finally:
+            set_schedule_cache_dir(previous)
+            clear_schedule_caches()
+
+    def test_distinct_pipelines_get_distinct_files(self, tmp_path):
+        trace = run_workload("bitcount")
+        previous = set_schedule_cache_dir(tmp_path)
+        try:
+            clear_schedule_caches()
+            shared_schedule(self._params(), trace)
+            shared_schedule(
+                SystemParams(geometry=FabricGeometry(rows=2, cols=16)),
+                trace,
+            )
+            assert len(list(tmp_path.glob("*.pkl"))) == 2
+        finally:
+            set_schedule_cache_dir(previous)
+            clear_schedule_caches()
+
+    def test_cache_disabled_by_default(self, tmp_path):
+        assert schedule_cache_dir() is None
+        clear_schedule_caches()
+        shared_schedule(self._params(), run_workload("bitcount"))
+        assert list(tmp_path.glob("*.pkl")) == []
 
 
 class TestStressCoupling:
