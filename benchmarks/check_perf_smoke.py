@@ -12,11 +12,16 @@ and fails when any metric dropped by more than the tolerance::
         [--tolerance 0.30] [--baseline-window 3]
 
 ``--metric`` may be repeated; the default set guards the batch
-allocation engine (``batch_launches_per_sec``) and the stress-aware
-segment replay (``schedule_replay_launches_per_sec_stress_aware``) —
-the two hot paths with committed floors. Metrics absent from the
-whole history are reported and skipped, so the guard keeps working as
-metrics are added. The default 30% tolerance below the committed floor
+allocation engine (``batch_launches_per_sec``), the stress-aware
+segment replay (``schedule_replay_launches_per_sec_stress_aware``),
+SA mapping (``sa_map_units_per_sec``) and the routing-profile model
+(``routing_profiles_per_sec``) — the hot paths with committed floors.
+Baselines are backend-scoped: the candidate is compared only against
+committed entries with the same ``kernel_backend`` tag (entries
+predating the tag count as ``numpy``), so compiled-backend numbers can
+never mask a numpy-path regression or vice versa. Metrics absent from
+the whole history are reported and skipped, so the guard keeps working
+as metrics are added. The default 30% tolerance below the committed floor
 absorbs quick-run noise and runner-to-runner machine variance; the CI
 step is additionally skippable via the ``skip-perf-smoke`` PR label
 for known-noisy environments. Exit codes: 0 pass (or nothing to
@@ -30,13 +35,22 @@ import json
 import sys
 from pathlib import Path
 
-#: Metrics guarded when no ``--metric`` is passed: the batch engine
-#: and the stress-aware replay floor (the sequence-planning redesign's
-#: headline number).
+#: Metrics guarded when no ``--metric`` is passed: the batch engine,
+#: the stress-aware replay floor (the sequence-planning redesign's
+#: headline number), SA mapping throughput and the routing-profile
+#: model (whose 18568 -> 15646 step across PR 3->4 went unguarded).
 DEFAULT_METRICS = (
     "batch_launches_per_sec",
     "schedule_replay_launches_per_sec_stress_aware",
+    "sa_map_units_per_sec",
+    "routing_profiles_per_sec",
 )
+
+
+def record_backend(record: dict) -> str:
+    """The kernel backend a record was measured on; history entries
+    predating the ``kernel_backend`` tag were all numpy-path runs."""
+    return record.get("kernel_backend", "numpy")
 
 
 def find_candidate_and_baseline(
@@ -45,9 +59,11 @@ def find_candidate_and_baseline(
     """Newest record vs the committed floor before it.
 
     The baseline is the minimum metric over the last
-    ``baseline_window`` committed (non-quick) entries, so one
-    unusually fast committed sample cannot turn ordinary noise into a
-    failure. Records missing the metric are skipped (older history
+    ``baseline_window`` committed (non-quick) entries *measured on the
+    candidate's kernel backend*, so one unusually fast committed
+    sample cannot turn ordinary noise into a failure and compiled
+    (numba) numbers never form the floor a numpy run is held to (or
+    vice versa). Records missing the metric are skipped (older history
     predates some metrics), so the guard keeps working as metrics are
     added.
     """
@@ -58,12 +74,14 @@ def find_candidate_and_baseline(
             break
     if candidate is None:
         return None, None
+    backend = record_backend(candidate)
     committed = [
         float(record[metric])
         for record in reversed(history)
         if record is not candidate
         and not record.get("quick")
         and metric in record
+        and record_backend(record) == backend
     ][:baseline_window]
     if not committed:
         return candidate, None
@@ -126,10 +144,11 @@ def main(argv: list[str] | None = None) -> int:
         if candidate is None:
             print(f"perf-smoke: no record carries {metric!r}; nothing to check")
             continue
+        backend = record_backend(candidate)
         if baseline is None:
             print(
-                f"perf-smoke: no committed baseline for {metric!r}; "
-                "nothing to compare against"
+                f"perf-smoke: no committed {backend}-backend baseline "
+                f"for {metric!r}; nothing to compare against"
             )
             continue
         new = float(candidate[metric])
@@ -140,7 +159,7 @@ def main(argv: list[str] | None = None) -> int:
         verdict = "REGRESSION" if drop > args.tolerance else "ok"
         print(
             f"perf-smoke [{verdict}]: {metric} {baseline:.1f} -> {new:.1f} "
-            f"(committed floor over last {args.baseline_window}, "
+            f"({backend} committed floor over last {args.baseline_window}, "
             f"{-drop:+.1%}, tolerance -{args.tolerance:.0%})"
         )
         if drop > args.tolerance:

@@ -29,6 +29,7 @@ from pathlib import Path
 
 from repro.campaign import CampaignRunner, CampaignSpec, PolicySpec
 from repro.cgra.fabric import FabricGeometry
+from repro.kernels import active_backend
 from repro.core.allocator import ConfigurationAllocator
 from repro.core.policy import make_policy
 from repro.dbt.window import build_unit
@@ -234,8 +235,13 @@ def run(
     routing_rate = _routing_profiles_per_sec(trace, unit, routing_profiles)
     records = [trace[offset] for offset in range(unit.n_instructions)]
     profile = routing_profile(unit, records, geometry)
+    backend = active_backend()
     record = {
         "benchmark": "rotation_allocation",
+        # The backend tags every record so the perf-smoke guard only
+        # compares floors within the same backend (compiled numbers
+        # must never mask a numpy-path regression).
+        "kernel_backend": backend.backend,
         "fabric": f"L{COLS}xW{ROWS}",
         "unit_cells": len(unit.cells),
         "scalar_launches": scalar_launches,
@@ -253,6 +259,8 @@ def run(
         "peak_line_pressure": profile.peak_pressure,
         "ctx_lines_sized": geometry.ctx_lines,
     }
+    if backend.numba_version is not None:
+        record["numba_version"] = backend.numba_version
     record.update(_replay_metrics(schedule_replays))
     record.update(_campaign_metrics(quick))
     record.update(
@@ -317,6 +325,9 @@ def main(argv: list[str] | None = None) -> int:
         help="reduced launch counts (CI smoke run, not a stable number)",
     )
     args = parser.parse_args(argv)
+    # Self-describing campaign logs: say which kernel backend the
+    # numbers were measured on, and why it was selected.
+    print(f"[kernel backend: {active_backend().describe()}]")
     if args.quick:
         record = run(
             scalar_launches=2_000,

@@ -38,6 +38,7 @@ from repro.campaign.results import SuiteRun, suite_run_summary
 from repro.campaign.spec import CampaignSpec, DesignPoint
 from repro.cgra.fabric import FabricGeometry
 from repro.errors import ConfigurationError
+from repro.kernels import active_backend, set_backend
 from repro.sim.trace import Trace
 from repro.system.params import SystemParams
 from repro.system.schedule import (
@@ -116,7 +117,7 @@ def evaluate_design_point(
 
 def _pool_evaluate_group(
     payload: tuple[
-        tuple[DesignPoint, ...], SystemParams | None, str, str | None
+        tuple[DesignPoint, ...], SystemParams | None, str, str | None, str
     ],
 ) -> list[SuiteRun]:
     """Evaluate one schedule group in a pool worker.
@@ -126,8 +127,14 @@ def _pool_evaluate_group(
     point replays them. A configured on-disk cache is activated before
     the first walk, so chunks of one split group (and workers of a
     repeated campaign) share walks across process boundaries too.
+
+    The payload carries the parent's *resolved* kernel backend, pinned
+    explicitly here: workers then agree with the parent even when the
+    parent selected its backend through :func:`set_backend` (which a
+    spawned worker would not inherit through the environment).
     """
-    points, base_params, mode, cache_dir = payload
+    points, base_params, mode, cache_dir, kernel_backend = payload
+    set_backend(kernel_backend)
     if cache_dir is not None:
         set_schedule_cache_dir(cache_dir)
     return [
@@ -320,12 +327,14 @@ class CampaignRunner:
             groups = self._balanced_groups(
                 self.schedule_groups(points), self.max_workers, points
             )
+            kernel_backend = active_backend().backend
             payloads = [
                 (
                     tuple(points[index] for index in group),
                     self.base_params,
                     mode,
                     cache_dir,
+                    kernel_backend,
                 )
                 for group in groups
             ]

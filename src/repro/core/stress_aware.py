@@ -30,9 +30,9 @@ from repro.core.policy import (
     AllocationPolicy,
     SegmentPlan,
     candidate_footprints,
-    min_stress_index,
     register_policy,
 )
+from repro.kernels.stress_plan import best_pivot, snake_pivots
 
 
 @register_policy
@@ -127,8 +127,8 @@ class StressAwarePolicy(AllocationPolicy):
                     for position in pending:
                         flat_counts[footprints[position]] += 1
                     pending.clear()
-                self._position = min_stress_index(
-                    self._visible_counts(counts).reshape(-1)[footprints]
+                self._position = best_pivot(
+                    self._visible_counts(counts).reshape(-1), footprints
                 )
             else:
                 self._position = (self._position + 1) % len(self._pattern)
@@ -172,15 +172,13 @@ class StressAwarePolicy(AllocationPolicy):
             # before the counter gets there again.
             follow = (-self._launches) % self.interval
             count = min(1 + follow, n_launches - index)
-            positions = (
-                self._position + np.arange(count, dtype=np.int64)
-            ) % length
-            self._position = int(positions[-1])
+            pivots = snake_pivots(self._pattern_array, self._position, count)
+            self._position = (self._position + count - 1) % length
             self._launches += count - 1
             yield SegmentPlan(
                 start=index,
                 stop=index + count,
-                pivots=self._pattern_array[positions],
+                pivots=pivots,
             )
             index += count
 
@@ -202,8 +200,8 @@ class StressAwarePolicy(AllocationPolicy):
         """
         if self.sensor is not None:
             counts = self.sensor.read(counts)
-        best = min_stress_index(
-            np.asarray(counts).reshape(-1)[self._pattern_footprints(config)]
+        best = best_pivot(
+            np.asarray(counts).reshape(-1), self._pattern_footprints(config)
         )
         return self._pattern[best]
 

@@ -1,0 +1,44 @@
+"""Compiled kernel backend for the measured hot loops.
+
+``repro.kernels`` hosts a backend-dispatch layer
+(:mod:`repro.kernels.backend`) and compiled ports of the three
+measured hot kernels:
+
+* :mod:`repro.kernels.stress_plan` — the stress-aware segment-plan
+  inner loop: pattern-footprint pivot search, snake fill, and the
+  allocator's deferred span-fold stress flush;
+* :mod:`repro.kernels.sa_moves` — the SA move/cost kernel of the
+  annealing mapper;
+* :mod:`repro.kernels.pressure` — per-column line-pressure interval
+  folding and the fused routing profile.
+
+The numpy reference path is always available and is the bit-identical
+semantics oracle; numba is an optional soft dependency selected via
+the ``REPRO_KERNEL_BACKEND`` environment variable or
+:func:`set_backend`, JIT-compiled lazily, with graceful fallback when
+it is absent or compilation fails.
+"""
+
+from repro.kernels.backend import (
+    BACKEND_REQUESTS,
+    BACKENDS,
+    KERNEL_BACKEND_ENV,
+    BackendInfo,
+    active_backend,
+    backend_info,
+    numba_available,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "BACKEND_REQUESTS",
+    "BACKENDS",
+    "KERNEL_BACKEND_ENV",
+    "BackendInfo",
+    "active_backend",
+    "backend_info",
+    "numba_available",
+    "set_backend",
+    "use_backend",
+]

@@ -1,0 +1,329 @@
+"""Kernel-backend selection and dispatch.
+
+The hot loops in :mod:`repro` (stress-aware replay, SA move
+evaluation, line-pressure profiles) each exist twice:
+
+* a **numpy reference** — always available, bit-identical to the
+  original scalar code, and the semantics oracle for everything else;
+* a **numba port** — the same loop written in nopython-compatible
+  Python, lazily JIT-compiled on first use.
+
+This module decides which one runs. Selection precedence:
+
+1. an explicit :func:`set_backend` call (tests, campaign workers);
+2. the ``REPRO_KERNEL_BACKEND`` environment variable
+   (``numpy`` | ``numba`` | ``auto``);
+3. the default ``auto``: numba when importable, else numpy.
+
+numba is a *soft* dependency: when it is absent (or a kernel fails to
+compile) the reference runs instead, with a one-shot warning only when
+numba was explicitly requested. The numpy path is never behaviourally
+affected by the backend machinery — compiled kernels are pinned
+bit-identical to the references by ``tests/test_kernels_equivalence``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import warnings
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Backends a resolution can land on.
+BACKENDS = ("numpy", "numba")
+
+#: Values accepted by :func:`set_backend` / the environment variable.
+BACKEND_REQUESTS = ("numpy", "numba", "auto")
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Outcome of one backend resolution.
+
+    Attributes:
+        backend: the backend that will actually run (``numpy`` or
+            ``numba``).
+        requested: what was asked for (``numpy``/``numba``/``auto``).
+        source: where the request came from (``set_backend``, ``env``,
+            or ``default``).
+        reason: human-readable explanation of the outcome, suitable
+            for campaign logs.
+        numba_version: the numba version string when the numba
+            backend is active, else ``None``.
+    """
+
+    backend: str
+    requested: str
+    source: str
+    reason: str
+    numba_version: str | None = None
+
+    def describe(self) -> str:
+        """One-line summary: ``numba 0.59.1 (env REPRO_KERNEL_...)``."""
+        return f"{self.backend} — {self.reason}"
+
+
+_explicit: str | None = None
+_resolved: BackendInfo | None = None
+_resolved_key: tuple[str | None, str | None] | None = None
+_numba_module = None
+_numba_checked = False
+_warned: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def numba_module():
+    """The imported ``numba`` module, or ``None`` when unavailable."""
+    global _numba_module, _numba_checked
+    if not _numba_checked:
+        _numba_checked = True
+        try:
+            import numba  # soft dependency: never installed by repro
+        except Exception:  # pragma: no cover - exercised without numba
+            _numba_module = None
+        else:
+            _numba_module = numba
+    return _numba_module
+
+
+def numba_available() -> bool:
+    """Whether the numba backend could run in this process."""
+    return numba_module() is not None
+
+
+def set_backend(request: str | None) -> str | None:
+    """Explicitly pin the backend, overriding the environment.
+
+    Args:
+        request: ``numpy``, ``numba``, ``auto``, or ``None`` to clear
+            the pin and fall back to the environment/default.
+
+    Returns:
+        The previous explicit request (for restoring in tests).
+    """
+    global _explicit
+    if request is not None and request not in BACKEND_REQUESTS:
+        raise ValueError(
+            f"unknown kernel backend {request!r}; "
+            f"expected one of {BACKEND_REQUESTS}"
+        )
+    previous = _explicit
+    _explicit = request
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(request: str | None) -> Iterator[BackendInfo]:
+    """Context manager form of :func:`set_backend`."""
+    previous = set_backend(request)
+    try:
+        yield active_backend()
+    finally:
+        set_backend(previous)
+
+
+def _resolve(requested: str, source: str) -> BackendInfo:
+    if requested not in BACKEND_REQUESTS:
+        _warn_once(
+            f"request:{requested}",
+            f"ignoring unknown {KERNEL_BACKEND_ENV}={requested!r} "
+            f"(expected one of {BACKEND_REQUESTS}); resolving as 'auto'",
+        )
+        requested = "auto"
+    if requested == "numpy":
+        return BackendInfo(
+            backend="numpy",
+            requested="numpy",
+            source=source,
+            reason=f"numpy reference requested via {source}",
+        )
+    numba = numba_module()
+    if requested == "numba":
+        if numba is None:
+            _warn_once(
+                "numba-missing",
+                "kernel backend 'numba' requested but numba is not "
+                "importable; falling back to the numpy reference",
+            )
+            return BackendInfo(
+                backend="numpy",
+                requested="numba",
+                source=source,
+                reason=(
+                    f"numba requested via {source} but not importable; "
+                    "using the numpy reference"
+                ),
+            )
+        return BackendInfo(
+            backend="numba",
+            requested="numba",
+            source=source,
+            reason=f"numba {numba.__version__} requested via {source}",
+            numba_version=numba.__version__,
+        )
+    # auto
+    if numba is None:
+        return BackendInfo(
+            backend="numpy",
+            requested="auto",
+            source=source,
+            reason="numba not installed; using the numpy reference",
+        )
+    return BackendInfo(
+        backend="numba",
+        requested="auto",
+        source=source,
+        reason=(
+            f"numba {numba.__version__} installed; compiled backend "
+            "selected automatically"
+        ),
+        numba_version=numba.__version__,
+    )
+
+
+def active_backend() -> BackendInfo:
+    """Resolve (and cache) the backend for the current process state.
+
+    The environment variable is re-read on every call so workers that
+    inherit a mutated environment resolve correctly; the
+    :class:`BackendInfo` is only rebuilt when the inputs change.
+    """
+    global _resolved, _resolved_key
+    env = os.environ.get(KERNEL_BACKEND_ENV)
+    key = (_explicit, env)
+    if _resolved is None or _resolved_key != key:
+        if _explicit is not None:
+            _resolved = _resolve(_explicit, "set_backend")
+        elif env is not None:
+            _resolved = _resolve(env.strip().lower(), f"env {KERNEL_BACKEND_ENV}")
+        else:
+            _resolved = _resolve("auto", "default")
+        _resolved_key = key
+    return _resolved
+
+
+def backend_info() -> BackendInfo:
+    """Alias of :func:`active_backend` (reads better in log lines)."""
+    return active_backend()
+
+
+class Kernel:
+    """One dispatchable kernel.
+
+    Args:
+        name: diagnostic name (used in fallback warnings).
+        pyfunc: the nopython-compatible implementation the numba
+            backend JIT-compiles. It is also a *plain Python* function,
+            which is how the equivalence tests exercise the port logic
+            on machines without numba.
+        reference: the always-available fast implementation (numpy
+            vectorised or the pre-existing scalar loop). Kernels used
+            only via :meth:`compiled` (callers keep their own Python
+            fast path) may omit it.
+
+    Calling the kernel dispatches on :func:`active_backend`; a numba
+    kernel whose compilation fails at call time falls back to the
+    reference (or the pyfunc) with a one-shot warning.
+    """
+
+    __slots__ = ("name", "pyfunc", "reference", "_jitted", "_bound_info")
+
+    _UNSET = object()
+
+    def __init__(
+        self,
+        name: str,
+        pyfunc: Callable,
+        reference: Callable | None = None,
+    ) -> None:
+        self.name = name
+        self.pyfunc = pyfunc
+        self.reference = reference
+        self._jitted = Kernel._UNSET
+        self._bound_info: BackendInfo | None = None
+
+    def compiled(self) -> Callable | None:
+        """The JIT-compiled implementation when the numba backend is
+        active and compilation succeeded, else ``None``."""
+        if active_backend().backend != "numba":
+            return None
+        return self._compile()
+
+    def _compile(self) -> Callable | None:
+        if self._jitted is Kernel._UNSET:
+            numba = numba_module()
+            if numba is None:  # pragma: no cover - guarded by caller
+                self._jitted = None
+            else:
+                try:
+                    jitted = numba.njit(cache=True)(self.pyfunc)
+                except Exception as error:  # pragma: no cover
+                    _warn_once(
+                        f"compile:{self.name}",
+                        f"numba failed to wrap kernel {self.name!r} "
+                        f"({error!r}); using the fallback implementation",
+                    )
+                    self._jitted = None
+                else:
+                    self._jitted = _GuardedKernel(self, jitted)
+        return self._jitted
+
+    def __call__(self, *args):
+        info = active_backend()
+        if info.backend == "numba":
+            impl = self._compile()
+            if impl is not None:
+                return impl(*args)
+        fallback = self.reference if self.reference is not None else self.pyfunc
+        return fallback(*args)
+
+
+class _GuardedKernel:
+    """Wraps a lazily-compiled numba function so a first-call typing /
+    compilation failure degrades to the fallback instead of raising."""
+
+    __slots__ = ("_kernel", "_jitted")
+
+    def __init__(self, kernel: Kernel, jitted: Callable) -> None:
+        self._kernel = kernel
+        self._jitted = jitted
+
+    def __call__(self, *args):
+        try:
+            return self._jitted(*args)
+        except Exception as error:  # pragma: no cover - needs numba
+            # Typing errors surface on first call (lazy compilation).
+            # Disable this kernel's compiled path and run the fallback;
+            # genuine input errors will re-raise from it faithfully.
+            self._kernel._jitted = None
+            _warn_once(
+                f"compile:{self._kernel.name}",
+                f"numba compilation of kernel {self._kernel.name!r} "
+                f"failed at call time ({error!r}); using the fallback "
+                "implementation",
+            )
+            kernel = self._kernel
+            fallback = (
+                kernel.reference
+                if kernel.reference is not None
+                else kernel.pyfunc
+            )
+            return fallback(*args)
+
+
+def _reset_for_tests() -> None:
+    """Clear cached resolution state (test helper)."""
+    global _explicit, _resolved, _resolved_key
+    _explicit = None
+    _resolved = None
+    _resolved_key = None
+    _warned.clear()

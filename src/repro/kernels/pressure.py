@@ -1,0 +1,117 @@
+"""Line-pressure kernels: interval folding and the fused routing profile.
+
+Two ports of the per-column context-line arithmetic:
+
+* :data:`fold_intervals` — the diff-array fold of
+  :func:`repro.cgra.interconnect.pressure_profile`, over interval
+  endpoint arrays instead of a Python list of tuples;
+* :data:`routing_profile_arrays` — the whole of
+  :func:`repro.mapping.routing.value_intervals` +
+  ``input_slot_counts`` + the fold, fused into one pass over
+  pre-extracted record arrays (see
+  :func:`repro.mapping.routing._record_arrays`).
+
+Both are written as nopython-compatible loops; the Python callers keep
+their original implementations as the numpy reference, so these
+kernels only ever run compiled (``Kernel.compiled()``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.backend import Kernel
+
+#: Architectural register-file size bounding the last-writer table.
+N_REGS = 64
+
+
+def _fold_intervals_py(
+    firsts: np.ndarray, lasts: np.ndarray, n_cols: int
+) -> np.ndarray:
+    """Diff-array fold of live intervals into per-boundary pressure.
+
+    Port of :func:`repro.cgra.interconnect.pressure_profile`: interval
+    ``(first, last)`` contributes one live value to every boundary in
+    ``[first, last]``; inverted intervals (``last < first``) never
+    leave the producer column and contribute nothing.
+    """
+    diff = np.zeros(n_cols + 1, dtype=np.int64)
+    for i in range(firsts.shape[0]):
+        first = firsts[i]
+        last = lasts[i]
+        if last < first:
+            continue
+        diff[first] += 1
+        if last + 1 <= n_cols:
+            diff[last + 1] -= 1
+    return np.cumsum(diff[:n_cols])
+
+
+fold_intervals = Kernel("fold_intervals", _fold_intervals_py)
+
+
+def _routing_profile_py(
+    placed_col: np.ndarray,
+    placed_end: np.ndarray,
+    src: np.ndarray,
+    rd: np.ndarray,
+    has_imm: np.ndarray,
+    n_cols: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused port of ``value_intervals`` + ``input_slot_counts`` + fold.
+
+    Args:
+        placed_col: per-offset placed start column, ``-1`` unplaced.
+        placed_end: per-offset placed end column, ``-1`` unplaced.
+        src: ``(n, 2)`` source register numbers per offset (``-1``
+            padding; duplicates kept — each occupies an operand mux).
+        rd: per-offset destination register, ``-1`` when none.
+        has_imm: per-offset immediate-operand flag.
+        n_cols: fabric columns (boundary count).
+
+    Returns:
+        ``(pressure, input_slots)`` int64 arrays of length ``n_cols``.
+
+    Register identity is resolved in program order exactly as the
+    Python oracle does: ``last_writer`` advances for *every* write
+    (placed or not), and a value whose producer is unwritten or
+    unplaced enters through the input context instead of a line.
+    """
+    n = placed_col.shape[0]
+    last_writer = np.full(N_REGS, -1, dtype=np.int64)
+    last_use = np.full(n, -1, dtype=np.int64)
+    input_slots = np.zeros(n_cols, dtype=np.int64)
+    for offset in range(n):
+        col = placed_col[offset]
+        if col >= 0:
+            if has_imm[offset]:
+                input_slots[col] += 1
+            for k in range(src.shape[1]):
+                reg = src[offset, k]
+                if reg < 0:
+                    continue
+                producer = last_writer[reg]
+                if producer >= 0 and placed_col[producer] >= 0:
+                    if col > last_use[producer]:
+                        last_use[producer] = col
+                else:
+                    input_slots[col] += 1
+        r = rd[offset]
+        if r >= 0:
+            last_writer[r] = offset
+    diff = np.zeros(n_cols + 1, dtype=np.int64)
+    for offset in range(n):
+        last = last_use[offset]
+        if last < 0:
+            continue
+        first = placed_end[offset]
+        if last < first:
+            continue
+        diff[first] += 1
+        if last + 1 <= n_cols:
+            diff[last + 1] -= 1
+    return np.cumsum(diff[:n_cols]), input_slots
+
+
+routing_profile_arrays = Kernel("routing_profile_arrays", _routing_profile_py)

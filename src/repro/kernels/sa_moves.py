@@ -1,0 +1,274 @@
+"""Compiled SA move/cost kernel for the annealing mapper.
+
+One function runs every sweep of
+:meth:`repro.mapping.annealing.SimulatedAnnealingMapper._anneal` over
+CSR-packed state arrays: the bitmask exclusivity check, the
+incremental congestion excess (live-interval deltas against the
+per-boundary pressure profile), the row-balance and cumulative-sum
+stress deltas, the critical-path term, and the Metropolis accept —
+exactly the arithmetic of ``_AnnealState.try_move``/``commit``, in the
+same floating-point operation order, consuming pre-drawn per-sweep
+random batches in the generator's draw order. The Python loop stays
+the reference; this kernel only ever runs compiled
+(``anneal_sweeps.compiled()``), and the equivalence suite pins the two
+to bit-identical placements.
+
+Packing contract (see ``_AnnealState.pack_kernel_args``): occupancy
+bitmasks are int64, so the kernel requires ``col_cap <= 62``; ``-1``
+encodes an elastic ``line_limit``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.kernels.backend import Kernel
+
+
+def _anneal_sweeps_py(
+    op_rows: np.ndarray,
+    op_cols: np.ndarray,
+    widths: np.ndarray,
+    end_cols: np.ndarray,
+    preds_ptr: np.ndarray,
+    preds_ix: np.ndarray,
+    succs_ptr: np.ndarray,
+    succs_ix: np.ndarray,
+    rawp_ptr: np.ndarray,
+    rawp_ix: np.ndarray,
+    raws_ptr: np.ndarray,
+    raws_ix: np.ndarray,
+    peers_ptr: np.ndarray,
+    peers_ix: np.ndarray,
+    busy: np.ndarray,
+    row_counts: np.ndarray,
+    line_pressure: np.ndarray,
+    stress_cum: np.ndarray,
+    has_stress: bool,
+    pick_op: np.ndarray,
+    pick_row: np.ndarray,
+    pick_frac: np.ndarray,
+    pick_accept: np.ndarray,
+    col_cap: int,
+    used_max: int,
+    total_cells: int,
+    line_limit: int,
+    line_soft_cap: int,
+    port_gap: int,
+    cp_weight: float,
+    balance_weight: float,
+    stress_weight: float,
+    congestion_weight: float,
+    t0: float,
+    cooling: float,
+    best_rows: np.ndarray,
+    best_cols: np.ndarray,
+) -> tuple[float, float]:
+    """Run all sweeps in place; returns ``(cost_delta, best_delta)``.
+
+    Mutates the working placement arrays (``op_rows`` .. ``busy`` ..
+    ``line_pressure``) and writes the best-seen placement into
+    ``best_rows``/``best_cols``.
+    """
+    n_ops = op_rows.shape[0]
+    n_boundaries = line_pressure.shape[0]
+    norm = total_cells if total_cells > 1 else 1
+    cong_active = congestion_weight != 0.0 or line_limit >= 0
+    # Scratch for per-proposal line-pressure deltas: a dense delta
+    # array plus a touched-boundary list, zeroed again after every
+    # proposal so no allocation happens inside the loop.
+    delta_buf = np.zeros(n_boundaries, dtype=np.int64)
+    in_touched = np.zeros(n_boundaries, dtype=np.uint8)
+    touched = np.empty(n_boundaries, dtype=np.int64)
+    temperature = t0
+    cost_delta = 0.0
+    best_delta = 0.0
+    for sweep in range(pick_op.shape[0]):
+        for k in range(pick_op.shape[1]):
+            index = pick_op[sweep, k]
+            width = widths[index]
+            # Dependence-legal start-column window.
+            lo = 0
+            for p in range(preds_ptr[index], preds_ptr[index + 1]):
+                end = end_cols[preds_ix[p]]
+                if end > lo:
+                    lo = end
+            hi = col_cap - width
+            for s in range(succs_ptr[index], succs_ptr[index + 1]):
+                bound = op_cols[succs_ix[s]] - width
+                if bound < hi:
+                    hi = bound
+            if hi < lo:
+                continue
+            new_row = pick_row[sweep, k]
+            new_col = lo + int(pick_frac[sweep, k] * (hi - lo + 1))
+            if new_col > hi:
+                new_col = hi
+            old_row = op_rows[index]
+            old_col = op_cols[index]
+            if new_row == old_row and new_col == old_col:
+                continue
+            move_mask = ((1 << width) - 1) << new_col
+            occupied = busy[new_row]
+            if new_row == old_row:
+                occupied &= ~(((1 << width) - 1) << old_col)
+            if occupied & move_mask:
+                continue
+            clash = False
+            for p in range(peers_ptr[index], peers_ptr[index + 1]):
+                gap = new_col - op_cols[peers_ix[p]]
+                if gap < 0:
+                    gap = -gap
+                if gap < port_gap:
+                    clash = True
+                    break
+            if clash:
+                continue
+            # From here on no `continue`: the line-delta scratch must
+            # be zeroed again at the end of the proposal body.
+            legal = True
+            delta = 0.0
+            n_touched = 0
+            if cong_active:
+                # Producers whose live interval the move changes: every
+                # raw pred of the moved op, plus the op itself when it
+                # produces a routed value.
+                n_producers = rawp_ptr[index + 1] - rawp_ptr[index]
+                extra_self = 1 if raws_ptr[index + 1] > raws_ptr[index] else 0
+                for t in range(n_producers + extra_self):
+                    if t < n_producers:
+                        producer = rawp_ix[rawp_ptr[index] + t]
+                    else:
+                        producer = index
+                    r0 = raws_ptr[producer]
+                    r1 = raws_ptr[producer + 1]
+                    if r1 == r0:
+                        continue  # no consumers: interval empty both ways
+                    # Current live interval of the producer's value.
+                    old_first = end_cols[producer]
+                    old_last = op_cols[raws_ix[r0]]
+                    for q in range(r0 + 1, r1):
+                        col = op_cols[raws_ix[q]]
+                        if col > old_last:
+                            old_last = col
+                    if old_last < old_first:
+                        old_first = 0
+                        old_last = -1
+                    # Interval with op `index` relocated to new_col.
+                    if producer == index:
+                        new_first = new_col + width
+                    else:
+                        new_first = end_cols[producer]
+                    consumer = raws_ix[r0]
+                    new_last = new_col if consumer == index else op_cols[consumer]
+                    for q in range(r0 + 1, r1):
+                        consumer = raws_ix[q]
+                        col = new_col if consumer == index else op_cols[consumer]
+                        if col > new_last:
+                            new_last = col
+                    if new_last < new_first:
+                        new_first = 0
+                        new_last = -1
+                    if old_first == new_first and old_last == new_last:
+                        continue
+                    for b in range(old_first, old_last + 1):
+                        if in_touched[b] == 0:
+                            in_touched[b] = 1
+                            touched[n_touched] = b
+                            n_touched += 1
+                        delta_buf[b] -= 1
+                    for b in range(new_first, new_last + 1):
+                        if in_touched[b] == 0:
+                            in_touched[b] = 1
+                            touched[n_touched] = b
+                            n_touched += 1
+                        delta_buf[b] += 1
+                raw = 0
+                for t in range(n_touched):
+                    b = touched[t]
+                    change = delta_buf[b]
+                    if change == 0:
+                        continue
+                    pressure = line_pressure[b]
+                    if line_limit >= 0 and change > 0 and (
+                        pressure + change > line_limit
+                    ):
+                        legal = False  # would overflow a context line
+                        break
+                    old_excess = pressure - line_soft_cap
+                    if old_excess < 0:
+                        old_excess = 0
+                    new_excess = pressure + change - line_soft_cap
+                    if new_excess < 0:
+                        new_excess = 0
+                    raw += new_excess * new_excess - old_excess * old_excess
+                if legal:
+                    delta += congestion_weight * raw / norm
+            if legal:
+                if new_row != old_row:
+                    n_old = row_counts[old_row]
+                    n_new = row_counts[new_row]
+                    braw = (
+                        (n_old - width) ** 2
+                        + (n_new + width) ** 2
+                        - n_old**2
+                        - n_new**2
+                    )
+                    delta += balance_weight * braw / norm
+                if has_stress:
+                    stress_new = (
+                        stress_cum[new_row, new_col + width]
+                        - stress_cum[new_row, new_col]
+                    )
+                    stress_old = (
+                        stress_cum[old_row, old_col + width]
+                        - stress_cum[old_row, old_col]
+                    )
+                    delta += stress_weight * (stress_new - stress_old)
+                else:
+                    delta += stress_weight * 0.0
+                new_end = new_col + width
+                if new_end >= used_max:
+                    used_after = new_end
+                elif end_cols[index] < used_max:
+                    used_after = used_max
+                else:
+                    # The moved op held the maximum: re-reduce.
+                    used_after = new_end
+                    for other in range(n_ops):
+                        if other != index and end_cols[other] > used_after:
+                            used_after = end_cols[other]
+                delta += cp_weight * (used_after - used_max)
+                if delta <= 0.0 or (
+                    pick_accept[sweep, k] < math.exp(-delta / temperature)
+                ):
+                    # Commit.
+                    used_max = used_after
+                    for t in range(n_touched):
+                        b = touched[t]
+                        line_pressure[b] += delta_buf[b]
+                    busy[old_row] &= ~(((1 << width) - 1) << old_col)
+                    busy[new_row] |= move_mask
+                    row_counts[old_row] -= width
+                    row_counts[new_row] += width
+                    op_rows[index] = new_row
+                    op_cols[index] = new_col
+                    end_cols[index] = new_end
+                    cost_delta += delta
+                    if cost_delta < best_delta - 1e-12:
+                        best_delta = cost_delta
+                        for i in range(n_ops):
+                            best_rows[i] = op_rows[i]
+                            best_cols[i] = op_cols[i]
+            # Zero the scratch for the next proposal.
+            for t in range(n_touched):
+                b = touched[t]
+                delta_buf[b] = 0
+                in_touched[b] = 0
+        temperature *= cooling
+    return cost_delta, best_delta
+
+
+anneal_sweeps = Kernel("anneal_sweeps", _anneal_sweeps_py)

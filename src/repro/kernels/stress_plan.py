@@ -1,0 +1,182 @@
+"""Stress-aware replay kernels: pivot search, snake fill, span flush.
+
+Three ports of the segment-plan inner loop
+(:class:`repro.core.stress_aware.StressAwarePolicy` +
+:meth:`repro.core.allocator.ConfigurationAllocator.allocate_batch`):
+
+* :func:`best_pivot` — the per-config pattern-footprint pivot search
+  (gather stress counts at each candidate footprint, pick the
+  min-max / min-sum / earliest candidate — the tie-break contract of
+  :func:`repro.core.policy.min_stress_index`);
+* :data:`snake_pivots` — the snake fill between re-searches;
+* :data:`fold_spans` — the deferred stress flush: folds a table of
+  contiguous launch spans (one per schedule run) straight into the
+  tracker's flat count matrices, fusing pivot translation, execution /
+  cycle accrual, and footprint-mask accumulation into one pass.
+
+``fold_spans`` has no numpy reference here — the allocator's existing
+grouped ``candidate_footprints`` + ``record_batch`` flush *is* the
+reference, and stays the numpy-backend path unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.backend import Kernel
+
+
+def _best_pivot_py(counts_flat: np.ndarray, footprints: np.ndarray) -> int:
+    """Scan candidates for the lowest (max, sum) stress, earliest wins.
+
+    Integer counts only: the sequential sum is then exact and the
+    lexicographic scan is equivalent to the reference's vectorised
+    argmin-with-tie-breaks.
+    """
+    n_candidates, n_cells = footprints.shape
+    if n_candidates == 0 or n_cells == 0:
+        return 0
+    best_index = 0
+    best_max = counts_flat[footprints[0, 0]]
+    best_sum = best_max
+    for cell in range(1, n_cells):
+        value = counts_flat[footprints[0, cell]]
+        best_sum += value
+        if value > best_max:
+            best_max = value
+    for candidate in range(1, n_candidates):
+        cand_max = counts_flat[footprints[candidate, 0]]
+        cand_sum = cand_max
+        for cell in range(1, n_cells):
+            value = counts_flat[footprints[candidate, cell]]
+            cand_sum += value
+            if value > cand_max:
+                cand_max = value
+        if cand_max < best_max or (
+            cand_max == best_max and cand_sum < best_sum
+        ):
+            best_index = candidate
+            best_max = cand_max
+            best_sum = cand_sum
+    return best_index
+
+
+def _best_pivot_reference(
+    counts_flat: np.ndarray, footprints: np.ndarray
+) -> int:
+    """Vectorised reference: gather then min-stress tie-break scan
+    (mirrors :func:`repro.core.policy.min_stress_index`)."""
+    stress = counts_flat[footprints]
+    maxima = stress.max(axis=1)
+    candidates = np.flatnonzero(maxima == maxima.min())
+    if candidates.size == 1:
+        return int(candidates[0])
+    sums = stress[candidates].sum(axis=1)
+    return int(candidates[np.argmin(sums)])
+
+
+_best_pivot_kernel = Kernel(
+    "best_pivot", _best_pivot_py, reference=_best_pivot_reference
+)
+
+
+def best_pivot(counts_flat: np.ndarray, footprints: np.ndarray) -> int:
+    """Index of the least-stressed candidate footprint.
+
+    Dispatches to the compiled scan for integer stress counts; float
+    counts (noisy-sensor readings) always use the numpy reference, as
+    its pairwise summation is the tie-break contract and a sequential
+    float sum could break ties differently.
+    """
+    if np.issubdtype(counts_flat.dtype, np.integer):
+        return int(_best_pivot_kernel(counts_flat, footprints))
+    return _best_pivot_reference(counts_flat, footprints)
+
+
+def _snake_pivots_py(
+    pattern: np.ndarray, start: int, count: int
+) -> np.ndarray:
+    """``count`` pattern entries starting at ``start``, wrapping."""
+    length = pattern.shape[0]
+    out = np.empty((count, 2), dtype=np.int64)
+    for i in range(count):
+        position = (start + i) % length
+        out[i, 0] = pattern[position, 0]
+        out[i, 1] = pattern[position, 1]
+    return out
+
+
+def _snake_pivots_reference(
+    pattern: np.ndarray, start: int, count: int
+) -> np.ndarray:
+    positions = (start + np.arange(count)) % pattern.shape[0]
+    return pattern[positions]
+
+
+snake_pivots = Kernel(
+    "snake_pivots", _snake_pivots_py, reference=_snake_pivots_reference
+)
+
+
+def _fold_spans_py(
+    exec_flat: np.ndarray,
+    cycle_flat: np.ndarray,
+    mask_rows: np.ndarray,
+    touched: np.ndarray,
+    cell_rows: np.ndarray,
+    cell_cols: np.ndarray,
+    cell_indptr: np.ndarray,
+    pivots: np.ndarray,
+    cycles: np.ndarray,
+    spans: np.ndarray,
+    rows: int,
+    cols: int,
+) -> tuple[int, int]:
+    """Accrue stress for a table of contiguous launch spans in place.
+
+    Args:
+        exec_flat / cycle_flat: the tracker's flat count matrices.
+        mask_rows: ``(n_configs, rows * cols)`` bool scratch — row
+            ``i`` accumulates config ``i``'s translated footprint.
+        touched: ``(n_configs,)`` int8 flags, set for configs seen.
+        cell_rows / cell_cols / cell_indptr: CSR-packed virtual cell
+            coordinates per unique config.
+        pivots: ``(n_launches, 2)`` chosen pivots for the whole batch.
+        cycles: ``(n_launches,)`` execution cycle counts.
+        spans: ``(n_spans, 3)`` rows ``(start, stop, config_index)`` —
+            each a contiguous run of one config's launches.
+        rows / cols: fabric shape for toroidal translation.
+
+    Returns:
+        ``(n_launches, cycle_sum)`` accrued, for the tracker totals.
+
+    Integer accrual only, so span order cannot affect the result; the
+    translation ``((r + pivot_r) % rows) * cols + (c + pivot_c) % cols``
+    matches :func:`repro.core.policy.candidate_footprints` exactly.
+    """
+    n_launches = 0
+    cycle_sum = 0
+    for s in range(spans.shape[0]):
+        start = spans[s, 0]
+        stop = spans[s, 1]
+        config = spans[s, 2]
+        touched[config] = 1
+        c0 = cell_indptr[config]
+        c1 = cell_indptr[config + 1]
+        for launch in range(start, stop):
+            pivot_r = pivots[launch, 0]
+            pivot_c = pivots[launch, 1]
+            launch_cycles = cycles[launch]
+            for ci in range(c0, c1):
+                flat = ((cell_rows[ci] + pivot_r) % rows) * cols + (
+                    cell_cols[ci] + pivot_c
+                ) % cols
+                exec_flat[flat] += 1
+                cycle_flat[flat] += launch_cycles
+                mask_rows[config, flat] = True
+            n_launches += 1
+            cycle_sum += launch_cycles
+    return n_launches, cycle_sum
+
+
+fold_spans = Kernel("fold_spans", _fold_spans_py)

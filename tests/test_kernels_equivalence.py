@@ -1,0 +1,692 @@
+"""Backend dispatch and compiled-kernel bit-identity suite.
+
+Two layers of assurance for :mod:`repro.kernels`:
+
+* the **port logic** is pinned to the numpy references by running each
+  kernel's nopython-compatible pyfunc *as plain Python* — so the whole
+  equivalence argument is exercised on machines without numba, down to
+  the SA move loop consuming the exact generator stream;
+* when numba **is** installed, the ``numba``-marked tests additionally
+  pin the JIT-compiled functions to the same references, end-to-end
+  through replay, SA mapping and routing profiles (including the
+  mid-batch-error path), so backend switching can never change a
+  result, only its speed.
+
+Backend resolution itself (precedence, env handling, graceful
+fallback, one-shot warnings) is covered first — it is what makes numba
+a *soft* dependency.
+"""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.mapping.annealing as annealing_module
+from repro.cgra.fabric import FabricGeometry
+from repro.cgra.interconnect import pressure_profile
+from repro.core.allocator import ConfigurationAllocator
+from repro.core.policy import make_policy, min_stress_index
+from repro.errors import AllocationError
+from repro.kernels import (
+    BACKEND_REQUESTS,
+    KERNEL_BACKEND_ENV,
+    active_backend,
+    numba_available,
+    set_backend,
+    use_backend,
+)
+from repro.kernels import backend as backend_module
+from repro.kernels.backend import Kernel
+from repro.kernels.pressure import (
+    N_REGS,
+    _fold_intervals_py,
+    _routing_profile_py,
+    fold_intervals,
+    routing_profile_arrays,
+)
+from repro.kernels.sa_moves import _anneal_sweeps_py, anneal_sweeps
+from repro.kernels.stress_plan import (
+    _best_pivot_py,
+    _best_pivot_reference,
+    _fold_spans_py,
+    _snake_pivots_py,
+    _snake_pivots_reference,
+    best_pivot,
+    fold_spans,
+    snake_pivots,
+)
+from repro.mapping import SimulatedAnnealingMapper, place_window
+from repro.mapping.routing import (
+    _record_arrays,
+    input_slot_counts,
+    routing_profile,
+    value_intervals,
+)
+
+from tests.support import rec, reset_rec_pcs
+
+requires_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed (soft dependency)"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_backend_state(monkeypatch):
+    """Each test resolves from a pristine backend state (no explicit
+    pin, no environment variable, no warn-once memory)."""
+    monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+    backend_module._reset_for_tests()
+    yield
+    backend_module._reset_for_tests()
+
+
+# ----------------------------------------------------------------------
+# Backend resolution
+# ----------------------------------------------------------------------
+
+
+class TestBackendResolution:
+    def test_default_is_auto(self):
+        info = active_backend()
+        assert info.requested == "auto"
+        assert info.source == "default"
+        expected = "numba" if numba_available() else "numpy"
+        assert info.backend == expected
+
+    def test_env_requests_numpy(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "numpy")
+        info = active_backend()
+        assert info.backend == "numpy"
+        assert info.requested == "numpy"
+        assert info.source == f"env {KERNEL_BACKEND_ENV}"
+        assert info.numba_version is None
+
+    def test_env_value_is_normalised(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "  NumPy\n")
+        assert active_backend().requested == "numpy"
+
+    def test_set_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "auto")
+        previous = set_backend("numpy")
+        assert previous is None
+        info = active_backend()
+        assert info.backend == "numpy"
+        assert info.source == "set_backend"
+        assert set_backend(None) == "numpy"
+        assert active_backend().source == f"env {KERNEL_BACKEND_ENV}"
+
+    def test_env_re_read_each_call(self, monkeypatch):
+        assert active_backend().source == "default"
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "numpy")
+        assert active_backend().source == f"env {KERNEL_BACKEND_ENV}"
+
+    def test_use_backend_restores(self):
+        before = active_backend()
+        with use_backend("numpy") as info:
+            assert info.backend == "numpy"
+            assert info.source == "set_backend"
+        assert active_backend() == before
+
+    def test_set_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_backend("fortran")
+        assert "fortran" not in BACKEND_REQUESTS
+
+    def test_invalid_env_value_warns_once_and_resolves_auto(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "fortran")
+        with pytest.warns(RuntimeWarning, match="ignoring unknown"):
+            info = active_backend()
+        assert info.backend in ("numpy", "numba")
+        # Same (invalid) request again: the warning is one-shot. The
+        # re-spelling forces an actual re-resolution (the cache key is
+        # the raw env string).
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "FORTRAN")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert active_backend().backend == info.backend
+
+    @pytest.mark.skipif(
+        numba_available(), reason="needs a numba-free environment"
+    )
+    def test_numba_request_without_numba_falls_back(self):
+        set_backend("numba")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            info = active_backend()
+        assert info.backend == "numpy"
+        assert info.requested == "numba"
+        assert "not importable" in info.reason
+
+    def test_describe_mentions_backend(self):
+        info = active_backend()
+        assert info.describe().startswith(info.backend)
+
+
+class TestKernelDispatch:
+    def test_numpy_backend_never_compiles(self):
+        set_backend("numpy")
+        for kernel in (
+            fold_intervals,
+            routing_profile_arrays,
+            anneal_sweeps,
+            fold_spans,
+            snake_pivots,
+        ):
+            assert kernel.compiled() is None
+
+    def test_call_uses_reference_then_pyfunc(self):
+        set_backend("numpy")
+        both = Kernel("t", pyfunc=lambda: "py", reference=lambda: "ref")
+        assert both() == "ref"
+        bare = Kernel("t2", pyfunc=lambda: "py")
+        assert bare() == "py"
+
+    @requires_numba
+    def test_numba_backend_compiles(self):
+        set_backend("numba")
+        assert snake_pivots.compiled() is not None
+
+
+# ----------------------------------------------------------------------
+# fold_intervals: pyfunc vs the interconnect's diff-array loop
+# ----------------------------------------------------------------------
+
+intervals_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=-1, max_value=12),
+    ),
+    max_size=40,
+)
+
+
+class TestFoldIntervals:
+    @settings(deadline=None, max_examples=100)
+    @given(intervals=intervals_strategy, n_cols=st.integers(1, 12))
+    def test_pyfunc_matches_pressure_profile(self, intervals, n_cols):
+        # Contract (shared with the producers in routing.py): the open
+        # endpoint never exceeds n_cols, so clamp generated intervals.
+        intervals = [(min(first, n_cols), last) for first, last in intervals]
+        set_backend("numpy")  # pressure_profile runs its Python loop
+        expected = pressure_profile(intervals, n_cols)
+        pairs = np.asarray(intervals, dtype=np.int64).reshape(-1, 2)
+        got = _fold_intervals_py(
+            np.ascontiguousarray(pairs[:, 0]),
+            np.ascontiguousarray(pairs[:, 1]),
+            n_cols,
+        )
+        np.testing.assert_array_equal(got, expected)
+        assert got.dtype == expected.dtype
+
+    @requires_numba
+    @settings(deadline=None, max_examples=25)
+    @given(intervals=intervals_strategy, n_cols=st.integers(1, 12))
+    def test_compiled_matches_pressure_profile(self, intervals, n_cols):
+        intervals = [(min(first, n_cols), last) for first, last in intervals]
+        with use_backend("numpy"):
+            expected = pressure_profile(intervals, n_cols)
+        with use_backend("numba"):
+            got = pressure_profile(intervals, n_cols)
+        np.testing.assert_array_equal(got, expected)
+
+
+# ----------------------------------------------------------------------
+# Pivot search and snake fill
+# ----------------------------------------------------------------------
+
+counts_strategy = st.lists(
+    st.integers(min_value=0, max_value=4), min_size=12, max_size=12
+)
+footprints_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=11), min_size=3, max_size=3),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestBestPivot:
+    @settings(deadline=None, max_examples=150)
+    @given(counts=counts_strategy, footprints=footprints_strategy)
+    def test_pyfunc_matches_reference_and_oracle(self, counts, footprints):
+        counts_flat = np.asarray(counts, dtype=np.int64)
+        fp = np.asarray(footprints, dtype=np.int64)
+        expected = min_stress_index(counts_flat[fp])
+        assert _best_pivot_reference(counts_flat, fp) == expected
+        assert _best_pivot_py(counts_flat, fp) == expected
+        assert best_pivot(counts_flat, fp) == expected
+
+    def test_all_tied_candidates_pick_first(self):
+        counts = np.full(9, 7, dtype=np.int64)
+        fp = np.asarray([[0, 1], [2, 3], [4, 5]], dtype=np.int64)
+        assert _best_pivot_py(counts, fp) == 0
+        assert _best_pivot_reference(counts, fp) == 0
+
+    def test_float_counts_use_the_vectorised_tie_break(self):
+        # Float (sensor-filtered) stress always goes through the numpy
+        # reference — its pairwise summation is the tie-break contract.
+        counts = np.asarray(
+            [0.1, 0.1, 0.2, 0.2, 0.3, 0.3], dtype=np.float64
+        )
+        fp = np.asarray([[0, 5], [1, 4]], dtype=np.int64)
+        assert best_pivot(counts, fp) == min_stress_index(counts[fp])
+
+
+class TestSnakePivots:
+    @settings(deadline=None, max_examples=100)
+    @given(
+        length=st.integers(1, 24),
+        start=st.integers(0, 23),
+        count=st.integers(0, 60),
+        seed=st.integers(0, 2**16),
+    )
+    def test_pyfunc_matches_reference(self, length, start, count, seed):
+        rng = np.random.default_rng(seed)
+        pattern = rng.integers(0, 8, size=(length, 2)).astype(np.int64)
+        start %= length
+        expected = _snake_pivots_reference(pattern, start, count)
+        got = _snake_pivots_py(pattern, start, count)
+        np.testing.assert_array_equal(got, expected)
+        assert got.dtype == np.int64
+
+
+# ----------------------------------------------------------------------
+# fold_spans: span-table flush vs a grouped np.add.at reference
+# ----------------------------------------------------------------------
+
+
+class TestFoldSpans:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        seed=st.integers(0, 2**16),
+        n_configs=st.integers(1, 4),
+        n_launches=st.integers(1, 24),
+    )
+    def test_pyfunc_matches_add_at_reference(
+        self, seed, n_configs, n_launches
+    ):
+        rng = np.random.default_rng(seed)
+        rows, cols = 4, 6
+        cells = []
+        for _ in range(n_configs):
+            n_cells = int(rng.integers(1, 5))
+            cells.append(
+                (
+                    rng.integers(0, rows, size=n_cells).astype(np.int64),
+                    rng.integers(0, cols, size=n_cells).astype(np.int64),
+                )
+            )
+        indptr = np.zeros(n_configs + 1, dtype=np.int64)
+        for index, (cr, _) in enumerate(cells):
+            indptr[index + 1] = indptr[index] + cr.shape[0]
+        cell_rows = np.concatenate([cr for cr, _ in cells])
+        cell_cols = np.concatenate([cc for _, cc in cells])
+        pivots = rng.integers(
+            0, max(rows, cols), size=(n_launches, 2)
+        ).astype(np.int64)
+        cycles = rng.integers(1, 9, size=n_launches).astype(np.int64)
+        # Random contiguous spans covering [0, n_launches).
+        bounds = np.unique(
+            np.concatenate(
+                [[0, n_launches], rng.integers(0, n_launches + 1, size=3)]
+            )
+        )
+        spans = np.asarray(
+            [
+                (start, stop, int(rng.integers(0, n_configs)))
+                for start, stop in zip(bounds[:-1], bounds[1:])
+            ],
+            dtype=np.int64,
+        )
+
+        exec_flat = np.zeros(rows * cols, dtype=np.int64)
+        cycle_flat = np.zeros(rows * cols, dtype=np.int64)
+        mask_rows = np.zeros((n_configs, rows * cols), dtype=np.bool_)
+        touched = np.zeros(n_configs, dtype=np.int8)
+        n_got, cycle_got = _fold_spans_py(
+            exec_flat,
+            cycle_flat,
+            mask_rows,
+            touched,
+            cell_rows,
+            cell_cols,
+            indptr,
+            pivots,
+            cycles,
+            spans,
+            rows,
+            cols,
+        )
+
+        exec_ref = np.zeros(rows * cols, dtype=np.int64)
+        cycle_ref = np.zeros(rows * cols, dtype=np.int64)
+        mask_ref = np.zeros((n_configs, rows * cols), dtype=np.bool_)
+        for start, stop, config in spans:
+            cr = cell_rows[indptr[config] : indptr[config + 1]]
+            cc = cell_cols[indptr[config] : indptr[config + 1]]
+            for launch in range(start, stop):
+                flat = ((cr + pivots[launch, 0]) % rows) * cols + (
+                    cc + pivots[launch, 1]
+                ) % cols
+                np.add.at(exec_ref, flat, 1)
+                np.add.at(cycle_ref, flat, int(cycles[launch]))
+                mask_ref[config, flat] = True
+
+        np.testing.assert_array_equal(exec_flat, exec_ref)
+        np.testing.assert_array_equal(cycle_flat, cycle_ref)
+        np.testing.assert_array_equal(mask_rows, mask_ref)
+        assert n_got == int(spans[:, 1].sum() - spans[:, 0].sum())
+        assert cycle_got == sum(
+            int(cycles[launch])
+            for start, stop, _ in spans
+            for launch in range(start, stop)
+        )
+        expected_touched = np.zeros(n_configs, dtype=np.int8)
+        expected_touched[np.unique(spans[:, 2])] = 1
+        np.testing.assert_array_equal(touched, expected_touched)
+
+
+# ----------------------------------------------------------------------
+# Routing profile: fused pyfunc vs value_intervals + input_slot_counts
+# ----------------------------------------------------------------------
+
+_OPS_R = ("add", "sub", "xor", "and", "or", "mul")
+
+window_entries = st.lists(
+    st.tuples(
+        st.sampled_from(_OPS_R + ("lw", "sw")),
+        st.integers(min_value=1, max_value=7),  # rd
+        st.integers(min_value=1, max_value=7),  # rs1
+        st.integers(min_value=1, max_value=7),  # rs2
+        st.booleans(),  # immediate-ish: drop rs2 for variety
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+def build_window(entries):
+    reset_rec_pcs()
+    records = []
+    for index, (op, rd, rs1, rs2, _narrow) in enumerate(entries):
+        if op == "lw":
+            records.append(
+                rec("lw", rd=rd, rs1=rs1, mem_addr=0x100 + 4 * (index % 8))
+            )
+        elif op == "sw":
+            records.append(
+                rec("sw", rs1=rs1, rs2=rs2, mem_addr=0x100 + 4 * (index % 8))
+            )
+        else:
+            records.append(rec(op, rd=rd, rs1=rs1, rs2=rs2))
+    return tuple(records)
+
+
+def _fused_profile(unit, records):
+    """Drive the pyfunc exactly as ``routing_profile`` drives the
+    compiled kernel (same array extraction, un-jitted)."""
+    n = min(len(records), unit.n_instructions)
+    src, rd, has_imm, ok = _record_arrays(records, n)
+    assert ok
+    placed_col = np.full(n, -1, dtype=np.int64)
+    placed_end = np.full(n, -1, dtype=np.int64)
+    for op in unit.ops:
+        if op.trace_offset < n:
+            placed_col[op.trace_offset] = op.col
+            placed_end[op.trace_offset] = op.end_col
+    return _routing_profile_py(
+        placed_col, placed_end, src, rd, has_imm, unit.geometry_cols
+    )
+
+
+class TestRoutingProfileKernel:
+    @settings(deadline=None, max_examples=60)
+    @given(entries=window_entries)
+    def test_pyfunc_matches_python_profile(self, entries):
+        set_backend("numpy")
+        records = build_window(entries)
+        geometry = FabricGeometry(rows=4, cols=8)
+        unit = place_window(records, geometry)
+        if unit is None:
+            return
+        pressure, input_slots = _fused_profile(unit, records)
+        np.testing.assert_array_equal(
+            pressure,
+            pressure_profile(
+                value_intervals(unit, records), unit.geometry_cols
+            ),
+        )
+        np.testing.assert_array_equal(
+            input_slots, input_slot_counts(unit, records)
+        )
+
+    def test_oversized_register_disables_the_fused_path(self):
+        reset_rec_pcs()
+        records = (rec("add", rd=N_REGS + 3, rs1=1, rs2=2),)
+        _, rd, _, ok = _record_arrays(records, 1)
+        assert rd[0] == N_REGS + 3
+        assert not ok
+
+    @requires_numba
+    @settings(deadline=None, max_examples=20)
+    @given(entries=window_entries)
+    def test_compiled_profile_matches_numpy_backend(self, entries):
+        records = build_window(entries)
+        geometry = FabricGeometry(rows=4, cols=8)
+        unit = place_window(records, geometry)
+        if unit is None:
+            return
+        with use_backend("numpy"):
+            expected = routing_profile(unit, records, geometry)
+        with use_backend("numba"):
+            got = routing_profile(unit, records, geometry)
+        np.testing.assert_array_equal(got.pressure, expected.pressure)
+        np.testing.assert_array_equal(
+            got.input_slots, expected.input_slots
+        )
+        assert got.ctx_lines == expected.ctx_lines
+
+
+# ----------------------------------------------------------------------
+# SA moves: the un-jitted kernel pyfunc vs the Python annealing loop
+# ----------------------------------------------------------------------
+
+
+class _PyfuncAnnealKernel:
+    """Stands in for ``anneal_sweeps`` so ``_anneal_compiled`` runs the
+    full pre-draw / pack / write-back integration against the plain
+    Python pyfunc — the port logic, minus the JIT."""
+
+    @staticmethod
+    def compiled():
+        return _anneal_sweeps_py
+
+
+def _map_both_ways(mapper_kwargs, records, geometry, hint=None):
+    # Plain swap-and-restore rather than the monkeypatch fixture:
+    # hypothesis runs many examples per test function, so the swap must
+    # scope to one example, and function-scoped fixtures inside @given
+    # trip its health check.
+    set_backend("numpy")
+    reference = SimulatedAnnealingMapper(**mapper_kwargs).map_unit(
+        records, geometry, stress_hint=hint
+    )
+    original = annealing_module.anneal_sweeps
+    annealing_module.anneal_sweeps = _PyfuncAnnealKernel()
+    try:
+        ported = SimulatedAnnealingMapper(**mapper_kwargs).map_unit(
+            records, geometry, stress_hint=hint
+        )
+    finally:
+        annealing_module.anneal_sweeps = original
+    return reference, ported
+
+
+def _assert_same_unit(reference, ported):
+    assert (reference is None) == (ported is None)
+    if reference is None:
+        return
+    assert [(op.row, op.col) for op in reference.ops] == [
+        (op.row, op.col) for op in ported.ops
+    ]
+    assert reference.mapper_key == ported.mapper_key
+
+
+class TestAnnealKernelPort:
+    GEOMETRY = FabricGeometry(rows=4, cols=8)
+
+    @settings(deadline=None, max_examples=30)
+    @given(entries=window_entries, seed=st.integers(0, 2**16))
+    def test_port_places_identically(self, entries, seed):
+        records = build_window(entries)
+        reference, ported = _map_both_ways(
+            {"seed": seed}, records, self.GEOMETRY
+        )
+        _assert_same_unit(reference, ported)
+
+    @settings(deadline=None, max_examples=15)
+    @given(entries=window_entries, seed=st.integers(0, 2**16))
+    def test_port_with_stress_hint(self, entries, seed):
+        records = build_window(entries)
+        rng = np.random.default_rng(seed)
+        hint = rng.random((self.GEOMETRY.rows, self.GEOMETRY.cols)) * 10.0
+        reference, ported = _map_both_ways(
+            {"seed": seed}, records, self.GEOMETRY, hint=hint
+        )
+        _assert_same_unit(reference, ported)
+
+    @settings(deadline=None, max_examples=15)
+    @given(entries=window_entries, seed=st.integers(0, 2**16))
+    def test_port_under_hard_line_budget(self, entries, seed):
+        geometry = FabricGeometry(rows=4, cols=8, ctx_lines=4)
+        records = build_window(entries)
+        reference, ported = _map_both_ways(
+            {"seed": seed}, records, geometry
+        )
+        _assert_same_unit(reference, ported)
+
+    @settings(deadline=None, max_examples=10)
+    @given(entries=window_entries, seed=st.integers(0, 2**16))
+    def test_port_with_congestion_disabled(self, entries, seed):
+        records = build_window(entries)
+        reference, ported = _map_both_ways(
+            {"seed": seed, "congestion_weight": 0.0, "line_budget": None},
+            records,
+            self.GEOMETRY,
+        )
+        _assert_same_unit(reference, ported)
+
+    def test_wide_fabric_is_not_packable(self):
+        reset_rec_pcs()
+        records = build_window([("add", 1, 2, 3, False)] * 3)
+        unit = place_window(records, self.GEOMETRY)
+        assert unit is not None
+        state = annealing_module._AnnealState(
+            unit, records, self.GEOMETRY, None
+        )
+        assert state.kernel_packable()
+        state.col_cap = 63  # int64 occupancy masks cap out at 62 columns
+        assert not state.kernel_packable()
+
+    @requires_numba
+    @settings(deadline=None, max_examples=10)
+    @given(entries=window_entries, seed=st.integers(0, 2**10))
+    def test_compiled_places_identically(self, entries, seed):
+        records = build_window(entries)
+        with use_backend("numpy"):
+            expected = SimulatedAnnealingMapper(seed=seed).map_unit(
+                records, self.GEOMETRY
+            )
+        with use_backend("numba"):
+            got = SimulatedAnnealingMapper(seed=seed).map_unit(
+                records, self.GEOMETRY
+            )
+        _assert_same_unit(expected, got)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: backend switching never changes replay results
+# ----------------------------------------------------------------------
+
+
+def _tracker_state(allocator):
+    return (
+        np.array(allocator.tracker.execution_counts),
+        np.array(allocator.tracker.cycle_counts),
+        allocator.tracker.total_executions,
+        allocator.tracker.total_cycles,
+        dict(allocator.tracker.config_footprints),
+        allocator.launches,
+    )
+
+
+def _assert_tracker_states_equal(a, b):
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+    assert a[2:4] == b[2:4]
+    assert a[4] == b[4]
+    assert a[5] == b[5]
+
+
+@requires_numba
+class TestReplayAcrossBackends:
+    GEOMETRY = FabricGeometry(rows=4, cols=16)
+
+    def _units(self, limit=3):
+        from repro.system import shared_schedule, SystemParams
+        from repro.workloads.suite import run_workload
+
+        schedule = shared_schedule(
+            SystemParams(geometry=self.GEOMETRY), run_workload("bitcount")
+        )
+        units = []
+        for config in schedule.configs:
+            if config not in units:
+                units.append(config)
+            if len(units) == limit:
+                break
+        return units
+
+    def _batch_state(self, configs, cycles, backend):
+        with use_backend(backend):
+            allocator = ConfigurationAllocator(
+                self.GEOMETRY, make_policy("stress_aware", interval=3)
+            )
+            allocator.allocate_batch(
+                configs, cycles=np.asarray(cycles, dtype=np.int64)
+            )
+            return _tracker_state(allocator)
+
+    def test_stress_aware_batch_replay_bit_identical(self):
+        units = self._units()
+        configs = [units[index % len(units)] for index in range(48)]
+        cycles = [1 + (index * 5) % 9 for index in range(48)]
+        _assert_tracker_states_equal(
+            self._batch_state(configs, cycles, "numpy"),
+            self._batch_state(configs, cycles, "numba"),
+        )
+
+    def test_mid_batch_error_bit_identical(self):
+        units = self._units(limit=2)
+        oversized = dataclasses.replace(
+            units[0], geometry_rows=self.GEOMETRY.rows + 1
+        )
+        configs = [units[index % 2] for index in range(7)]
+        configs += [oversized, units[0]]
+        cycles = list(range(1, len(configs) + 1))
+        states = {}
+        for backend in ("numpy", "numba"):
+            with use_backend(backend):
+                allocator = ConfigurationAllocator(
+                    self.GEOMETRY, make_policy("stress_aware", interval=3)
+                )
+                with pytest.raises(AllocationError):
+                    allocator.allocate_batch(
+                        configs, cycles=np.asarray(cycles, dtype=np.int64)
+                    )
+                states[backend] = _tracker_state(allocator)
+        _assert_tracker_states_equal(states["numpy"], states["numba"])
