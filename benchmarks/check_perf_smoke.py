@@ -80,6 +80,7 @@ def find_candidate_and_baseline(
         for record in reversed(history)
         if record is not candidate
         and not record.get("quick")
+        and not record.get("telemetry_enabled")
         and metric in record
         and record_backend(record) == backend
     ][:baseline_window]
@@ -134,6 +135,17 @@ def main(argv: list[str] | None = None) -> int:
         history = [payload]
     else:
         print(f"error: unrecognised payload in {args.history}", file=sys.stderr)
+        return 2
+    newest = history[-1] if history else {}
+    if newest.get("telemetry_enabled"):
+        # Committed floors are disabled-telemetry numbers; a profiled
+        # record (run_bench --profile) must never be compared to them.
+        print(
+            "error: newest benchmark record was measured with telemetry "
+            "enabled (run_bench --profile); re-run without --profile to "
+            "produce a guardable record",
+            file=sys.stderr,
+        )
         return 2
     metrics = args.metrics or list(DEFAULT_METRICS)
     failed = []

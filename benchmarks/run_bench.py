@@ -22,11 +22,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
-import time
 from pathlib import Path
 
+import numpy as np
+
+from repro import obs
 from repro.campaign import CampaignRunner, CampaignSpec, PolicySpec
 from repro.cgra.fabric import FabricGeometry
 from repro.kernels import active_backend
@@ -66,11 +69,10 @@ def _scalar_launches_per_sec(unit, n_launches: int) -> float:
     allocator = ConfigurationAllocator(
         FabricGeometry(rows=ROWS, cols=COLS), make_policy("rotation")
     )
-    start = time.perf_counter()
-    for _ in range(n_launches):
-        allocator.allocate(unit)
-    elapsed = time.perf_counter() - start
-    return n_launches / elapsed
+    with obs.stopwatch("bench.scalar_allocate") as watch:
+        for _ in range(n_launches):
+            allocator.allocate(unit)
+    return n_launches / watch.elapsed
 
 
 def _batch_launches_per_sec(unit, n_launches: int) -> float:
@@ -78,10 +80,9 @@ def _batch_launches_per_sec(unit, n_launches: int) -> float:
         FabricGeometry(rows=ROWS, cols=COLS), make_policy("rotation")
     )
     sequence = [unit] * n_launches
-    start = time.perf_counter()
-    allocator.allocate_batch(sequence)
-    elapsed = time.perf_counter() - start
-    return n_launches / elapsed
+    with obs.stopwatch("bench.batch_allocate") as watch:
+        allocator.allocate_batch(sequence)
+    return n_launches / watch.elapsed
 
 
 def _sa_units_per_sec(
@@ -99,11 +100,10 @@ def _sa_units_per_sec(
     mapper = SimulatedAnnealingMapper(
         seed=0, congestion_weight=congestion_weight
     )
-    start = time.perf_counter()
-    for _ in range(n_units):
-        mapper.map_unit(records, geometry, seed=unit)
-    elapsed = time.perf_counter() - start
-    return n_units / elapsed
+    with obs.stopwatch("bench.sa_map") as watch:
+        for _ in range(n_units):
+            mapper.map_unit(records, geometry, seed=unit)
+    return n_units / watch.elapsed
 
 
 def _replay_metrics(n_replays: int) -> dict:
@@ -128,13 +128,12 @@ def _replay_metrics(n_replays: int) -> dict:
         replay_schedule(
             schedule, params.geometry, make_policy(name, **kwargs)
         )
-        start = time.perf_counter()
-        for _ in range(n_replays):
-            replay_schedule(
-                schedule, params.geometry, make_policy(name, **kwargs)
-            )
-        elapsed = time.perf_counter() - start
-        rate = round(schedule.n_launches * n_replays / elapsed, 1)
+        with obs.stopwatch(f"bench.replay.{name}") as watch:
+            for _ in range(n_replays):
+                replay_schedule(
+                    schedule, params.geometry, make_policy(name, **kwargs)
+                )
+        rate = round(schedule.n_launches * n_replays / watch.elapsed, 1)
         record[f"schedule_replay_launches_per_sec_{name}"] = rate
         if name == "rotation":
             record["schedule_replay_launches_per_sec"] = rate
@@ -177,21 +176,23 @@ def _campaign_metrics(quick: bool) -> dict:
     for name in spec.resolved_workloads():
         run_workload(name)
     clear_schedule_caches()
-    start = time.perf_counter()
-    CampaignRunner().run(spec)
-    shared_elapsed = time.perf_counter() - start
+    with obs.stopwatch("bench.campaign.shared") as shared_watch:
+        CampaignRunner().run(spec)
     clear_schedule_caches()
-    start = time.perf_counter()
-    CampaignRunner(share_schedules=False).run(spec)
-    coupled_elapsed = time.perf_counter() - start
+    with obs.stopwatch("bench.campaign.coupled") as coupled_watch:
+        CampaignRunner(share_schedules=False).run(spec)
     return {
         "campaign_points": n_points,
         "campaign_workloads": len(spec.resolved_workloads()),
-        "campaign_points_per_sec": round(n_points / shared_elapsed, 2),
-        "campaign_coupled_points_per_sec": round(
-            n_points / coupled_elapsed, 2
+        "campaign_points_per_sec": round(
+            n_points / shared_watch.elapsed, 2
         ),
-        "campaign_speedup": round(coupled_elapsed / shared_elapsed, 2),
+        "campaign_coupled_points_per_sec": round(
+            n_points / coupled_watch.elapsed, 2
+        ),
+        "campaign_speedup": round(
+            coupled_watch.elapsed / shared_watch.elapsed, 2
+        ),
     }
 
 
@@ -200,11 +201,10 @@ def _routing_profiles_per_sec(trace, unit, n_profiles: int) -> float:
     congestion bookkeeping every DBT insert now pays)."""
     geometry = FabricGeometry(rows=ROWS, cols=COLS)
     records = [trace[offset] for offset in range(unit.n_instructions)]
-    start = time.perf_counter()
-    for _ in range(n_profiles):
-        routing_profile(unit, records, geometry)
-    elapsed = time.perf_counter() - start
-    return n_profiles / elapsed
+    with obs.stopwatch("bench.routing_profile") as watch:
+        for _ in range(n_profiles):
+            routing_profile(unit, records, geometry)
+    return n_profiles / watch.elapsed
 
 
 def run(
@@ -263,13 +263,31 @@ def run(
         record["numba_version"] = backend.numba_version
     record.update(_replay_metrics(schedule_replays))
     record.update(_campaign_metrics(quick))
-    record.update(
-        {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        }
-    )
+    record.update(_host_provenance())
+    # Floors are disabled-telemetry numbers; a record measured with the
+    # registry recording is tagged so the perf guard can refuse it.
+    record["telemetry_enabled"] = obs.enabled()
     return record
+
+
+def _host_provenance() -> dict:
+    """Host/toolchain identity stamped on every record, so perf steps
+    in the history can be told apart from machine or library changes."""
+    provenance = {
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy_version": np.__version__,
+    }
+    try:
+        import numba
+    except Exception:
+        pass
+    else:
+        provenance["numba_version"] = numba.__version__
+    return provenance
 
 
 def append_history(output: Path, record: dict) -> dict:
@@ -324,7 +342,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="reduced launch counts (CI smoke run, not a stable number)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="TRACE",
+        nargs="?",
+        const="bench_trace.json",
+        default=None,
+        help="measure with telemetry enabled and write a Chrome "
+        "trace-event file (default TRACE: bench_trace.json); the "
+        "record is tagged telemetry_enabled and refused by the perf "
+        "guard — profiled numbers are for analysis, not floors",
+    )
     args = parser.parse_args(argv)
+    if args.profile is not None:
+        obs.set_enabled(True)
+        obs.reset()
+        obs.tracing.start()
     # Self-describing campaign logs: say which kernel backend the
     # numbers were measured on, and why it was selected.
     print(f"[kernel backend: {active_backend().describe()}]")
@@ -344,6 +377,11 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(record, indent=2))
     print(f"[wrote {args.output}]")
+    if args.profile is not None:
+        trace_path = obs.tracing.write(args.profile)
+        obs.tracing.stop()
+        obs.set_enabled(False)
+        print(f"[wrote {trace_path}]")
     return 0
 
 

@@ -1,0 +1,76 @@
+"""Validate a profiled run's emitted artifacts (CI smoke check).
+
+Usage::
+
+    python scripts/validate_trace.py trace.json [telemetry.json]
+
+Checks that the Chrome trace-event file parses, every event carries
+the viewer-required keys, the expected pipeline stages (schedule walk,
+replay, workload tracing) recorded spans, and — when a telemetry
+summary is given — that its counters/timers agree. Exit 0 on success,
+1 with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Span names a profiled default experiment run must record — one per
+#: pipeline stage the telemetry layer instruments end-to-end.
+REQUIRED_SPANS = ("schedule.walk", "schedule.replay", "workload.trace")
+
+#: Keys the Chrome trace-event viewers require on every event.
+EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def validate_trace(path: str) -> list[dict]:
+    trace = json.load(open(path))
+    if trace.get("displayTimeUnit") != "ms":
+        raise AssertionError("displayTimeUnit must be 'ms'")
+    events = trace["traceEvents"]
+    if not events:
+        raise AssertionError("profiled run emitted no trace events")
+    for event in events:
+        if event["ph"] not in ("X", "i"):
+            raise AssertionError(f"unexpected phase in {event}")
+        for key in EVENT_KEYS:
+            if key not in event:
+                raise AssertionError(f"event missing {key!r}: {event}")
+        if event["ph"] == "X" and "dur" not in event:
+            raise AssertionError(f"complete event missing dur: {event}")
+    names = {event["name"] for event in events}
+    missing = [span for span in REQUIRED_SPANS if span not in names]
+    if missing:
+        raise AssertionError(
+            f"trace lacks required span(s) {missing}; has {sorted(names)}"
+        )
+    return events
+
+
+def validate_telemetry(path: str) -> None:
+    telemetry = json.load(open(path))
+    if telemetry["counters"].get("schedule.walks", 0) <= 0:
+        raise AssertionError("telemetry recorded no schedule walks")
+    for span in REQUIRED_SPANS:
+        if span not in telemetry["timers"]:
+            raise AssertionError(f"telemetry lacks timer {span!r}")
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 1
+    try:
+        events = validate_trace(argv[0])
+        if len(argv) > 1:
+            validate_telemetry(argv[1])
+    except AssertionError as error:
+        print(f"validate_trace: FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"validate_trace: ok ({len(events)} trace events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

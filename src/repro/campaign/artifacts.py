@@ -10,6 +10,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.utilization import UtilizationTracker
+from repro.obs import TelemetrySnapshot
 
 
 def _key(key: object) -> str:
@@ -68,3 +69,20 @@ def write_json(path: str | Path, payload: object) -> Path:
         json.dump(to_jsonable(payload), handle, indent=2, sort_keys=False)
         handle.write("\n")
     return path
+
+
+def write_telemetry(path: str | Path, snap: TelemetrySnapshot) -> Path:
+    """Write one merged telemetry snapshot as a JSON artifact.
+
+    The trace-event buffer is summarised to its length — full traces
+    belong in a trace file (:func:`repro.obs.tracing.write`), not in
+    the campaign summary.
+    """
+    payload = {
+        "counters": snap.counters,
+        "values": snap.values,
+        "timers": snap.timers,
+        "notes": snap.notes,
+        "n_trace_events": len(snap.trace_events),
+    }
+    return write_json(path, payload)

@@ -29,11 +29,14 @@ point plus a ``campaign.json`` manifest describing the spec.
 
 from __future__ import annotations
 
+import hashlib
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-from repro.campaign.artifacts import write_json
+from repro import obs
+from repro.campaign.artifacts import write_json, write_telemetry
 from repro.campaign.results import SuiteRun, suite_run_summary
 from repro.campaign.spec import CampaignSpec, DesignPoint
 from repro.cgra.fabric import FabricGeometry
@@ -106,10 +109,12 @@ def evaluate_design_point(
                 f"by design point {point.label!r}"
             )
         traces = {name: traces[name] for name in point.workloads}
-    results = {
-        name: system.run_trace(trace, mode=mode)
-        for name, trace in traces.items()
-    }
+    with obs.span("campaign.evaluate_point", point=point.label):
+        obs.count("campaign.points")
+        results = {
+            name: system.run_trace(trace, mode=mode)
+            for name, trace in traces.items()
+        }
     return SuiteRun(
         geometry=system.geometry, policy=point.policy.name, results=results
     )
@@ -117,9 +122,14 @@ def evaluate_design_point(
 
 def _pool_evaluate_group(
     payload: tuple[
-        tuple[DesignPoint, ...], SystemParams | None, str, str | None, str
+        tuple[DesignPoint, ...],
+        SystemParams | None,
+        str,
+        str | None,
+        str,
+        str | None,
     ],
-) -> list[SuiteRun]:
+) -> tuple[list[SuiteRun], obs.TelemetrySnapshot | None]:
     """Evaluate one schedule group in a pool worker.
 
     The group's points run sequentially in this process, so the first
@@ -131,16 +141,28 @@ def _pool_evaluate_group(
     The payload carries the parent's *resolved* kernel backend, pinned
     explicitly here: workers then agree with the parent even when the
     parent selected its backend through :func:`set_backend` (which a
-    spawned worker would not inherit through the environment).
+    spawned worker would not inherit through the environment). It also
+    carries the parent's telemetry mode (``None`` = off,
+    ``"telemetry"`` = counters/timers, ``"trace"`` = additionally
+    capture trace events); the worker's registry is reset per group —
+    pool workers serve several groups — and its snapshot rides home
+    with the results for the parent to :func:`~repro.obs.absorb`.
     """
-    points, base_params, mode, cache_dir, kernel_backend = payload
+    points, base_params, mode, cache_dir, kernel_backend, obs_mode = payload
     set_backend(kernel_backend)
+    if obs_mode is not None:
+        obs.set_enabled(True)
+        obs.reset()
+        if obs_mode == "trace":
+            obs.tracing.start()
     if cache_dir is not None:
         set_schedule_cache_dir(cache_dir)
-    return [
+    runs = [
         evaluate_design_point(point, base_params, mode=mode)
         for point in points
     ]
+    snap = obs.snapshot() if obs_mode is not None else None
+    return runs, snap
 
 
 @dataclass
@@ -323,6 +345,13 @@ class CampaignRunner:
             if self.schedule_cache_dir is not None
             else None
         )
+        telemetry_on = obs.enabled()
+        obs_mode = (
+            ("trace" if obs.tracing.active() else "telemetry")
+            if telemetry_on
+            else None
+        )
+        started = time.perf_counter()
         if parallel:
             groups = self._balanced_groups(
                 self.schedule_groups(points), self.max_workers, points
@@ -335,16 +364,29 @@ class CampaignRunner:
                     mode,
                     cache_dir,
                     kernel_backend,
+                    obs_mode,
                 )
                 for group in groups
             ]
             suite_runs: list[SuiteRun | None] = [None] * len(points)
+            done = 0
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                for group, group_runs in zip(
+                for group, (group_runs, snap) in zip(
                     groups, pool.map(_pool_evaluate_group, payloads)
                 ):
                     for index, run in zip(group, group_runs):
                         suite_runs[index] = run
+                    done += len(group)
+                    if telemetry_on:
+                        obs.absorb(snap)
+                        obs.log.progress(
+                            "campaign.group",
+                            done,
+                            len(points),
+                            time.perf_counter() - started,
+                            group=self._group_label(points[group[0]]),
+                            points=len(group),
+                        )
         else:
             # Serial evaluation shares schedules through the in-process
             # memo regardless of point order; no grouping needed. The
@@ -356,12 +398,21 @@ class CampaignRunner:
                 else None
             )
             try:
-                suite_runs = [
-                    evaluate_design_point(
-                        point, self.base_params, traces, mode
+                suite_runs = []
+                for done, point in enumerate(points, start=1):
+                    suite_runs.append(
+                        evaluate_design_point(
+                            point, self.base_params, traces, mode
+                        )
                     )
-                    for point in points
-                ]
+                    if telemetry_on:
+                        obs.log.progress(
+                            "campaign.point",
+                            done,
+                            len(points),
+                            time.perf_counter() - started,
+                            point=point.label,
+                        )
             finally:
                 if cache_dir is not None:
                     set_schedule_cache_dir(previous_cache)
@@ -370,6 +421,14 @@ class CampaignRunner:
         if self.artifact_dir is not None:
             self._write_artifacts(result)
         return result
+
+    def _group_label(self, point: DesignPoint) -> str:
+        """Short stable digest of the point's schedule key (names the
+        schedule-sharing group in progress lines)."""
+        params = _build_params(point, self.base_params)
+        return hashlib.sha256(
+            repr(schedule_key(params)).encode()
+        ).hexdigest()[:8]
 
     def _write_artifacts(self, result: CampaignResult) -> None:
         manifest = {
@@ -381,4 +440,10 @@ class CampaignRunner:
             write_json(
                 self.artifact_dir / f"{point.key}.json",
                 suite_run_summary(point, run),
+            )
+        if obs.enabled():
+            # The merged registry: this process plus every absorbed
+            # pool-worker snapshot.
+            write_telemetry(
+                self.artifact_dir / "telemetry.json", obs.snapshot()
             )

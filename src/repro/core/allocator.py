@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
 from repro.core.policy import (
@@ -327,6 +328,8 @@ class ConfigurationAllocator:
         if observe is not None:
             observe(config, (pivot_row, pivot_col))
         self.launches += 1
+        if obs.state.enabled:
+            obs.count("allocator.scalar_launches")
         return PhysicalPlacement(
             pivot=(pivot_row, pivot_col), cells=cells, config=config
         )
@@ -393,13 +396,26 @@ class ConfigurationAllocator:
                 )
         pending: list[tuple[VirtualConfiguration, np.ndarray, np.ndarray]] = []
         checked_fit: set[int] = set()
+        # Telemetry: one name resolution per batch, one flag test per
+        # flush — nothing on the per-launch path.
+        flush_counter = (
+            "allocator.flushes.compiled"
+            if fold is not None
+            else "allocator.flushes.python"
+        )
+        if obs.state.enabled:
+            obs.count("allocator.launches", n_launches)
 
         def flush() -> None:
             if fold is not None:
+                if obs.state.enabled and fold._pending:
+                    obs.count(flush_counter)
                 fold.flush()
                 return
             if not pending:
                 return
+            if obs.state.enabled:
+                obs.count(flush_counter)
             groups: dict[int, list] = {}
             for config, run_pivots, run_cycles in pending:
                 group = groups.get(id(config))
@@ -475,7 +491,13 @@ class ConfigurationAllocator:
                     for pivot_row, pivot_col in run_pivots:
                         observe(config, (int(pivot_row), int(pivot_col)))
 
+        batch_span = obs.span(
+            "allocate.batch",
+            policy=getattr(self.policy, "name", "?"),
+            launches=n_launches,
+        )
         try:
+            batch_span.__enter__()
             if pivots is not None:
                 self._check_pivots(pivots, "explicit pivots argument")
                 pivots_out[:] = pivots
@@ -486,6 +508,8 @@ class ConfigurationAllocator:
                 schedule = ScheduleView(configs, cycles_arr)
                 planned = 0
                 for plan in planner(schedule, tracker_view):
+                    if obs.state.enabled:
+                        obs.count("allocator.segments")
                     seg_pivots = np.asarray(plan.pivots, dtype=np.int64)
                     self._check_plan(plan, seg_pivots, planned, n_launches, origin)
                     self._check_pivots(seg_pivots, origin)
@@ -505,6 +529,7 @@ class ConfigurationAllocator:
             # per-run legacy loop guaranteed. On success this is the
             # ordinary final flush.
             flush()
+            batch_span.__exit__(None, None, None)
         return BatchPlacement(
             geometry=self.geometry,
             configs=configs,

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.cgra.configuration import DEFAULT_MAPPER_KEY, VirtualConfiguration
 from repro.errors import ConfigurationError
 
@@ -109,9 +110,13 @@ class ConfigCache:
         unit = self._entries.get(key)
         if unit is None:
             self.stats.misses += 1
+            if obs.state.enabled:
+                obs.count(f"config_cache.misses[{self.mapper_key}]")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if obs.state.enabled:
+            obs.count(f"config_cache.hits[{self.mapper_key}]")
         return unit
 
     def insert(self, unit: VirtualConfiguration) -> None:
@@ -132,6 +137,8 @@ class ConfigCache:
             evicted_key, _ = self._entries.popitem(last=False)
             self._entry_stats.pop(evicted_key, None)
             self.stats.evictions += 1
+            if obs.state.enabled:
+                obs.count(f"config_cache.evictions[{unit.mapper_key}]")
         self._entries[key] = unit
         self._entry_stats[key] = EntryStats()
         self.stats.insertions += 1

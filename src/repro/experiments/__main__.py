@@ -18,7 +18,8 @@ import sys
 import traceback
 from pathlib import Path
 
-from repro.campaign.artifacts import write_json
+from repro import obs
+from repro.campaign.artifacts import write_json, write_telemetry
 from repro.experiments import ALL_EXPERIMENTS
 from repro.kernels import active_backend
 
@@ -50,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also dump each experiment's result as DIR/<name>.json",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="TRACE",
+        nargs="?",
+        const="trace.json",
+        default=None,
+        help="enable telemetry and write a Chrome trace-event file "
+        "(default TRACE: trace.json) plus a telemetry.json summary "
+        "next to it; stdout is unchanged",
+    )
     return parser
 
 
@@ -74,24 +85,43 @@ def main(argv: list[str] | None = None) -> int:
         print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 1
     json_dir = Path(args.json) if args.json else None
+    profiling = args.profile is not None
+    if profiling:
+        obs.set_enabled(True)
+        obs.reset()
+        obs.tracing.start()
     failures: list[str] = []
-    for index, name in enumerate(names):
-        if index:
-            print("\n" + "=" * 72 + "\n")
-        module = ALL_EXPERIMENTS[name]
-        try:
-            result = module.run()
-            print(module.render(result))
-            if json_dir is not None:
-                path = write_json(
-                    json_dir / f"{name}.json",
-                    {"experiment": name, "result": result},
-                )
-                print(f"[wrote {path}]")
-        except Exception:  # one bad experiment must not hide the rest
-            failures.append(name)
-            print(f"experiment {name!r} failed:", file=sys.stderr)
-            traceback.print_exc()
+    try:
+        for index, name in enumerate(names):
+            if index:
+                print("\n" + "=" * 72 + "\n")
+            module = ALL_EXPERIMENTS[name]
+            try:
+                with obs.span("experiment", experiment=name):
+                    result = module.run()
+                print(module.render(result))
+                if json_dir is not None:
+                    path = write_json(
+                        json_dir / f"{name}.json",
+                        {"experiment": name, "result": result},
+                    )
+                    print(f"[wrote {path}]")
+            except Exception:  # one bad experiment must not hide the rest
+                failures.append(name)
+                print(f"experiment {name!r} failed:", file=sys.stderr)
+                traceback.print_exc()
+    finally:
+        if profiling:
+            # Profile reporting stays on stderr: the golden fixtures
+            # pin stdout byte-identically, profiled or not.
+            trace_path = obs.tracing.write(args.profile)
+            telemetry_path = write_telemetry(
+                trace_path.parent / "telemetry.json", obs.snapshot()
+            )
+            obs.tracing.stop()
+            obs.set_enabled(False)
+            print(f"[profile: {trace_path}]", file=sys.stderr)
+            print(f"[profile: {telemetry_path}]", file=sys.stderr)
     if failures:
         print(
             f"\n{len(failures)} experiment(s) failed: {', '.join(failures)}",

@@ -78,7 +78,7 @@ def render(result: Fig1Result) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    print(render(run()))  # noqa: T201
 
 
 if __name__ == "__main__":

@@ -92,7 +92,7 @@ def render(result: Fig6Result) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    print(render(run()))  # noqa: T201
 
 
 if __name__ == "__main__":

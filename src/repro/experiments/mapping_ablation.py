@@ -140,7 +140,7 @@ def render(result: MappingAblationResult) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    print(render(run()))  # noqa: T201
 
 
 if __name__ == "__main__":

@@ -168,7 +168,7 @@ def render(result: RoutingAblationResult) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    print(render(run()))  # noqa: T201
 
 
 if __name__ == "__main__":

@@ -93,7 +93,7 @@ def render(result: Table2Result) -> str:
 
 
 def main() -> None:
-    print(render(run()))
+    print(render(run()))  # noqa: T201
 
 
 if __name__ == "__main__":

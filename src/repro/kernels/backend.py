@@ -30,6 +30,8 @@ import warnings
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
+from repro import obs
+
 KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
 
 #: Backends a resolution can land on.
@@ -78,6 +80,9 @@ def _warn_once(key: str, message: str) -> None:
     if key in _warned:
         return
     _warned.add(key)
+    if obs.state.enabled:
+        obs.count("kernels.fallbacks")
+        obs.note(f"kernels.fallback.{key}", message)
     warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
@@ -282,7 +287,11 @@ class Kernel:
         if info.backend == "numba":
             impl = self._compile()
             if impl is not None:
+                if obs.state.enabled:
+                    obs.count(f"kernels.{self.name}.calls.numba")
                 return impl(*args)
+        if obs.state.enabled:
+            obs.count(f"kernels.{self.name}.calls.numpy")
         fallback = self.reference if self.reference is not None else self.pyfunc
         return fallback(*args)
 

@@ -51,6 +51,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.fabric import FabricGeometry
 from repro.cgra.fu import MEM_PORT_ISSUE_COLUMNS, FUKind
@@ -206,7 +207,10 @@ class SimulatedAnnealingMapper(Mapper):
             stress_hint,
             line_limit=limit,
         )
-        self._anneal(placed, rng)
+        if obs.state.enabled:
+            obs.count("mapping.sa.units")
+        with obs.span("mapping.sa.anneal", ops=len(seed.ops)):
+            self._anneal(placed, rng)
         return self._rebrand(seed, placed)
 
     @staticmethod
@@ -246,6 +250,7 @@ class SimulatedAnnealingMapper(Mapper):
         n_ops = state.n_ops
         proposals = self.proposals_per_op * n_ops
         temperature = self.t0
+        accepted = rejected = 0
         for _ in range(self._n_sweeps()):
             # One batched draw per sweep instead of four per proposal.
             pick_op = rng.integers(0, n_ops, size=proposals)
@@ -269,13 +274,25 @@ class SimulatedAnnealingMapper(Mapper):
                     self.congestion_weight,
                 )
                 if delta is None:
+                    rejected += 1
                     continue  # illegal (occupied cells or port clash)
                 if delta <= 0.0 or (
                     pick_accept[k] < math.exp(-delta / temperature)
                 ):
+                    accepted += 1
                     state.commit(index, new_row, min(new_col, hi), delta)
             temperature *= self.cooling
         state.restore_best()
+        if obs.state.enabled:
+            obs.count("mapping.sa.path.python")
+            obs.count(
+                "mapping.sa.moves_tried", self._n_sweeps() * proposals
+            )
+            obs.count("mapping.sa.moves_accepted", accepted)
+            obs.count("mapping.sa.moves_rejected", rejected)
+            obs.count(
+                "mapping.sa.moves_rejected_budget", state.budget_rejections
+            )
 
     def _anneal_compiled(
         self, state: "_AnnealState", rng: np.random.Generator
@@ -295,6 +312,9 @@ class SimulatedAnnealingMapper(Mapper):
         n_ops = state.n_ops
         proposals = self.proposals_per_op * n_ops
         n_sweeps = self._n_sweeps()
+        if obs.state.enabled:
+            obs.count("mapping.sa.path.compiled")
+            obs.count("mapping.sa.moves_tried", n_sweeps * proposals)
         pick_op = np.empty((n_sweeps, proposals), dtype=np.int64)
         pick_row = np.empty((n_sweeps, proposals), dtype=np.int64)
         pick_frac = np.empty((n_sweeps, proposals), dtype=np.float64)
@@ -437,6 +457,9 @@ class _AnnealState:
         self.best_delta = 0.0
         self.best_rows = list(self.op_rows)
         self.best_cols = list(self.op_cols)
+        #: Moves refused because they would overflow a context line
+        #: (telemetry; a subset of the illegal-move rejections).
+        self.budget_rejections = 0
 
     # -- geometry helpers ---------------------------------------------
 
@@ -542,6 +565,7 @@ class _AnnealState:
                     and change > 0
                     and pressure + change > self.line_limit
                 ):
+                    self.budget_rejections += 1
                     return None  # would overflow a context line
                 old_excess = max(0, pressure - cap)
                 new_excess = max(0, pressure + change - cap)

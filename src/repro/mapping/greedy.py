@@ -19,6 +19,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.cgra.configuration import (
     DEFAULT_MAPPER_KEY,
     PlacedOp,
@@ -53,27 +54,36 @@ def place_window(
     records = tuple(records)
     if not records:
         return None
-    state = SchedulerState(
-        geometry, row_policy=row_policy, line_budget=line_budget
-    )
-    ops: list[PlacedOp] = []
-    for offset, record in enumerate(records):
-        placed = place_record(state, record, offset)
-        if placed is None:
+    with obs.span("mapping.greedy.place_window", n_records=len(records)):
+        if obs.state.enabled:
+            obs.count("mapping.greedy.windows")
+        state = SchedulerState(
+            geometry, row_policy=row_policy, line_budget=line_budget
+        )
+        ops: list[PlacedOp] = []
+        for offset, record in enumerate(records):
+            placed = place_record(state, record, offset)
+            if placed is None:
+                if obs.state.enabled:
+                    obs.count("mapping.greedy.unplaced")
+                return None
+            if placed is not NO_FABRIC_OP:
+                ops.append(placed)
+        if not ops:
+            if obs.state.enabled:
+                obs.count("mapping.greedy.unplaced")
             return None
-        if placed is not NO_FABRIC_OP:
-            ops.append(placed)
-    if not ops:
-        return None
-    return VirtualConfiguration(
-        start_pc=records[0].pc,
-        pc_path=tuple(record.pc for record in records),
-        ops=tuple(ops),
-        n_instructions=len(records),
-        geometry_rows=geometry.rows,
-        geometry_cols=geometry.cols,
-        mapper_key=mapper_key,
-    )
+        if obs.state.enabled:
+            obs.count("mapping.greedy.placed")
+        return VirtualConfiguration(
+            start_pc=records[0].pc,
+            pc_path=tuple(record.pc for record in records),
+            ops=tuple(ops),
+            n_instructions=len(records),
+            geometry_rows=geometry.rows,
+            geometry_cols=geometry.cols,
+            mapper_key=mapper_key,
+        )
 
 
 @register_mapper

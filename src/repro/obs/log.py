@@ -1,0 +1,74 @@
+"""Structured narrator logging (``event key=value ...`` on stderr).
+
+Library code must not ``print`` (a ruff ``T201`` ban enforces this
+under ``src/repro/``) — progress and status lines go through here
+instead, so they never contaminate the machine-diffable stdout the
+golden fixtures pin, and downstream tooling can parse them.
+
+Built on :mod:`logging`: one ``repro`` logger with a stderr handler
+attached lazily (applications that configure logging themselves can
+claim the namespace first and the handler stays out of their way).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["emit", "get_logger", "kv_line", "progress"]
+
+LOGGER_NAME = "repro"
+
+_configured = False
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The shared ``repro`` logger (or a ``repro.<name>`` child)."""
+    global _configured
+    root = logging.getLogger(LOGGER_NAME)
+    if not _configured:
+        _configured = True
+        if not root.handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+            root.addHandler(handler)
+            root.setLevel(logging.INFO)
+            root.propagate = False
+    if name is None:
+        return root
+    return root.getChild(name)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, str) and (" " in value or not value):
+        return repr(value)
+    return str(value)
+
+
+def kv_line(event: str, fields: dict) -> str:
+    """Render one structured line: ``event key=value key=value``."""
+    parts = [event]
+    parts.extend(
+        f"{key}={_format_value(value)}" for key, value in fields.items()
+    )
+    return " ".join(parts)
+
+
+def emit(event: str, _level: int = logging.INFO, **fields) -> None:
+    """Log one structured line on the shared logger."""
+    get_logger().log(_level, kv_line(event, fields))
+
+
+def progress(
+    event: str, done: int, total: int, elapsed_s: float, **fields
+) -> None:
+    """Log a progress tick with a completion ratio and a naive ETA
+    (remaining work at the observed average rate)."""
+    merged: dict = {"done": f"{done}/{total}"}
+    if done > 0 and total > done:
+        merged["eta_s"] = round(elapsed_s / done * (total - done), 1)
+    merged["elapsed_s"] = round(elapsed_s, 1)
+    merged.update(fields)
+    emit(event, **merged)

@@ -1,0 +1,133 @@
+"""Chrome trace-event capture (Perfetto / ``chrome://tracing``).
+
+While a capture is active (:func:`start`), every named
+:class:`~repro.obs.core.Stopwatch` that completes with telemetry
+enabled appends one *complete* (``"ph": "X"``) event to an in-memory
+buffer; :func:`write` serialises the buffer in the JSON object format
+(``{"traceEvents": [...], "displayTimeUnit": "ms"}``) both viewers
+load directly.
+
+Timestamps are wall-clock microseconds (``time.time()``-based), so
+events recorded in different processes — campaign pool workers return
+their buffers inside
+:class:`~repro.obs.core.TelemetrySnapshot.trace_events` — land on one
+shared timeline, separated per ``pid`` track by the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "active",
+    "add_complete_event",
+    "add_instant_event",
+    "events",
+    "extend",
+    "payload",
+    "start",
+    "stop",
+    "write",
+]
+
+_EVENTS: list[dict] | None = None
+
+
+def active() -> bool:
+    """Whether a trace capture is in progress."""
+    return _EVENTS is not None
+
+
+def start() -> None:
+    """Begin (or restart) capturing span events into a fresh buffer."""
+    global _EVENTS
+    _EVENTS = []
+
+
+def stop() -> list[dict]:
+    """End the capture and return the buffered events."""
+    global _EVENTS
+    captured = _EVENTS if _EVENTS is not None else []
+    _EVENTS = None
+    return captured
+
+
+def events() -> list[dict]:
+    """The current buffer (empty when no capture is active)."""
+    return list(_EVENTS) if _EVENTS is not None else []
+
+
+def extend(more: list[dict]) -> None:
+    """Append foreign events (a worker's buffer) to the active
+    capture; dropped when no capture is active."""
+    if _EVENTS is not None and more:
+        _EVENTS.extend(more)
+
+
+def _safe_args(args: dict) -> dict:
+    return {
+        str(key): value
+        if isinstance(value, (bool, int, float, str)) or value is None
+        else str(value)
+        for key, value in args.items()
+    }
+
+
+def add_complete_event(
+    name: str, duration_s: float, args: dict | None = None
+) -> None:
+    """Record one completed span of ``duration_s`` seconds ending now."""
+    if _EVENTS is None:
+        return
+    end_us = time.time() * 1e6
+    event = {
+        "name": name,
+        "cat": name.split(".", 1)[0],
+        "ph": "X",
+        "ts": end_us - duration_s * 1e6,
+        "dur": duration_s * 1e6,
+        "pid": os.getpid(),
+        "tid": threading.get_ident() & 0x7FFFFFFF,
+    }
+    if args:
+        event["args"] = _safe_args(args)
+    _EVENTS.append(event)
+
+
+def add_instant_event(name: str, args: dict | None = None) -> None:
+    """Record a zero-duration marker (``"ph": "i"``)."""
+    if _EVENTS is None:
+        return
+    event = {
+        "name": name,
+        "cat": name.split(".", 1)[0],
+        "ph": "i",
+        "s": "p",
+        "ts": time.time() * 1e6,
+        "pid": os.getpid(),
+        "tid": threading.get_ident() & 0x7FFFFFFF,
+    }
+    if args:
+        event["args"] = _safe_args(args)
+    _EVENTS.append(event)
+
+
+def payload(trace_events: list[dict] | None = None) -> dict:
+    """The JSON-object trace format for ``trace_events`` (default: the
+    current buffer)."""
+    return {
+        "traceEvents": events() if trace_events is None else trace_events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write(path: str | Path, trace_events: list[dict] | None = None) -> Path:
+    """Serialise the capture to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload(trace_events)) + "\n")
+    return path

@@ -46,6 +46,7 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from repro import obs
 from repro.cgra.configuration import VirtualConfiguration
 from repro.cgra.datapath import configuration_cycles, execution_cycles
 from repro.cgra.reconfig import ReconfigLogicSpec
@@ -191,7 +192,19 @@ class LaunchSchedule:
 
     def result_template(self) -> tuple[CGRAStats, ConfigCacheStats]:
         """Fresh copies of the mutable per-result stat containers."""
-        return replace(self.cgra), replace(self.cache_stats)
+        cgra = replace(self.cgra)
+        # ``replace`` re-runs ``__post_init__``, which zeroes the
+        # non-field config-cache mirrors — carry them over (``getattr``
+        # default keeps schedules unpickled from older cache layouts
+        # working).
+        cgra.config_cache_hits = getattr(self.cgra, "config_cache_hits", 0)
+        cgra.config_cache_misses = getattr(
+            self.cgra, "config_cache_misses", 0
+        )
+        cgra.config_cache_evictions = getattr(
+            self.cgra, "config_cache_evictions", 0
+        )
+        return cgra, replace(self.cache_stats)
 
 
 def _match_length(
@@ -248,6 +261,7 @@ def compute_schedule(
         stress_provider=stress_provider,
     )
 
+    obs.count("schedule.walks")
     datapath = params.datapath
     dcache = gpp.dcache
     stats = CGRAStats()
@@ -350,6 +364,12 @@ def compute_schedule(
     activity.cache_misses = gpp.icache.misses + gpp.dcache.misses
     stats.cgra_cycles = cycles
     stats.peak_line_pressure = engine.peak_line_pressure
+    # Surface the config-cache counters on the fabric stats (the
+    # cache-sizing study reads them from CGRAStats without having to
+    # reach into the cache object).
+    stats.config_cache_hits = cache.stats.hits
+    stats.config_cache_misses = cache.stats.misses
+    stats.config_cache_evictions = cache.stats.evictions
     return LaunchSchedule(
         trace_name=trace.name,
         instructions=n_records,
@@ -386,10 +406,17 @@ def replay_schedule(
             "be replayed under a different policy"
         )
     allocator = ConfigurationAllocator(geometry, policy)
-    if schedule.configs:
-        allocator.allocate_batch(
-            schedule.configs, cycles=schedule.exec_cycles
-        )
+    with obs.span(
+        "schedule.replay",
+        trace=schedule.trace_name,
+        policy=getattr(policy, "name", "?"),
+        launches=schedule.n_launches,
+    ):
+        obs.count("schedule.replays")
+        if schedule.configs:
+            allocator.allocate_batch(
+                schedule.configs, cycles=schedule.exec_cycles
+            )
     return allocator
 
 
@@ -402,7 +429,8 @@ _DISK_CACHE_DIR: Path | None = None
 
 #: Bump when the on-disk payload layout changes; stale-version files
 #: are ignored and rewritten rather than unpickled into a new schema.
-_DISK_CACHE_VERSION = 1
+#: v2: CGRAStats carries non-field config-cache mirrors.
+_DISK_CACHE_VERSION = 2
 
 _TRACE_FINGERPRINTS: WeakKeyDictionary = WeakKeyDictionary()
 
@@ -470,6 +498,7 @@ def _disk_cache_load(path: Path) -> LaunchSchedule | None:
     except Exception:
         # Truncated/corrupt/incompatible pickle: recompute and let the
         # writer replace the file.
+        obs.count("schedule.disk_cache.corrupt")
         return None
     if (
         isinstance(payload, tuple)
@@ -532,6 +561,7 @@ def shared_schedule(params: SystemParams, trace: Trace) -> LaunchSchedule:
         _SCHEDULE_CACHE[trace] = per_trace
     schedule = per_trace.get(key)
     if schedule is None:
+        obs.count("schedule.memo.misses")
         disk_path = (
             _disk_cache_path(params, trace)
             if _DISK_CACHE_DIR is not None
@@ -539,14 +569,23 @@ def shared_schedule(params: SystemParams, trace: Trace) -> LaunchSchedule:
         )
         if disk_path is not None:
             schedule = _disk_cache_load(disk_path)
+            obs.count(
+                "schedule.disk_cache.hits"
+                if schedule is not None
+                else "schedule.disk_cache.misses"
+            )
         if schedule is None:
-            schedule = compute_schedule(params, trace)
+            with obs.span(
+                "schedule.walk", trace=trace.name, coupled=False
+            ):
+                schedule = compute_schedule(params, trace)
             if disk_path is not None:
                 _disk_cache_store(disk_path, schedule)
         per_trace[key] = schedule
         while len(per_trace) > _SCHEDULES_PER_TRACE:
             per_trace.popitem(last=False)
     else:
+        obs.count("schedule.memo.hits")
         per_trace.move_to_end(key)
     return schedule
 

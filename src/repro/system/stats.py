@@ -12,7 +12,15 @@ from repro.hw.energy import EnergyReport
 
 @dataclass
 class CGRAStats:
-    """Fabric-side counters for one run."""
+    """Fabric-side counters for one run.
+
+    The config-cache mirrors (``config_cache_hits`` / ``_misses`` /
+    ``_evictions``) are deliberately *not* dataclass fields: they are
+    convenience copies of :class:`ConfigCacheStats` counters set in
+    ``__post_init__``, kept out of field-driven serialisation
+    (``to_jsonable``) so the pinned golden experiment JSON stays
+    byte-identical.
+    """
 
     launches: int = 0
     cold_launches: int = 0
@@ -23,6 +31,11 @@ class CGRAStats:
     #: Worst per-column context-line pressure over the run's translated
     #: units (see :mod:`repro.mapping.routing`).
     peak_line_pressure: int = 0
+
+    def __post_init__(self) -> None:
+        self.config_cache_hits = 0
+        self.config_cache_misses = 0
+        self.config_cache_evictions = 0
 
     @property
     def commit_efficiency(self) -> float:

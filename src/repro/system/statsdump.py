@@ -43,8 +43,16 @@ def stats_lines(result: SystemResult) -> list[tuple[str, object, str]]:
         ("cfgcache.misses", cache.misses, "configuration-cache misses"),
         ("cfgcache.evictions", cache.evictions,
          "configuration-cache evictions"),
+        ("cfgcache.insertions", cache.insertions,
+         "configurations installed in the cache"),
+        ("cfgcache.rejected", cache.rejected,
+         "translation attempts that produced no unit"),
         ("cfgcache.truncations", cache.truncations,
          "units truncated by the misspeculation monitor"),
+        ("cfgcache.blacklisted", cache.blacklisted,
+         "units dropped by the misspeculation monitor"),
+        ("cfgcache.hit_rate", round(cache.hit_rate, 4),
+         "hits / (hits + misses)"),
         ("util.worst", round(tracker.max_utilization(), 6),
          "highest per-FU utilization (sets end-of-life)"),
         ("util.mean", round(tracker.mean_utilization(), 6),

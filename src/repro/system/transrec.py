@@ -28,6 +28,7 @@ interval rather than launch by launch.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.allocator import ConfigurationAllocator
 from repro.core.policy import make_policy
 from repro.errors import ConfigurationError
@@ -98,9 +99,18 @@ class TransRecSystem:
                 "schedule replay would diverge — use mode='coupled'"
             )
         if mode == "coupled" or coupled:
-            allocator = ConfigurationAllocator(self.geometry, self._policy())
-            schedule = compute_schedule(self.params, trace, allocator=allocator)
+            obs.count("transrec.runs.coupled")
+            with obs.span(
+                "schedule.walk", trace=trace.name, coupled=True
+            ):
+                allocator = ConfigurationAllocator(
+                    self.geometry, self._policy()
+                )
+                schedule = compute_schedule(
+                    self.params, trace, allocator=allocator
+                )
         else:
+            obs.count("transrec.runs.replay")
             schedule = shared_schedule(self.params, trace)
             allocator = replay_schedule(schedule, self.geometry, self._policy())
         return self._assemble(schedule, allocator, trace)

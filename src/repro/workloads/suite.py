@@ -6,6 +6,7 @@ import importlib
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro import obs
 from repro.errors import ConfigurationError, SimulationError
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
@@ -85,7 +86,8 @@ def run_workload(name: str) -> Trace:
             Python reference — a workload-porting bug, never expected.
     """
     workload = get_workload(name)
-    result = CPU(workload.program()).run()
+    with obs.span("workload.trace", workload=name):
+        result = CPU(workload.program()).run()
     actual = result.exit_code & 0xFFFFFFFF
     expected = workload.expected_checksum & 0xFFFFFFFF
     if actual != expected:
