@@ -14,8 +14,9 @@ and fails when any metric dropped by more than the tolerance::
 ``--metric`` may be repeated; the default set guards the batch
 allocation engine (``batch_launches_per_sec``), the stress-aware
 segment replay (``schedule_replay_launches_per_sec_stress_aware``),
-SA mapping (``sa_map_units_per_sec``) and the routing-profile model
-(``routing_profiles_per_sec``) — the hot paths with committed floors.
+SA mapping (``sa_map_units_per_sec``), the routing-profile model
+(``routing_profiles_per_sec``) and fleet shard expansion
+(``fleet_devices_per_sec``) — the hot paths with committed floors.
 Baselines are backend-scoped: the candidate is compared only against
 committed entries with the same ``kernel_backend`` tag (entries
 predating the tag count as ``numpy``), so compiled-backend numbers can
@@ -44,6 +45,7 @@ DEFAULT_METRICS = (
     "schedule_replay_launches_per_sec_stress_aware",
     "sa_map_units_per_sec",
     "routing_profiles_per_sec",
+    "fleet_devices_per_sec",
 )
 
 

@@ -32,6 +32,7 @@ import numpy as np
 from repro import obs
 from repro.campaign import CampaignRunner, CampaignSpec, PolicySpec
 from repro.cgra.fabric import FabricGeometry
+from repro.fleet import FleetRunner, FleetSpec, expand_shard
 from repro.kernels import active_backend
 from repro.core.allocator import ConfigurationAllocator
 from repro.core.policy import make_policy
@@ -196,6 +197,42 @@ def _campaign_metrics(quick: bool) -> dict:
     }
 
 
+def _fleet_metrics(n_devices: int) -> dict:
+    """Fleet shard-expansion throughput (devices evaluated per second
+    across all policies of the fleet, stress profiles precomputed).
+
+    Phase 1 (trace walk + replay) amortises over any fleet size and is
+    covered by the replay/campaign metrics above; this isolates the
+    fleet-specific hot path — per-device mix generation, utilization
+    fold, NBTI lifetimes and shard-record reduction."""
+    spec = FleetSpec(
+        name="bench_fleet",
+        rows=ROWS,
+        cols=COLS,
+        policies=(
+            PolicySpec.make("baseline"),
+            PolicySpec.make("rotation"),
+            PolicySpec.make("stress_aware"),
+        ),
+        scenario="crypto_gateway",
+        n_devices=n_devices,
+        devices_per_shard=4096,
+    )
+    runner = FleetRunner()
+    profiles = runner.stress_profiles(spec)
+    fingerprint = spec.fingerprint()
+    expand_shard(spec, spec.shards()[0], profiles, runner.model, fingerprint)
+    with obs.stopwatch("bench.fleet_expand") as watch:
+        for shard in spec.shards():
+            expand_shard(spec, shard, profiles, runner.model, fingerprint)
+    return {
+        "fleet_devices": n_devices,
+        "fleet_shards": len(spec.shards()),
+        "fleet_policies": len(spec.policies),
+        "fleet_devices_per_sec": round(n_devices / watch.elapsed, 1),
+    }
+
+
 def _routing_profiles_per_sec(trace, unit, n_profiles: int) -> float:
     """Context-line pressure-model throughput (the per-translation
     congestion bookkeeping every DBT insert now pays)."""
@@ -213,6 +250,7 @@ def run(
     sa_units: int = 200,
     routing_profiles: int = 5_000,
     schedule_replays: int = 100,
+    fleet_devices: int = 131_072,
     quick: bool = False,
 ) -> dict:
     """Measure all paths; returns one flat JSON record."""
@@ -263,6 +301,7 @@ def run(
         record["numba_version"] = backend.numba_version
     record.update(_replay_metrics(schedule_replays))
     record.update(_campaign_metrics(quick))
+    record.update(_fleet_metrics(fleet_devices))
     record.update(_host_provenance())
     # Floors are disabled-telemetry numbers; a record measured with the
     # registry recording is tagged so the perf guard can refuse it.
@@ -368,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
             sa_units=20,
             routing_profiles=500,
             schedule_replays=10,
+            fleet_devices=8_192,
             quick=True,
         )
         record["quick"] = True

@@ -75,3 +75,36 @@ def surviving_fraction(
     ``mission_years``."""
     lifetimes = failure_order(model, utilizations, threshold)
     return float((lifetimes > mission_years).mean())
+
+
+def device_lifetimes(
+    model: NBTIModel,
+    worst_utilizations: np.ndarray,
+    threshold: float | None = None,
+) -> np.ndarray:
+    """Per-device lifetime (years) from per-device worst-FU duty
+    cycles — one batched model call over a whole fleet shard.
+
+    A device fails when its *worst-stressed* FU leaves the delay
+    budget (the paper's end-of-life criterion, applied per device), so
+    fleet lifetime statistics reduce to this transform of the
+    worst-utilization vector.
+    """
+    return np.atleast_1d(
+        np.asarray(model.years_to_degradation(worst_utilizations, threshold))
+    )
+
+
+def survival_counts(
+    lifetimes: np.ndarray, mission_years: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """Devices (or FUs) still alive at each mission time.
+
+    Counts are computed per mission year on the raw lifetime vector,
+    so per-shard counts sum exactly across a sharded fleet — the
+    mergeable form of a fleet survival curve (divide by the total
+    device count for the fraction).
+    """
+    lifetimes = np.asarray(lifetimes, dtype=float)
+    grid = np.asarray(mission_years, dtype=float)
+    return (lifetimes[None, :] > grid[:, None]).sum(axis=1)

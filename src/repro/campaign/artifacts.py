@@ -5,6 +5,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -54,20 +56,46 @@ def to_jsonable(obj: object) -> object:
     if isinstance(obj, (list, tuple)):
         return [to_jsonable(value) for value in obj]
     if isinstance(obj, (set, frozenset)):
-        return sorted(to_jsonable(value) for value in obj)
+        members = [to_jsonable(value) for value in obj]
+        try:
+            return sorted(members)
+        except TypeError:
+            # Mixed-type sets (e.g. {1, "a"}) have no natural ordering;
+            # a (type name, repr) key is total and deterministic for
+            # any mix, keeping the never-fails contract above.
+            return sorted(
+                members,
+                key=lambda value: (type(value).__name__, repr(value)),
+            )
     return str(obj)
 
 
 def write_json(path: str | Path, payload: object) -> Path:
     """Serialize ``payload`` (via :func:`to_jsonable`) to ``path``.
 
-    Parent directories are created; returns the written path.
+    Parent directories are created; returns the written path. The
+    write is atomic (temp file in the same directory + ``os.replace``,
+    the same discipline as the schedule disk cache): a crash or killed
+    pool worker mid-campaign can never leave a truncated artifact on
+    disk — readers see either the previous complete file or the new
+    one.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(to_jsonable(payload), handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(to_jsonable(payload), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -84,10 +84,23 @@ class SuiteRun:
 
     def energy_ratio(self) -> float:
         """Suite-total energy ratio (sums, not geomean, so big and
-        small workloads weigh by their actual energy)."""
+        small workloads weigh by their actual energy).
+
+        Raises:
+            ConfigurationError: when the suite's total GPP energy is
+                zero — silently returning 1.0 would mask a degenerate
+                run (empty traces, zeroed energy params) as parity
+                (mirrors the :meth:`geomean_speedup` guard).
+        """
         transrec = sum(r.transrec_energy.total_pj for r in self.results.values())
         gpp = sum(r.gpp_energy.total_pj for r in self.results.values())
-        return transrec / gpp if gpp else 1.0
+        if gpp == 0:
+            raise ConfigurationError(
+                "energy ratio undefined: total GPP energy is zero "
+                "(degenerate run) — a 1.0 fallback would silently "
+                "report parity"
+            )
+        return transrec / gpp
 
 
 def suite_run_summary(point: DesignPoint, run: SuiteRun) -> dict:

@@ -15,6 +15,7 @@ CLI (``python -m repro.experiments [name ...]``) runs and prints them.
 | ablation | (extra) policy/pattern/monitor ablation study         |
 | mapping  | (extra) mapper- vs allocation-level wear leveling     |
 | routing  | (extra) context-line pressure under mapping regimes   |
+| fleet    | (extra) fleet-scale aging campaign over traffic mixes |
 """
 
 from repro.experiments import (
@@ -23,6 +24,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    fleet,
     mapping_ablation,
     routing_ablation,
     table1,
@@ -39,6 +41,7 @@ ALL_EXPERIMENTS = {
     "ablation": ablation,
     "mapping": mapping_ablation,
     "routing": routing_ablation,
+    "fleet": fleet,
 }
 
 __all__ = [
@@ -48,6 +51,7 @@ __all__ = [
     "fig6",
     "fig7",
     "fig8",
+    "fleet",
     "mapping_ablation",
     "routing_ablation",
     "table1",

@@ -1,0 +1,99 @@
+"""Versioned checkpoint/restore of :class:`UtilizationTracker` state.
+
+A fleet reliability service accrues stress over *years* of incoming
+traffic: re-replaying a policy's whole launch history on every
+incremental update does not scale, so the per-(policy, workload)
+tracker state is checkpointed and restored instead. The format follows
+the schedule disk cache's discipline exactly — versioned payload,
+atomic temp-file + ``os.replace`` write, and corrupt/stale/truncated
+files load as ``None`` (recompute) rather than raising.
+
+Restore is bit-exact: every counter, total and per-config footprint
+bitmap round-trips identically (pinned by the fleet tests), so a
+resumed campaign continues from precisely the stress it had.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro import obs
+from repro.cgra.fabric import FabricGeometry
+from repro.core.utilization import UtilizationTracker
+
+#: Bump when the checkpoint payload layout changes; stale versions are
+#: ignored and recomputed, never unpickled into a new schema.
+CHECKPOINT_VERSION = 1
+
+
+def save_tracker(path: str | Path, tracker: UtilizationTracker) -> Path | None:
+    """Atomically persist ``tracker``'s accrued stress to ``path``.
+
+    Best-effort like the schedule cache writer: I/O failure degrades
+    to recomputation on the next run (returns ``None``), never an
+    error mid-campaign.
+    """
+    path = Path(path)
+    # routing_budget is None for elastic default sizing, so restore
+    # rebuilds exactly the declared-vs-elastic geometry flavour.
+    state = dict(
+        tracker.export_state(), ctx_lines=tracker.geometry.routing_budget
+    )
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump((CHECKPOINT_VERSION, state), handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return None
+    obs.count("fleet.checkpoint.saves")
+    return path
+
+
+def load_tracker(path: str | Path) -> UtilizationTracker | None:
+    """Restore a checkpointed tracker, or ``None`` when the file is
+    missing, truncated, corrupt or from another format version."""
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except OSError:
+        return None
+    except Exception:
+        obs.count("fleet.checkpoint.corrupt")
+        return None
+    if (
+        not isinstance(payload, tuple)
+        or len(payload) != 2
+        or payload[0] != CHECKPOINT_VERSION
+        or not isinstance(payload[1], dict)
+    ):
+        obs.count("fleet.checkpoint.corrupt")
+        return None
+    state = payload[1]
+    try:
+        geometry = FabricGeometry(
+            rows=int(state["rows"]),
+            cols=int(state["cols"]),
+            ctx_lines=state.get("ctx_lines"),
+        )
+        tracker = UtilizationTracker(geometry)
+        tracker.restore_state(state)
+    except Exception:
+        obs.count("fleet.checkpoint.corrupt")
+        return None
+    obs.count("fleet.checkpoint.loads")
+    return tracker

@@ -1,0 +1,449 @@
+"""Fleet evaluation: sharded device expansion over shared replays.
+
+The runner splits a fleet campaign into three phases, each bounded in
+memory regardless of fleet size:
+
+* **Phase 1 — stress profiles** (per policy x workload): one
+  vectorized replay of the shared launch schedule per (policy,
+  workload) yields the per-cell launch-count matrix and launch total.
+  This rides the whole PR 4–5 stack — schedules are memoised per
+  process, grouped by :func:`~repro.system.schedule.schedule_key`, and
+  (with ``schedule_cache_dir``) loaded from the on-disk cache, so a
+  million-device fleet walks each trace exactly once. With
+  ``checkpoint_dir`` the replayed
+  :class:`~repro.core.utilization.UtilizationTracker` state is
+  additionally checkpointed (versioned, corrupt-safe), so incremental
+  re-runs skip even the replay.
+* **Phase 2 — shard expansion** (per shard): each shard regenerates
+  its devices' scenario-drawn mix weights
+  (:meth:`~repro.fleet.spec.FleetSpec.device_weights`, sharding-
+  independent), combines them with the stress profiles into per-device
+  utilization, worst-FU duty cycle and NBTI lifetime — pure vectorized
+  numpy on a ``(devices, workloads, cells)`` block — and folds the
+  result straight into one compact :class:`ShardRecord` per policy.
+  Shards fan out over a process pool; only records cross process
+  boundaries, never per-device vectors.
+* **Phase 3 — merge**: records (freshly computed + resumed from the
+  append-only store) fold into per-policy :class:`FleetAggregate`\\ s
+  in sorted shard order — streaming lifetime percentiles, fleet
+  survival curves and MTTF deltas, with the same counter/summary merge
+  semantics as :meth:`~repro.obs.TelemetrySnapshot.merge`.
+
+Resume: with a ``store_dir``, every completed (policy, shard) record
+is appended as one NDJSON line; a re-run loads the intact records,
+re-runs only the missing/torn shards, and — because shard expansion is
+deterministic — produces bit-identical merged aggregates.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.aging.lifetime import device_lifetimes
+from repro.aging.nbti import NBTIModel
+from repro.campaign.artifacts import write_json
+from repro.campaign.spec import PolicySpec
+from repro.cgra.fabric import FabricGeometry
+from repro.core.policy import make_policy
+from repro.errors import ConfigurationError
+from repro.fleet.checkpoint import load_tracker, save_tracker
+from repro.fleet.spec import FleetShard, FleetSpec
+from repro.fleet.store import (
+    FleetAggregate,
+    ResultStore,
+    ShardRecord,
+    merge_records,
+)
+from repro.system.params import SystemParams
+from repro.system.schedule import (
+    replay_schedule,
+    set_schedule_cache_dir,
+    shared_schedule,
+)
+from repro.workloads.suite import run_workload
+
+#: Shards per pool task: amortises task dispatch without letting one
+#: straggler hold a worker for the whole fleet.
+_SHARDS_PER_TASK = 4
+
+
+@dataclass(frozen=True)
+class StressProfile:
+    """Phase 1 output for one policy: per-workload launch-count
+    matrices, stacked for the shard expansion.
+
+    Attributes:
+        policy: policy label the profile was replayed under.
+        exec_counts: ``(n_workloads, n_cells)`` per-cell launch counts.
+        totals: ``(n_workloads,)`` total launches per workload.
+    """
+
+    policy: str
+    exec_counts: np.ndarray
+    totals: np.ndarray
+
+
+def policy_label(policy: PolicySpec) -> str:
+    return policy.label
+
+
+def _fleet_params(
+    spec: FleetSpec,
+    policy: PolicySpec,
+    base_params: SystemParams | None,
+) -> SystemParams:
+    geometry = FabricGeometry(
+        rows=spec.rows, cols=spec.cols, ctx_lines=spec.ctx_lines
+    )
+    if base_params is None:
+        return SystemParams(
+            geometry=geometry,
+            policy=policy.name,
+            policy_kwargs=policy.as_kwargs(),
+        )
+    return replace(
+        base_params,
+        geometry=geometry,
+        policy=policy.name,
+        policy_kwargs=policy.as_kwargs(),
+    )
+
+
+def expand_shard(
+    spec: FleetSpec,
+    shard: FleetShard,
+    profiles: dict[str, StressProfile],
+    model: NBTIModel,
+    fingerprint: str,
+) -> list[ShardRecord]:
+    """Evaluate one shard's devices under every policy.
+
+    Pure numpy over the shard's device block: per-device utilization is
+    the mix-weighted launch-count combination of the policy's
+    per-workload stress profiles, normalised by the device's weighted
+    launch total (the EXECUTIONS duty-cycle weighting, per device). The
+    weighted fold runs as a broadcast ``sum`` over the fixed workload
+    axis (not a BLAS matmul), so per-device results are bit-identical
+    regardless of shard size — the property resume and the
+    sharded-vs-unsharded smoke both rest on.
+    """
+    weights = spec.device_weights(shard.start, shard.stop)
+    records = []
+    for policy in spec.policies:
+        profile = profiles[policy_label(policy)]
+        stressed = (weights[:, :, None] * profile.exec_counts[None, :, :]).sum(
+            axis=1
+        )
+        launches = (weights * profile.totals[None, :]).sum(axis=1)
+        launches = np.where(launches > 0, launches, 1.0)
+        worst = stressed.max(axis=1) / launches
+        worst = np.clip(worst, 0.0, 1.0)
+        lifetimes = device_lifetimes(model, worst)
+        records.append(
+            ShardRecord.from_lifetimes(
+                fingerprint=fingerprint,
+                policy=policy_label(policy),
+                shard=shard.index,
+                lifetimes=lifetimes,
+                worst_utils=worst,
+                mission_years=spec.mission_years,
+            )
+        )
+    obs.count("fleet.shards.expanded")
+    obs.count("fleet.devices.expanded", shard.n_devices)
+    return records
+
+
+def _pool_expand_shards(
+    payload: tuple[
+        dict,
+        tuple[FleetShard, ...],
+        dict[str, StressProfile],
+        NBTIModel,
+        str,
+    ],
+) -> list[ShardRecord]:
+    """Expand a chunk of shards in a pool worker (no trace walks, no
+    schedule state — just the spec, the stacked profiles and numpy)."""
+    spec_payload, shards, profiles, model, fingerprint = payload
+    spec = FleetSpec.from_jsonable(spec_payload)
+    records: list[ShardRecord] = []
+    for shard in shards:
+        records.extend(expand_shard(spec, shard, profiles, model, fingerprint))
+    return records
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of one fleet campaign."""
+
+    spec: FleetSpec
+    aggregates: dict[str, FleetAggregate]
+    #: Shards evaluated this run vs resumed from the store.
+    shards_run: int
+    shards_resumed: int
+    #: Torn/corrupt/foreign store lines skipped while resuming.
+    store_lines_skipped: int
+
+    def aggregate(self, policy: str) -> FleetAggregate:
+        agg = self.aggregates.get(policy)
+        if agg is None:
+            raise ConfigurationError(
+                f"no aggregate for policy {policy!r}; "
+                f"available: {sorted(self.aggregates)}"
+            )
+        return agg
+
+    def mttf_ratio(self, policy: str, baseline: str | None = None) -> float:
+        """Fleet MTTF of ``policy`` relative to ``baseline`` (default:
+        the spec's first policy) — the paper's Eq. 1 lifetime-
+        improvement claim, fleet-expanded."""
+        if baseline is None:
+            baseline = policy_label(self.spec.policies[0])
+        return self.aggregate(policy).mttf_years() / self.aggregate(
+            baseline
+        ).mttf_years()
+
+    def to_jsonable(self) -> dict:
+        return {
+            "fleet": self.spec.to_jsonable(),
+            "fingerprint": self.spec.fingerprint(),
+            "shards_run": self.shards_run,
+            "shards_resumed": self.shards_resumed,
+            "store_lines_skipped": self.store_lines_skipped,
+            "policies": {
+                name: aggregate.to_jsonable()
+                for name, aggregate in self.aggregates.items()
+            },
+        }
+
+
+class FleetRunner:
+    """Evaluates :class:`FleetSpec`\\ s.
+
+    Args:
+        store_dir: append-only result store directory. When given,
+            every completed (policy, shard) record is persisted as one
+            NDJSON line and re-runs resume from the intact records;
+            ``fleet.json`` (manifest) and ``fleet_summary.json``
+            (merged aggregates) are written alongside. ``None`` keeps
+            everything in memory (tests, benchmarks).
+        max_workers: ``None``/``0``/``1`` expands shards serially;
+            ``> 1`` fans shard chunks out over a process pool.
+        base_params: timing-parameter overrides for the replay phase
+            (geometry and policy come from the spec).
+        schedule_cache_dir: forwarded to the schedule layer so Phase 1
+            walks are shared across processes and repeated campaigns.
+        checkpoint_dir: when given, Phase 1 replay trackers are
+            checkpointed per (policy, workload) and restored on re-runs
+            (bit-exact), so incremental campaigns skip the replay too.
+        model: NBTI model for device lifetimes (default calibration:
+            +10% delay over 3 years at full stress).
+    """
+
+    def __init__(
+        self,
+        store_dir: str | Path | None = None,
+        max_workers: int | None = None,
+        base_params: SystemParams | None = None,
+        schedule_cache_dir: str | Path | None = None,
+        checkpoint_dir: str | Path | None = None,
+        model: NBTIModel | None = None,
+    ) -> None:
+        self.store_dir = Path(store_dir) if store_dir else None
+        self.max_workers = max_workers
+        self.base_params = base_params
+        self.schedule_cache_dir = (
+            str(schedule_cache_dir) if schedule_cache_dir else None
+        )
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.model = model if model is not None else NBTIModel()
+
+    # ------------------------------------------------------------------
+
+    def _checkpoint_path(
+        self, spec: FleetSpec, policy: PolicySpec, workload: str
+    ) -> Path:
+        stem = f"{spec.fingerprint()}-{policy_label(policy)}-{workload}"
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in stem)
+        return self.checkpoint_dir / f"{safe}.ckpt"
+
+    def stress_profiles(self, spec: FleetSpec) -> dict[str, StressProfile]:
+        """Phase 1: per-policy stacked stress profiles.
+
+        Policies of one fleet share a single schedule walk per
+        workload (they differ only in allocation policy, the exact
+        case :func:`~repro.system.schedule.shared_schedule` exists
+        for); each (policy, workload) is then one vectorized replay —
+        restored from its checkpoint instead when one is valid.
+        """
+        previous_cache = (
+            set_schedule_cache_dir(self.schedule_cache_dir)
+            if self.schedule_cache_dir is not None
+            else None
+        )
+        try:
+            profiles: dict[str, StressProfile] = {}
+            for policy in spec.policies:
+                params = _fleet_params(spec, policy, self.base_params)
+                counts = []
+                totals = []
+                for workload in spec.workloads:
+                    tracker = None
+                    ckpt = None
+                    if self.checkpoint_dir is not None:
+                        ckpt = self._checkpoint_path(spec, policy, workload)
+                        tracker = load_tracker(ckpt)
+                    if tracker is None:
+                        with obs.span(
+                            "fleet.replay",
+                            policy=policy_label(policy),
+                            workload=workload,
+                        ):
+                            trace = run_workload(workload)
+                            schedule = shared_schedule(params, trace)
+                            tracker = replay_schedule(
+                                schedule,
+                                params.geometry,
+                                make_policy(policy.name, **policy.as_kwargs()),
+                            ).tracker
+                        if ckpt is not None:
+                            save_tracker(ckpt, tracker)
+                    counts.append(
+                        tracker.execution_counts.ravel().astype(float)
+                    )
+                    totals.append(float(tracker.total_executions))
+                profiles[policy_label(policy)] = StressProfile(
+                    policy=policy_label(policy),
+                    exec_counts=np.stack(counts),
+                    totals=np.asarray(totals),
+                )
+            return profiles
+        finally:
+            if self.schedule_cache_dir is not None:
+                set_schedule_cache_dir(previous_cache)
+
+    # ------------------------------------------------------------------
+
+    def run(self, spec: FleetSpec) -> FleetResult:
+        """Evaluate ``spec``: replay, expand pending shards, merge."""
+        fingerprint = spec.fingerprint()
+        store = ResultStore(self.store_dir) if self.store_dir else None
+        resumed: list[ShardRecord] = []
+        skipped = 0
+        if store is not None:
+            resumed, skipped = store.load(fingerprint)
+        done: set[tuple[str, int]] = {
+            (record.policy, record.shard) for record in resumed
+        }
+        labels = [policy_label(policy) for policy in spec.policies]
+        pending = [
+            shard
+            for shard in spec.shards()
+            if any((label, shard.index) not in done for label in labels)
+        ]
+        started = time.perf_counter()
+        with obs.span(
+            "fleet.run",
+            fleet=spec.name,
+            devices=spec.n_devices,
+            shards=len(spec.shards()),
+        ):
+            profiles = (
+                self.stress_profiles(spec) if pending else {}
+            )
+            fresh = self._expand_pending(
+                spec, pending, profiles, fingerprint, store, started
+            )
+        # Deduplicate against resumed records: a shard is re-run when
+        # *any* of its per-policy records is missing, so the intact
+        # ones are recomputed too (bit-identical) and must not
+        # double-count. merge_records keeps the first of each
+        # (policy, shard) key; resumed-first preserves store priority.
+        aggregates = merge_records(resumed + fresh, spec.mission_years)
+        result = FleetResult(
+            spec=spec,
+            aggregates=aggregates,
+            shards_run=len(pending),
+            shards_resumed=len(spec.shards()) - len(pending),
+            store_lines_skipped=skipped,
+        )
+        if store is not None:
+            write_json(store.directory / "fleet.json", spec.to_jsonable())
+            write_json(
+                store.directory / "fleet_summary.json", result.to_jsonable()
+            )
+        return result
+
+    def _expand_pending(
+        self,
+        spec: FleetSpec,
+        pending: list[FleetShard],
+        profiles: dict[str, StressProfile],
+        fingerprint: str,
+        store: ResultStore | None,
+        started: float,
+    ) -> list[ShardRecord]:
+        """Phase 2 over the pending shards, serially or on a pool;
+        records are appended to the store as they arrive (streaming —
+        a kill at any point leaves a resumable store)."""
+        telemetry_on = obs.enabled()
+        records: list[ShardRecord] = []
+
+        def collect(batch: list[ShardRecord], done_shards: int) -> None:
+            for record in batch:
+                if store is not None:
+                    store.append(record)
+                records.append(record)
+            if telemetry_on:
+                obs.log.progress(
+                    "fleet.shard",
+                    done_shards,
+                    len(pending),
+                    time.perf_counter() - started,
+                    fleet=spec.name,
+                )
+
+        parallel = (
+            self.max_workers is not None
+            and self.max_workers > 1
+            and len(pending) > 1
+        )
+        if not parallel:
+            for index, shard in enumerate(pending, start=1):
+                collect(
+                    expand_shard(
+                        spec, shard, profiles, self.model, fingerprint
+                    ),
+                    index,
+                )
+            return records
+        chunks = [
+            tuple(pending[index : index + _SHARDS_PER_TASK])
+            for index in range(0, len(pending), _SHARDS_PER_TASK)
+        ]
+        spec_payload = spec.to_jsonable()
+        done_shards = 0
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _pool_expand_shards,
+                    (spec_payload, chunk, profiles, self.model, fingerprint),
+                ): chunk
+                for chunk in chunks
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    done_shards += len(futures[future])
+                    collect(future.result(), done_shards)
+        return records

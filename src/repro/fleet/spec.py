@@ -1,0 +1,227 @@
+"""Declarative fleet specifications: scenario → per-device traffic.
+
+A :class:`FleetSpec` scales the paper's one-simulated-device evaluation
+to a *fleet*: ``n_devices`` devices share one (geometry, policy)
+pipeline per policy, but each device sees its own traffic mix drawn
+from a named :class:`~repro.system.scenarios.TrafficScenario`
+distribution. Devices are partitioned into fixed-size *shards* — the
+unit of parallelism, of result-store append and of resume.
+
+Determinism is the load-bearing property here:
+
+* **Device mixes are sharding-independent.** Per-device workload-mix
+  weights are generated in fixed blocks of :data:`GENERATION_BLOCK`
+  devices, block *b* from ``default_rng([seed, b])``; a shard covering
+  a device range regenerates exactly the blocks it overlaps and slices
+  them. The same fleet therefore expands to the same devices whether
+  it runs in one shard or a thousand, and a resumed shard recomputes
+  exactly what the killed one would have written.
+* **Shards are self-describing.** A shard is just ``(index, start,
+  stop)`` — no state flows between shards, so any subset can run on
+  any worker in any order and the merged aggregates are identical.
+
+``fingerprint()`` digests the full spec; the result store stamps every
+shard record with it so stale records (from an edited spec) are never
+merged into a fresh fleet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaign.spec import PolicySpec
+from repro.errors import ConfigurationError
+from repro.system.scenarios import TrafficScenario, traffic_scenario
+
+#: Devices per weight-generation block. Per-device mix weights are
+#: drawn block-by-block from ``default_rng([seed, block_index])``, so
+#: generation is independent of how the fleet is sharded. Fixed — a
+#: change re-deals every fleet's traffic (fingerprints would not catch
+#: it), so treat like an on-disk format version.
+GENERATION_BLOCK = 4096
+
+#: Default mission-time grid (years) for fleet survival curves.
+DEFAULT_MISSION_YEARS = (1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0)
+
+
+@dataclass(frozen=True)
+class FleetShard:
+    """One contiguous device range — the unit of work and of resume."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def n_devices(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A fleet campaign: one fabric, N policies, ``n_devices`` devices
+    drawing traffic mixes from a named scenario distribution.
+
+    Attributes:
+        name: fleet identifier (store manifest name).
+        rows/cols: fabric geometry shared by every device.
+        policies: allocation policies to evaluate fleet-wide — each
+            device's lifetime is computed under every policy, so
+            per-policy MTTF deltas are paired (same devices, same
+            traffic).
+        scenario: :data:`~repro.system.scenarios.TRAFFIC_SCENARIOS`
+            name; the distribution per-device mixes are drawn from.
+        n_devices: fleet size.
+        devices_per_shard: shard granularity (bounds per-task memory;
+            the parent only ever holds compact per-shard records).
+        seed: fleet RNG seed (device mix generation).
+        mission_years: survival-curve grid (strictly increasing).
+        ctx_lines: optional hard context-line routing budget.
+    """
+
+    name: str
+    rows: int
+    cols: int
+    policies: tuple[PolicySpec, ...]
+    scenario: str = "uniform"
+    n_devices: int = 1024
+    devices_per_shard: int = 1024
+    seed: int = 0
+    mission_years: tuple[float, ...] = DEFAULT_MISSION_YEARS
+    ctx_lines: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError(
+                f"invalid geometry ({self.rows}, {self.cols})"
+            )
+        if not self.policies:
+            raise ConfigurationError("fleet needs at least one policy")
+        if self.n_devices < 1:
+            raise ConfigurationError("fleet needs at least one device")
+        if self.devices_per_shard < 1:
+            raise ConfigurationError("devices_per_shard must be >= 1")
+        if not self.mission_years or any(
+            b <= a
+            for a, b in zip(self.mission_years, self.mission_years[1:])
+        ) or self.mission_years[0] <= 0:
+            raise ConfigurationError(
+                "mission_years must be positive and strictly increasing"
+            )
+        traffic_scenario(self.scenario)  # validate the name eagerly
+        seen = set()
+        for policy in self.policies:
+            if policy in seen:
+                raise ConfigurationError(
+                    f"duplicate fleet policy {policy.label!r}"
+                )
+            seen.add(policy)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def traffic(self) -> TrafficScenario:
+        return traffic_scenario(self.scenario)
+
+    @property
+    def workloads(self) -> tuple[str, ...]:
+        """The scenario's nonzero-weight workloads (suite order)."""
+        return self.traffic.workloads
+
+    def shards(self) -> tuple[FleetShard, ...]:
+        """The fleet's device ranges, ``devices_per_shard`` each (the
+        last shard takes the remainder)."""
+        return tuple(
+            FleetShard(
+                index=index,
+                start=start,
+                stop=min(start + self.devices_per_shard, self.n_devices),
+            )
+            for index, start in enumerate(
+                range(0, self.n_devices, self.devices_per_shard)
+            )
+        )
+
+    def device_weights(self, start: int, stop: int) -> np.ndarray:
+        """Per-device workload-mix weights for devices ``[start, stop)``
+        — shape ``(stop - start, len(self.workloads))``, rows sum to 1.
+
+        Drawn from ``Dirichlet(concentration * base mix)`` in fixed
+        :data:`GENERATION_BLOCK`-device blocks, so the same device gets
+        the same mix regardless of sharding (see module docstring).
+        """
+        if not 0 <= start <= stop <= self.n_devices:
+            raise ConfigurationError(
+                f"device range [{start}, {stop}) outside fleet of "
+                f"{self.n_devices}"
+            )
+        scenario = self.traffic
+        alpha = np.asarray(scenario.base_weights()) * scenario.concentration
+        parts = []
+        first_block = start // GENERATION_BLOCK
+        last_block = (stop - 1) // GENERATION_BLOCK if stop > start else first_block
+        for block in range(first_block, last_block + 1):
+            block_start = block * GENERATION_BLOCK
+            rng = np.random.default_rng([self.seed, block])
+            weights = rng.dirichlet(alpha, size=GENERATION_BLOCK)
+            lo = max(start, block_start) - block_start
+            hi = min(stop, block_start + GENERATION_BLOCK) - block_start
+            parts.append(weights[lo:hi])
+        if not parts:
+            return np.zeros((0, len(self.workloads)))
+        return np.concatenate(parts, axis=0)
+
+    # ------------------------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Manifest form (store ``fleet.json``; also the pool payload)."""
+        payload = {
+            "name": self.name,
+            "rows": self.rows,
+            "cols": self.cols,
+            "policies": [
+                {"name": policy.name, "kwargs": policy.as_kwargs()}
+                for policy in self.policies
+            ],
+            "scenario": self.scenario,
+            "n_devices": self.n_devices,
+            "devices_per_shard": self.devices_per_shard,
+            "seed": self.seed,
+            "mission_years": list(self.mission_years),
+        }
+        if self.ctx_lines is not None:
+            payload["ctx_lines"] = self.ctx_lines
+        return payload
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "FleetSpec":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            name=payload.get("name", "fleet"),
+            rows=int(payload["rows"]),
+            cols=int(payload["cols"]),
+            policies=tuple(
+                PolicySpec.make(entry["name"], **entry.get("kwargs", {}))
+                for entry in payload["policies"]
+            ),
+            scenario=payload.get("scenario", "uniform"),
+            n_devices=int(payload["n_devices"]),
+            devices_per_shard=int(payload["devices_per_shard"]),
+            seed=int(payload.get("seed", 0)),
+            mission_years=tuple(
+                float(year) for year in payload["mission_years"]
+            ),
+            ctx_lines=payload.get("ctx_lines"),
+        )
+
+    def fingerprint(self) -> str:
+        """Content digest stamped on every shard record: records from
+        a different spec (or generation-block constant) never merge."""
+        payload = dict(self.to_jsonable(), generation_block=GENERATION_BLOCK)
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()[:16]

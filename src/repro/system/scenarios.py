@@ -1,4 +1,4 @@
-"""The paper's named design points (Section IV-B).
+"""Named design points (Section IV-B) and fleet traffic scenarios.
 
 From the design-space exploration of Fig. 6 the paper selects:
 
@@ -8,16 +8,27 @@ From the design-space exploration of Fig. 6 the paper selects:
   17.8% average utilization;
 * **BU** (best/lowest utilization): L=32, W=8 — 2.45x speedup,
   +46% energy, 8.9% average utilization.
+
+Beyond the three named points, :class:`TrafficScenario` describes a
+*distribution* over workload mixes: the paper evaluates one device
+running the whole suite uniformly, but a deployed fleet sees per-device
+traffic — a crypto gateway hammers SHA/AES, a vision node runs the
+SUSAN kernels, and no two devices have exactly the same mix. A
+scenario names a base mix (relative launch frequency per workload) and
+a Dirichlet ``concentration`` controlling how tightly individual
+devices cluster around it; :mod:`repro.fleet` expands a scenario into
+per-device workload-mix weights.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cgra.fabric import FabricGeometry
 from repro.errors import ConfigurationError
 from repro.system.params import SystemParams
 from repro.system.transrec import TransRecSystem
+from repro.workloads.suite import workload_names
 
 
 @dataclass(frozen=True)
@@ -60,3 +71,125 @@ def make_system(
 ) -> TransRecSystem:
     """A ready-to-run system for a named scenario under ``policy``."""
     return TransRecSystem(make_params(scenario, policy, **policy_kwargs))
+
+
+# ----------------------------------------------------------------------
+# Fleet traffic scenarios
+
+
+@dataclass(frozen=True)
+class TrafficScenario:
+    """A distribution over per-device workload mixes.
+
+    Attributes:
+        name: scenario identifier.
+        description: one-line summary of the deployment it models.
+        mix: relative launch frequency per workload (unnormalised;
+            workloads absent from the map get weight 0). Empty selects
+            the full suite uniformly.
+        concentration: Dirichlet concentration scale — per-device mixes
+            are drawn from ``Dirichlet(concentration * normalised
+            mix)``, so high values give a homogeneous fleet tightly
+            clustered on the base mix and low values a heterogeneous
+            one where individual devices specialise.
+    """
+
+    name: str
+    description: str
+    mix: dict[str, float] = field(default_factory=dict)
+    concentration: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.concentration <= 0:
+            raise ConfigurationError("concentration must be positive")
+        known = workload_names()
+        unknown = sorted(set(self.mix) - set(known))
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {self.name!r} names unknown workload(s) "
+                f"{unknown}; available: {list(known)}"
+            )
+        for workload, weight in self.mix.items():
+            if weight < 0:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: negative weight for "
+                    f"{workload!r}"
+                )
+        if self.mix and not any(self.mix.values()):
+            raise ConfigurationError(
+                f"scenario {self.name!r}: all mix weights are zero"
+            )
+
+    @property
+    def workloads(self) -> tuple[str, ...]:
+        """Workloads with nonzero weight, in canonical suite order."""
+        if not self.mix:
+            return workload_names()
+        return tuple(
+            name for name in workload_names() if self.mix.get(name, 0.0) > 0
+        )
+
+    def base_weights(self) -> tuple[float, ...]:
+        """The normalised base mix over :attr:`workloads` (sums to 1)."""
+        names = self.workloads
+        if not self.mix:
+            return tuple(1.0 / len(names) for _ in names)
+        total = sum(self.mix[name] for name in names)
+        return tuple(self.mix[name] / total for name in names)
+
+
+#: Named fleet traffic scenarios — the distributions
+#: :class:`repro.fleet.FleetSpec` expands into per-device mixes.
+TRAFFIC_SCENARIOS: dict[str, TrafficScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        TrafficScenario(
+            "uniform",
+            "every device runs the full suite evenly (the paper's "
+            "single-device evaluation, fleet-expanded)",
+        ),
+        TrafficScenario(
+            "crypto_gateway",
+            "security gateways: hashing and block ciphers dominate, "
+            "checksums on every frame",
+            mix={"sha": 5.0, "rijndael": 4.0, "crc32": 3.0, "stringsearch": 1.0},
+            concentration=40.0,
+        ),
+        TrafficScenario(
+            "edge_vision",
+            "camera nodes: SUSAN image pipeline with occasional sorting",
+            mix={
+                "susan_smoothing": 4.0,
+                "susan_edges": 3.0,
+                "susan_corners": 3.0,
+                "qsort": 1.0,
+            },
+            concentration=40.0,
+        ),
+        TrafficScenario(
+            "telemetry_node",
+            "sensor aggregators: bit manipulation, checksums and "
+            "pattern matching over sparse readings",
+            mix={"bitcount": 4.0, "crc32": 3.0, "stringsearch": 2.0, "sha": 1.0},
+            concentration=25.0,
+        ),
+        TrafficScenario(
+            "navigation",
+            "route planners: graph search and sorting with light "
+            "integrity checks",
+            mix={"dijkstra": 5.0, "qsort": 3.0, "crc32": 1.0},
+            concentration=25.0,
+        ),
+    )
+}
+
+
+def traffic_scenario(name: str) -> TrafficScenario:
+    """Look up a named traffic scenario."""
+    scenario = TRAFFIC_SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown traffic scenario {name!r}; "
+            f"available: {sorted(TRAFFIC_SCENARIOS)}"
+        )
+    return scenario

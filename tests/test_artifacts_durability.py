@@ -1,0 +1,106 @@
+"""Artifact durability regressions: atomic writes, total set ordering,
+and the zero-energy guard.
+
+Each test pins one failure mode this PR fixed:
+
+* ``write_json`` used to stream straight into the destination — a
+  crash mid-``json.dump`` left a truncated artifact that poisoned
+  later reads. It now writes a temp file in the same directory and
+  ``os.replace``\\ s it into place.
+* ``to_jsonable`` sorted set members with bare ``sorted()``, which
+  raises ``TypeError`` on mixed-type sets — violating the function's
+  own never-fails contract.
+* ``SuiteRun.energy_ratio`` silently returned 1.0 ("parity") when the
+  suite's total GPP energy was zero, masking degenerate runs.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.campaign.artifacts import to_jsonable, write_json
+from repro.campaign.results import SuiteRun
+from repro.cgra.fabric import FabricGeometry
+from repro.errors import ConfigurationError
+
+
+def test_write_json_is_atomic_on_mid_dump_crash(tmp_path, monkeypatch):
+    """A crash during serialization must leave the previous complete
+    artifact untouched and no temp litter behind."""
+    target = tmp_path / "artifact.json"
+    write_json(target, {"generation": 1})
+    before = target.read_bytes()
+
+    calls = {"n": 0}
+    real_dump = json.dump
+
+    def exploding_dump(obj, handle, **kwargs):
+        handle.write('{"generation": 2, "partial": ')  # torn output
+        calls["n"] += 1
+        raise OSError("disk full mid-dump")
+
+    monkeypatch.setattr(json, "dump", exploding_dump)
+    with pytest.raises(OSError, match="disk full"):
+        write_json(target, {"generation": 2})
+    monkeypatch.setattr(json, "dump", real_dump)
+
+    assert calls["n"] == 1
+    assert target.read_bytes() == before, "crash corrupted the artifact"
+    litter = [p for p in tmp_path.iterdir() if p != target]
+    assert litter == [], f"temp files left behind: {litter}"
+
+
+def test_write_json_creates_parents_and_round_trips(tmp_path):
+    target = tmp_path / "deep" / "nested" / "artifact.json"
+    write_json(target, {"values": [1, 2, 3]})
+    assert json.loads(target.read_text()) == {"values": [1, 2, 3]}
+
+
+def test_to_jsonable_mixed_type_set_is_total_and_deterministic():
+    """Mixed-type sets must serialize (never TypeError) and always in
+    the same order regardless of set iteration order."""
+    mixed = {1, "a", 2.5, "b", None}
+    out = to_jsonable(mixed)
+    assert sorted(map(repr, out)) == sorted(
+        map(repr, [1, "a", 2.5, "b", None])
+    )
+    # Deterministic across equivalent sets built in different orders.
+    assert out == to_jsonable({None, "b", 2.5, "a", 1})
+    json.dumps(out)  # and actually JSON-serializable
+
+
+def test_to_jsonable_homogeneous_set_keeps_natural_order():
+    """Homogeneous sets keep natural sort order (pinned: repr-sorting
+    would misplace {2, 10} as [10, 2] and break golden artifacts)."""
+    assert to_jsonable({10, 2, 33}) == [2, 10, 33]
+    assert to_jsonable(frozenset({"b", "a"})) == ["a", "b"]
+
+
+def _fake_run(pairs):
+    """SuiteRun over stub results carrying only the energy fields."""
+    results = {
+        f"w{i}": SimpleNamespace(
+            transrec_energy=SimpleNamespace(total_pj=transrec),
+            gpp_energy=SimpleNamespace(total_pj=gpp),
+        )
+        for i, (transrec, gpp) in enumerate(pairs)
+    }
+    return SuiteRun(
+        geometry=FabricGeometry(rows=2, cols=2),
+        policy="baseline",
+        results=results,
+    )
+
+
+def test_energy_ratio_zero_gpp_energy_raises():
+    run = _fake_run([(5.0, 0.0), (3.0, 0.0)])
+    with pytest.raises(ConfigurationError, match="GPP energy is zero"):
+        run.energy_ratio()
+
+
+def test_energy_ratio_normal_case_unchanged():
+    run = _fake_run([(5.0, 10.0), (3.0, 6.0)])
+    assert run.energy_ratio() == pytest.approx(0.5)

@@ -75,9 +75,11 @@ def test_default_greedy_experiment_pinned(name, tmp_path):
 
 def test_golden_fixtures_cover_all_default_greedy_experiments():
     """The fixture set and the experiment registry stay in sync: every
-    registered experiment is either pinned here or a deliberately
-    unpinned mapper ablation."""
+    registered experiment is either pinned here, a deliberately
+    unpinned mapper ablation, or the fleet campaign (deterministic, but
+    pinned by the dedicated invariant tests in tests/test_fleet.py and
+    the CI kill-and-resume smoke rather than a byte fixture)."""
     from repro.experiments import ALL_EXPERIMENTS
 
     unpinned = set(ALL_EXPERIMENTS) - set(DEFAULT_GREEDY_EXPERIMENTS)
-    assert unpinned == {"mapping", "routing"}
+    assert unpinned == {"mapping", "routing", "fleet"}
