@@ -31,8 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro import obs
@@ -42,6 +41,7 @@ from repro.campaign.spec import CampaignSpec, DesignPoint
 from repro.cgra.fabric import FabricGeometry
 from repro.errors import ConfigurationError
 from repro.kernels import active_backend, set_backend
+from repro.resilience import ResilientExecutor, RetryPolicy, TaskFailure
 from repro.sim.trace import Trace
 from repro.system.params import SystemParams
 from repro.system.schedule import (
@@ -168,10 +168,16 @@ def _pool_evaluate_group(
 @dataclass
 class CampaignResult:
     """Evaluated campaign: design points mapped to their suite runs
-    (insertion order follows ``spec.design_points()``)."""
+    (insertion order follows ``spec.design_points()``).
+
+    ``failures`` lists quarantined tasks (points whose schedule group
+    could not be evaluated even after retries — their points are
+    absent from ``runs``); it is empty on every healthy run.
+    """
 
     spec: CampaignSpec
     runs: dict[DesignPoint, SuiteRun]
+    failures: tuple[TaskFailure, ...] = ()
 
     def __iter__(self):
         return iter(self.runs.items())
@@ -219,6 +225,16 @@ class CampaignRunner:
             files are ignored and rewritten, and results stay
             bit-identical (replay never depends on where the schedule
             came from).
+        retry: :class:`~repro.resilience.RetryPolicy` governing how
+            pool-task failures (worker crashes, hangs, transient
+            exceptions) are retried before a group is quarantined
+            (default policy: 3 attempts, seeded exponential backoff).
+        task_timeout: per-group wall-clock budget in seconds for pool
+            execution; a hung worker past the budget is abandoned and
+            its group requeued (``None`` = unbounded, the default).
+        max_pool_rebuilds: broken-pool recoveries tolerated before the
+            runner degrades to serial in-process evaluation of the
+            remaining groups (results stay bit-identical either way).
     """
 
     def __init__(
@@ -228,6 +244,9 @@ class CampaignRunner:
         base_params: SystemParams | None = None,
         share_schedules: bool = True,
         schedule_cache_dir: str | Path | None = None,
+        retry: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        max_pool_rebuilds: int = 3,
     ) -> None:
         self.max_workers = max_workers
         self.artifact_dir = Path(artifact_dir) if artifact_dir else None
@@ -236,6 +255,9 @@ class CampaignRunner:
         self.schedule_cache_dir = (
             Path(schedule_cache_dir) if schedule_cache_dir else None
         )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.task_timeout = task_timeout
+        self.max_pool_rebuilds = max_pool_rebuilds
 
     def schedule_groups(
         self, points: tuple[DesignPoint, ...]
@@ -352,75 +374,151 @@ class CampaignRunner:
             else None
         )
         started = time.perf_counter()
-        if parallel:
-            groups = self._balanced_groups(
-                self.schedule_groups(points), self.max_workers, points
-            )
-            kernel_backend = active_backend().backend
-            payloads = [
-                (
-                    tuple(points[index] for index in group),
-                    self.base_params,
-                    mode,
-                    cache_dir,
-                    kernel_backend,
-                    obs_mode,
+        suite_runs: list[SuiteRun | None] = [None] * len(points)
+        failures: list[TaskFailure] = []
+        try:
+            if parallel:
+                self._run_parallel(
+                    points, mode, cache_dir, obs_mode, telemetry_on,
+                    started, suite_runs, failures,
                 )
-                for group in groups
-            ]
-            suite_runs: list[SuiteRun | None] = [None] * len(points)
-            done = 0
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                for group, (group_runs, snap) in zip(
-                    groups, pool.map(_pool_evaluate_group, payloads)
-                ):
-                    for index, run in zip(group, group_runs):
-                        suite_runs[index] = run
-                    done += len(group)
-                    if telemetry_on:
-                        obs.absorb(snap)
-                        obs.log.progress(
-                            "campaign.group",
-                            done,
-                            len(points),
-                            time.perf_counter() - started,
-                            group=self._group_label(points[group[0]]),
-                            points=len(group),
-                        )
-        else:
-            # Serial evaluation shares schedules through the in-process
-            # memo regardless of point order; no grouping needed. The
-            # runner's disk cache (when set) is scoped to the run so it
-            # does not leak into the caller's process state.
-            previous_cache = (
-                set_schedule_cache_dir(cache_dir)
-                if cache_dir is not None
-                else None
-            )
-            try:
-                suite_runs = []
-                for done, point in enumerate(points, start=1):
-                    suite_runs.append(
-                        evaluate_design_point(
-                            point, self.base_params, traces, mode
-                        )
-                    )
-                    if telemetry_on:
-                        obs.log.progress(
-                            "campaign.point",
-                            done,
-                            len(points),
-                            time.perf_counter() - started,
-                            point=point.label,
-                        )
-            finally:
-                if cache_dir is not None:
-                    set_schedule_cache_dir(previous_cache)
-        runs = dict(zip(points, suite_runs))
-        result = CampaignResult(spec=spec, runs=runs)
+            else:
+                self._run_serial(
+                    points, traces, mode, cache_dir, telemetry_on,
+                    started, suite_runs,
+                )
+        except KeyboardInterrupt:
+            # Salvage: completed points are real, deterministic results
+            # — persist them (plus the partial manifest) before
+            # re-raising, so a Ctrl-C mid-campaign loses only the
+            # unfinished work.
+            partial = self._build_result(spec, points, suite_runs, failures)
+            if self.artifact_dir is not None:
+                self._write_artifacts(partial, interrupted=True)
+                obs.log.emit(
+                    "campaign.interrupted",
+                    completed=len(partial.runs),
+                    total=len(points),
+                    artifact_dir=str(self.artifact_dir),
+                )
+            raise
+        result = self._build_result(spec, points, suite_runs, failures)
         if self.artifact_dir is not None:
             self._write_artifacts(result)
         return result
+
+    def _run_parallel(
+        self,
+        points: tuple[DesignPoint, ...],
+        mode: str,
+        cache_dir: str | None,
+        obs_mode: str | None,
+        telemetry_on: bool,
+        started: float,
+        suite_runs: list[SuiteRun | None],
+        failures: list[TaskFailure],
+    ) -> None:
+        groups = self._balanced_groups(
+            self.schedule_groups(points), self.max_workers, points
+        )
+        kernel_backend = active_backend().backend
+        payloads = [
+            (
+                tuple(points[index] for index in group),
+                self.base_params,
+                mode,
+                cache_dir,
+                kernel_backend,
+                obs_mode,
+            )
+            for group in groups
+        ]
+        keys = [
+            f"group:{position}:{self._group_label(points[group[0]])}"
+            for position, group in enumerate(groups)
+        ]
+        progress = {"done": 0}
+
+        def collect(position: int, payload) -> None:
+            group_runs, snap = payload
+            for index, run in zip(groups[position], group_runs):
+                suite_runs[index] = run
+            progress["done"] += len(groups[position])
+            if telemetry_on:
+                obs.absorb(snap)
+                obs.log.progress(
+                    "campaign.group",
+                    progress["done"],
+                    len(points),
+                    time.perf_counter() - started,
+                    group=self._group_label(points[groups[position][0]]),
+                    points=len(groups[position]),
+                )
+
+        executor = ResilientExecutor(
+            _pool_evaluate_group,
+            self.max_workers,
+            retry=self.retry,
+            task_timeout=self.task_timeout,
+            max_pool_rebuilds=self.max_pool_rebuilds,
+        )
+        report = executor.run(payloads, keys=keys, on_result=collect)
+        for failure in report.failures:
+            position = keys.index(failure.key)
+            failure.detail["points"] = [
+                points[index].key for index in groups[position]
+            ]
+            failures.append(failure)
+
+    def _run_serial(
+        self,
+        points: tuple[DesignPoint, ...],
+        traces: dict[str, Trace] | None,
+        mode: str,
+        cache_dir: str | None,
+        telemetry_on: bool,
+        started: float,
+        suite_runs: list[SuiteRun | None],
+    ) -> None:
+        # Serial evaluation shares schedules through the in-process
+        # memo regardless of point order; no grouping needed. The
+        # runner's disk cache (when set) is scoped to the run so it
+        # does not leak into the caller's process state.
+        previous_cache = (
+            set_schedule_cache_dir(cache_dir)
+            if cache_dir is not None
+            else None
+        )
+        try:
+            for index, point in enumerate(points):
+                suite_runs[index] = evaluate_design_point(
+                    point, self.base_params, traces, mode
+                )
+                if telemetry_on:
+                    obs.log.progress(
+                        "campaign.point",
+                        index + 1,
+                        len(points),
+                        time.perf_counter() - started,
+                        point=point.label,
+                    )
+        finally:
+            if cache_dir is not None:
+                set_schedule_cache_dir(previous_cache)
+
+    @staticmethod
+    def _build_result(
+        spec: CampaignSpec,
+        points: tuple[DesignPoint, ...],
+        suite_runs: list[SuiteRun | None],
+        failures: list[TaskFailure],
+    ) -> CampaignResult:
+        runs = {
+            point: run
+            for point, run in zip(points, suite_runs)
+            if run is not None
+        }
+        return CampaignResult(spec=spec, runs=runs, failures=tuple(failures))
 
     def _group_label(self, point: DesignPoint) -> str:
         """Short stable digest of the point's schedule key (names the
@@ -430,12 +528,28 @@ class CampaignRunner:
             repr(schedule_key(params)).encode()
         ).hexdigest()[:8]
 
-    def _write_artifacts(self, result: CampaignResult) -> None:
+    def _write_artifacts(
+        self, result: CampaignResult, interrupted: bool = False
+    ) -> None:
         manifest = {
             "spec": result.spec.to_jsonable(),
             "design_points": [point.key for point in result.points],
         }
+        if interrupted:
+            # Partial manifest: design_points lists only the completed
+            # points whose per-point JSONs exist below.
+            manifest["interrupted"] = True
         write_json(self.artifact_dir / "campaign.json", manifest)
+        if result.failures or interrupted:
+            write_json(
+                self.artifact_dir / "failures.json",
+                {
+                    "interrupted": interrupted,
+                    "failures": [
+                        failure.to_jsonable() for failure in result.failures
+                    ],
+                },
+            )
         for point, run in result.runs.items():
             write_json(
                 self.artifact_dir / f"{point.key}.json",

@@ -42,5 +42,26 @@ class AllocationError(ReproError):
     """Raised when an allocation policy produces an invalid placement."""
 
 
+class ExecutionError(ReproError):
+    """Raised when the resilient execution layer cannot complete a task
+    (worker loss, timeout, exhausted retries)."""
+
+
+class WorkerCrashError(ExecutionError):
+    """Raised when a pool worker died (broken process pool) while a
+    task was in flight — retryable by default."""
+
+
+class TaskTimeoutError(ExecutionError):
+    """Raised when a task exceeded its per-task wall-clock timeout —
+    retryable by default (the worker may simply have been slow)."""
+
+
+class InjectedFaultError(ExecutionError):
+    """Raised by the fault-injection harness (:mod:`repro.resilience`)
+    at a ``task.error`` site — only ever seen under an active
+    :class:`~repro.resilience.faults.FaultPlan`."""
+
+
 class MappingError(ReproError):
     """Raised when a mapper produces an illegal virtual configuration."""

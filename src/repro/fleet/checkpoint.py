@@ -23,6 +23,7 @@ from pathlib import Path
 from repro import obs
 from repro.cgra.fabric import FabricGeometry
 from repro.core.utilization import UtilizationTracker
+from repro.resilience import faults
 
 #: Bump when the checkpoint payload layout changes; stale versions are
 #: ignored and recomputed, never unpickled into a new schema.
@@ -48,8 +49,12 @@ def save_tracker(path: str | Path, tracker: UtilizationTracker) -> Path | None:
             dir=path.parent, prefix=path.name, suffix=".tmp"
         )
         try:
+            data = faults.corrupt_bytes(
+                "checkpoint.corrupt",
+                pickle.dumps((CHECKPOINT_VERSION, state)),
+            )
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump((CHECKPOINT_VERSION, state), handle)
+                handle.write(data)
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -38,8 +38,7 @@ deterministic — produces bit-identical merged aggregates.
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -58,8 +57,10 @@ from repro.fleet.store import (
     FleetAggregate,
     ResultStore,
     ShardRecord,
+    StoreSkips,
     merge_records,
 )
+from repro.resilience import ResilientExecutor, RetryPolicy, TaskFailure
 from repro.system.params import SystemParams
 from repro.system.schedule import (
     replay_schedule,
@@ -188,8 +189,17 @@ class FleetResult:
     #: Shards evaluated this run vs resumed from the store.
     shards_run: int
     shards_resumed: int
-    #: Torn/corrupt/foreign store lines skipped while resuming.
+    #: Total store lines skipped while resuming (see ``store_skips``
+    #: for the torn/stale/corrupt/foreign breakdown).
     store_lines_skipped: int
+    store_skips: StoreSkips = field(default_factory=StoreSkips)
+    #: Shard chunks quarantined after exhausting retries; their shards
+    #: are absent from the aggregates (graceful degradation).
+    failures: tuple[TaskFailure, ...] = ()
+    shards_failed: int = 0
+    #: store.append I/O errors degraded to in-memory records (merged
+    #: aggregates stay correct; only resumability was lost).
+    store_append_errors: int = 0
 
     def aggregate(self, policy: str) -> FleetAggregate:
         agg = self.aggregates.get(policy)
@@ -217,6 +227,10 @@ class FleetResult:
             "shards_run": self.shards_run,
             "shards_resumed": self.shards_resumed,
             "store_lines_skipped": self.store_lines_skipped,
+            "store_skips": self.store_skips.to_jsonable(),
+            "shards_failed": self.shards_failed,
+            "store_append_errors": self.store_append_errors,
+            "failures": [failure.to_jsonable() for failure in self.failures],
             "policies": {
                 name: aggregate.to_jsonable()
                 for name, aggregate in self.aggregates.items()
@@ -245,6 +259,13 @@ class FleetRunner:
             (bit-exact), so incremental campaigns skip the replay too.
         model: NBTI model for device lifetimes (default calibration:
             +10% delay over 3 years at full stress).
+        retry: :class:`~repro.resilience.RetryPolicy` for pool-task
+            failures during shard expansion (worker crashes, hangs,
+            transient exceptions) before a chunk is quarantined.
+        task_timeout: per-chunk wall-clock budget in seconds for pool
+            expansion (``None`` = unbounded).
+        max_pool_rebuilds: broken-pool recoveries tolerated before
+            degrading to serial in-process expansion.
     """
 
     def __init__(
@@ -255,6 +276,9 @@ class FleetRunner:
         schedule_cache_dir: str | Path | None = None,
         checkpoint_dir: str | Path | None = None,
         model: NBTIModel | None = None,
+        retry: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        max_pool_rebuilds: int = 3,
     ) -> None:
         self.store_dir = Path(store_dir) if store_dir else None
         self.max_workers = max_workers
@@ -264,6 +288,9 @@ class FleetRunner:
         )
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.model = model if model is not None else NBTIModel()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.task_timeout = task_timeout
+        self.max_pool_rebuilds = max_pool_rebuilds
 
     # ------------------------------------------------------------------
 
@@ -336,9 +363,9 @@ class FleetRunner:
         fingerprint = spec.fingerprint()
         store = ResultStore(self.store_dir) if self.store_dir else None
         resumed: list[ShardRecord] = []
-        skipped = 0
+        skips = StoreSkips()
         if store is not None:
-            resumed, skipped = store.load(fingerprint)
+            resumed, skips = store.load(fingerprint)
         done: set[tuple[str, int]] = {
             (record.policy, record.shard) for record in resumed
         }
@@ -358,7 +385,7 @@ class FleetRunner:
             profiles = (
                 self.stress_profiles(spec) if pending else {}
             )
-            fresh = self._expand_pending(
+            fresh, append_errors, failures = self._expand_pending(
                 spec, pending, profiles, fingerprint, store, started
             )
         # Deduplicate against resumed records: a shard is re-run when
@@ -367,12 +394,19 @@ class FleetRunner:
         # double-count. merge_records keeps the first of each
         # (policy, shard) key; resumed-first preserves store priority.
         aggregates = merge_records(resumed + fresh, spec.mission_years)
+        shards_failed = sum(
+            len(failure.detail.get("shards", ())) for failure in failures
+        )
         result = FleetResult(
             spec=spec,
             aggregates=aggregates,
             shards_run=len(pending),
             shards_resumed=len(spec.shards()) - len(pending),
-            store_lines_skipped=skipped,
+            store_lines_skipped=skips.total,
+            store_skips=skips,
+            failures=tuple(failures),
+            shards_failed=shards_failed,
+            store_append_errors=append_errors,
         )
         if store is not None:
             write_json(store.directory / "fleet.json", spec.to_jsonable())
@@ -389,17 +423,38 @@ class FleetRunner:
         fingerprint: str,
         store: ResultStore | None,
         started: float,
-    ) -> list[ShardRecord]:
-        """Phase 2 over the pending shards, serially or on a pool;
-        records are appended to the store as they arrive (streaming —
-        a kill at any point leaves a resumable store)."""
+    ) -> tuple[list[ShardRecord], int, list[TaskFailure]]:
+        """Phase 2 over the pending shards, serially or on the
+        resilient pool; records are appended to the store as they
+        arrive (streaming — a kill at any point leaves a resumable
+        store). Returns ``(records, store_append_errors, failures)``.
+
+        A ``store.append`` I/O failure (full disk, dead mount,
+        injected fault) degrades to keeping the record in memory: the
+        merged aggregates stay correct, only this run's resumability
+        is lost for that record.
+        """
         telemetry_on = obs.enabled()
         records: list[ShardRecord] = []
+        append_errors = 0
+        progress = {"shards": 0}
 
         def collect(batch: list[ShardRecord], done_shards: int) -> None:
+            nonlocal append_errors
             for record in batch:
                 if store is not None:
-                    store.append(record)
+                    try:
+                        store.append(record)
+                    except OSError as error:
+                        append_errors += 1
+                        obs.count("fleet.store.append_errors")
+                        if append_errors == 1:
+                            obs.log.emit(
+                                "fleet.store.append_error",
+                                policy=record.policy,
+                                shard=record.shard,
+                                error=str(error),
+                            )
                 records.append(record)
             if telemetry_on:
                 obs.log.progress(
@@ -423,27 +478,37 @@ class FleetRunner:
                     ),
                     index,
                 )
-            return records
+            return records, append_errors, []
         chunks = [
             tuple(pending[index : index + _SHARDS_PER_TASK])
             for index in range(0, len(pending), _SHARDS_PER_TASK)
         ]
         spec_payload = spec.to_jsonable()
-        done_shards = 0
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {
-                pool.submit(
-                    _pool_expand_shards,
-                    (spec_payload, chunk, profiles, self.model, fingerprint),
-                ): chunk
-                for chunk in chunks
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(
-                    remaining, return_when=FIRST_COMPLETED
-                )
-                for future in finished:
-                    done_shards += len(futures[future])
-                    collect(future.result(), done_shards)
-        return records
+        payloads = [
+            (spec_payload, chunk, profiles, self.model, fingerprint)
+            for chunk in chunks
+        ]
+        keys = [
+            f"shards:{chunk[0].index}-{chunk[-1].index}" for chunk in chunks
+        ]
+
+        def on_result(position: int, batch: list[ShardRecord]) -> None:
+            progress["shards"] += len(chunks[position])
+            collect(batch, progress["shards"])
+
+        executor = ResilientExecutor(
+            _pool_expand_shards,
+            self.max_workers,
+            retry=self.retry,
+            task_timeout=self.task_timeout,
+            max_pool_rebuilds=self.max_pool_rebuilds,
+        )
+        report = executor.run(payloads, keys=keys, on_result=on_result)
+        failures: list[TaskFailure] = []
+        for failure in report.failures:
+            position = keys.index(failure.key)
+            failure.detail["shards"] = [
+                shard.index for shard in chunks[position]
+            ]
+            failures.append(failure)
+        return records, append_errors, failures

@@ -37,6 +37,7 @@ import numpy as np
 from repro import obs
 from repro.aging.lifetime import survival_counts
 from repro.errors import ConfigurationError
+from repro.resilience import faults
 
 #: On-disk record schema version; bump on layout changes so stale
 #: records are skipped rather than misread.
@@ -319,13 +320,45 @@ def merge_records(
     return aggregates
 
 
+@dataclass
+class StoreSkips:
+    """Per-category counts of store lines the loader skipped.
+
+    Categories: ``torn`` (not parseable JSON — a write died mid-line),
+    ``stale`` (an older record schema version), ``corrupt`` (parseable
+    but schema-invalid), ``foreign`` (another fleet's fingerprint).
+    """
+
+    torn: int = 0
+    stale: int = 0
+    corrupt: int = 0
+    foreign: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.torn + self.stale + self.corrupt + self.foreign
+
+    def __bool__(self) -> bool:
+        return self.total > 0
+
+    def to_jsonable(self) -> dict:
+        return {
+            "torn": self.torn,
+            "stale": self.stale,
+            "corrupt": self.corrupt,
+            "foreign": self.foreign,
+            "total": self.total,
+        }
+
+
 class ResultStore:
     """The on-disk NDJSON shard-record store of one fleet campaign.
 
     ``append`` writes one record as one line (single ``write`` on an
     append-mode handle); ``load`` returns every intact record matching
-    ``fingerprint`` and counts torn/alien lines instead of raising, so
-    a store that survived a kill -9 is still a valid resume point.
+    ``fingerprint`` and counts torn/stale/corrupt/foreign lines per
+    category instead of raising, so a store that survived a kill -9 is
+    still a valid resume point.
     """
 
     FILENAME = "shards.ndjson"
@@ -335,6 +368,7 @@ class ResultStore:
         self.path = self.directory / self.FILENAME
 
     def append(self, record: ShardRecord) -> None:
+        faults.maybe_fire("store.append")
         self.directory.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record.to_jsonable(), sort_keys=True)
         with self.path.open("a", encoding="utf-8") as handle:
@@ -343,14 +377,13 @@ class ResultStore:
             os.fsync(handle.fileno())
         obs.count("fleet.store.appends")
 
-    def load(self, fingerprint: str) -> tuple[list[ShardRecord], int]:
+    def load(self, fingerprint: str) -> tuple[list[ShardRecord], StoreSkips]:
         """All intact records stamped with ``fingerprint``, plus the
-        number of skipped lines (torn, corrupt, stale version or
-        foreign fingerprint)."""
+        per-category :class:`StoreSkips` breakdown of skipped lines."""
+        skips = StoreSkips()
         if not self.path.exists():
-            return [], 0
+            return [], skips
         records: list[ShardRecord] = []
-        skipped = 0
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -358,15 +391,31 @@ class ResultStore:
                     continue
                 try:
                     payload = json.loads(line)
+                except ValueError:
+                    skips.torn += 1
+                    continue
+                if not isinstance(payload, dict):
+                    skips.corrupt += 1
+                    continue
+                if payload.get("version") != STORE_VERSION:
+                    skips.stale += 1
+                    continue
+                try:
                     record = ShardRecord.from_jsonable(payload)
                 except (ValueError, KeyError, TypeError):
-                    skipped += 1
+                    skips.corrupt += 1
                     continue
                 if record.fingerprint != fingerprint:
-                    skipped += 1
+                    skips.foreign += 1
                     continue
                 records.append(record)
-        if skipped:
-            obs.count("fleet.store.skipped_lines", skipped)
+        for category, value in (
+            ("torn", skips.torn),
+            ("stale", skips.stale),
+            ("corrupt", skips.corrupt),
+            ("foreign", skips.foreign),
+        ):
+            if value:
+                obs.count(f"fleet.store.skipped.{category}", value)
         obs.count("fleet.store.loaded", len(records))
-        return records, skipped
+        return records, skips

@@ -58,6 +58,7 @@ from repro.errors import ConfigurationError
 from repro.gpp.timing import GPPTimingModel, GPPTimingResult
 from repro.hw.energy import EnergyModel, EnergyReport, SystemActivity
 from repro.mapping import make_mapper
+from repro.resilience import faults
 from repro.sim.trace import Trace
 from repro.system.params import SystemParams
 from repro.system.stats import CGRAStats
@@ -520,8 +521,12 @@ def _disk_cache_store(path: Path, schedule: LaunchSchedule) -> None:
             dir=path.parent, prefix=path.name, suffix=".tmp"
         )
         try:
+            data = faults.corrupt_bytes(
+                "schedule_cache.corrupt",
+                pickle.dumps((_DISK_CACHE_VERSION, schedule)),
+            )
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump((_DISK_CACHE_VERSION, schedule), handle)
+                handle.write(data)
             os.replace(tmp_name, path)
         except BaseException:
             try:

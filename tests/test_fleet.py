@@ -314,10 +314,12 @@ def test_store_skips_torn_corrupt_and_foreign_lines(tmp_path):
     with store.path.open("a") as handle:
         handle.write("not json at all\n")
         handle.write(json.dumps(_record(3, [6.0]).to_jsonable())[:25])
-    records, skipped = store.load("f")
+    records, skips = store.load("f")
     assert [r.shard for r in records] == [0, 1]
-    assert skipped == 3  # foreign fingerprint + garbage + torn line
-    assert ResultStore(tmp_path / "missing").load("f") == ([], 0)
+    assert skips.total == 3
+    assert (skips.foreign, skips.torn) == (1, 2)  # garbage + torn parse as torn
+    empty_records, empty_skips = ResultStore(tmp_path / "missing").load("f")
+    assert empty_records == [] and empty_skips.total == 0
 
 
 # -- checkpoint ------------------------------------------------------------
