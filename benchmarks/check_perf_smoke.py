@@ -15,8 +15,10 @@ and fails when any metric dropped by more than the tolerance::
 allocation engine (``batch_launches_per_sec``), the stress-aware
 segment replay (``schedule_replay_launches_per_sec_stress_aware``),
 SA mapping (``sa_map_units_per_sec``), the routing-profile model
-(``routing_profiles_per_sec``) and fleet shard expansion
-(``fleet_devices_per_sec``) — the hot paths with committed floors.
+(``routing_profiles_per_sec``), fleet shard expansion
+(``fleet_devices_per_sec``) and the speculative front-end walk
+(``spec_walk_launches_per_sec``) — the hot paths with committed
+floors.
 Baselines are backend-scoped: the candidate is compared only against
 committed entries with the same ``kernel_backend`` tag (entries
 predating the tag count as ``numpy``), so compiled-backend numbers can
@@ -46,6 +48,7 @@ DEFAULT_METRICS = (
     "sa_map_units_per_sec",
     "routing_profiles_per_sec",
     "fleet_devices_per_sec",
+    "spec_walk_launches_per_sec",
 )
 
 

@@ -3,8 +3,9 @@
 Times rotation-policy configuration launches through the scalar API and
 the vectorized batch API, simulated-annealing mapping throughput (with
 the congestion cost term on and off), launch-schedule replay
-throughput, and an end-to-end policy-sweep campaign (shared schedules
-vs the coupled per-point walk), and writes the numbers to
+throughput, the speculative front-end walk, and an end-to-end
+policy-sweep campaign (shared schedules vs the coupled per-point
+walk), and writes the numbers to
 ``BENCH_alloc.json`` so successive PRs can track the hot paths' perf
 trajectory::
 
@@ -33,6 +34,7 @@ from repro import obs
 from repro.campaign import CampaignRunner, CampaignSpec, PolicySpec
 from repro.cgra.fabric import FabricGeometry
 from repro.fleet import FleetRunner, FleetSpec, expand_shard
+from repro.frontend import FrontEndSpec
 from repro.kernels import active_backend
 from repro.core.allocator import ConfigurationAllocator
 from repro.core.policy import make_policy
@@ -41,6 +43,7 @@ from repro.mapping import SimulatedAnnealingMapper, routing_profile
 from repro.system import (
     SystemParams,
     clear_schedule_caches,
+    compute_schedule,
     replay_schedule,
     shared_schedule,
 )
@@ -139,6 +142,39 @@ def _replay_metrics(n_replays: int) -> dict:
         if name == "rotation":
             record["schedule_replay_launches_per_sec"] = rate
     return record
+
+
+def _spec_walk_metrics(n_walks: int) -> dict:
+    """Speculative front-end walk throughput (launches recorded per
+    second by ``compute_schedule`` over the annotated fetch stream).
+
+    The annotation memo is warmed first, so the metric isolates the
+    walk over the expanded stream — per-record kind/flush-gap column
+    reads, wrong-path launch accounting and mid-stream GPP segment
+    breaks — not the one-time predictor replay that builds it."""
+    trace = run_workload(REPLAY_WORKLOAD)
+    frontend = FrontEndSpec.make("bimodal", interrupt_rate=0.0005, seed=7)
+    params = SystemParams(
+        geometry=FabricGeometry(rows=ROWS, cols=COLS),
+        policy="rotation",
+        frontend=frontend,
+    )
+    # Warm: builds and memoises the annotated stream (and JITs any
+    # compiled kernels on the speculative columns).
+    schedule = compute_schedule(params, trace)
+    with obs.stopwatch("bench.spec_walk") as watch:
+        for _ in range(n_walks):
+            schedule = compute_schedule(params, trace)
+    return {
+        "spec_walk_workload": REPLAY_WORKLOAD,
+        "spec_walk_frontend": frontend.label,
+        "spec_walks": n_walks,
+        "spec_walk_launches": schedule.n_launches,
+        "spec_walk_wrong_path_launches": schedule.cgra.wrong_path_launches,
+        "spec_walk_launches_per_sec": round(
+            schedule.n_launches * n_walks / watch.elapsed, 1
+        ),
+    }
 
 
 def _campaign_spec(quick: bool) -> CampaignSpec:
@@ -250,6 +286,7 @@ def run(
     sa_units: int = 200,
     routing_profiles: int = 5_000,
     schedule_replays: int = 100,
+    spec_walks: int = 20,
     fleet_devices: int = 131_072,
     quick: bool = False,
 ) -> dict:
@@ -300,6 +337,7 @@ def run(
     if backend.numba_version is not None:
         record["numba_version"] = backend.numba_version
     record.update(_replay_metrics(schedule_replays))
+    record.update(_spec_walk_metrics(spec_walks))
     record.update(_campaign_metrics(quick))
     record.update(_fleet_metrics(fleet_devices))
     record.update(_host_provenance())
@@ -407,6 +445,7 @@ def main(argv: list[str] | None = None) -> int:
             sa_units=20,
             routing_profiles=500,
             schedule_replays=10,
+            spec_walks=4,
             fleet_devices=8_192,
             quick=True,
         )

@@ -145,4 +145,21 @@ def suite_run_summary(point: DesignPoint, run: SuiteRun) -> dict:
         # Same rule for the routing budget: pre-routing artifacts are
         # unchanged, budgeted points record their constraint.
         summary["ctx_lines"] = point.ctx_lines
+    if point.frontend is not None:
+        # Speculative points record their front end and the speculation
+        # counters; pre-front-end artifacts stay byte-identical.
+        summary["frontend"] = point.frontend.to_jsonable()
+        summary["speculation"] = {
+            name: {
+                "wrong_path_launches": result.cgra.wrong_path_launches,
+                "wrong_path_instructions": (
+                    result.cgra.wrong_path_instructions
+                ),
+                "mispredicts": result.cgra.frontend_mispredicts,
+                "flushes": result.cgra.frontend_flushes,
+                "interrupts": result.cgra.frontend_interrupts,
+                "flush_cycles": result.cgra.frontend_flush_cycles,
+            }
+            for name, result in run.results.items()
+        }
     return summary

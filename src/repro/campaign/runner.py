@@ -68,6 +68,7 @@ def _build_params(
             policy_kwargs=point.policy.as_kwargs(),
             mapper=point.mapper.name,
             mapper_kwargs=point.mapper.as_kwargs(),
+            frontend=point.frontend,
         )
     # dataclasses.replace keeps every other (including future) field
     # of the override params intact.
@@ -78,6 +79,7 @@ def _build_params(
         policy_kwargs=point.policy.as_kwargs(),
         mapper=point.mapper.name,
         mapper_kwargs=point.mapper.as_kwargs(),
+        frontend=point.frontend,
     )
 
 

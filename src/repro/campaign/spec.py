@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 
 from repro.core.policy import available_policies, policy_class
 from repro.errors import ConfigurationError
+from repro.frontend.spec import FrontEndSpec
 from repro.mapping import available_mappers, mapper_class
 from repro.workloads.suite import workload_names
 
@@ -154,7 +155,9 @@ class DesignPoint:
     ``ctx_lines`` declares a hard context-line routing budget for the
     point's fabric; ``None`` keeps the default sizing (elastic
     routing), so pre-routing campaigns behave and serialize exactly as
-    before.
+    before. ``frontend`` attaches a speculative front end; ``None``
+    (the default) keeps the clean committed stream and pre-front-end
+    artifact names.
     """
 
     rows: int
@@ -163,14 +166,15 @@ class DesignPoint:
     workloads: tuple[str, ...]
     mapper: MapperSpec = DEFAULT_MAPPER
     ctx_lines: int | None = None
+    frontend: FrontEndSpec | None = None
 
     @property
     def key(self) -> str:
         """Filesystem-safe identifier (artifact file stem).
 
-        The mapper and routing budget contribute only when they are
-        not the defaults, so artifact names from pre-mapper and
-        pre-routing campaigns are stable.
+        The mapper, routing budget and front end contribute only when
+        they are not the defaults, so artifact names from pre-mapper,
+        pre-routing and pre-front-end campaigns are stable.
         """
         parts = [f"L{self.cols}xW{self.rows}", self.policy.name]
         if self.ctx_lines is not None:
@@ -180,6 +184,13 @@ class DesignPoint:
             parts.append(f"m-{self.mapper.name}")
             parts.extend(
                 f"{key}-{value}" for key, value in self.mapper.kwargs
+            )
+        if self.frontend is not None:
+            # The label omits the quieter fields (flush penalty,
+            # handler length); the fingerprint keeps full-identity
+            # uniqueness.
+            parts.append(
+                f"fe-{self.frontend.label}-{self.frontend.fingerprint()[:8]}"
             )
         return "__".join(
             "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in str(part))
@@ -192,9 +203,11 @@ class DesignPoint:
         if self.ctx_lines is not None:
             shape += f"xC{self.ctx_lines}"
         base = f"{shape}/{self.policy.label}"
-        if self.mapper.is_default:
-            return base
-        return f"{base}/{self.mapper.label}"
+        if not self.mapper.is_default:
+            base = f"{base}/{self.mapper.label}"
+        if self.frontend is not None:
+            base = f"{base}/fe:{self.frontend.label}"
+        return base
 
 
 def _geometry_parts(shape: tuple) -> tuple[int, int, int | None]:
@@ -239,6 +252,9 @@ class CampaignSpec:
             seedable policy) combination. ``"paired"`` ties them: seed
             *s* means (policy seed s, mapper seed s), one point per
             seed — the variance-study expansion from the ROADMAP.
+        frontends: speculative front ends to evaluate; entries may be
+            ``None`` for the clean committed stream. Empty selects the
+            clean stream only (the pre-front-end behaviour).
         name: campaign identifier (artifact manifest name).
     """
 
@@ -249,6 +265,7 @@ class CampaignSpec:
     name: str = "campaign"
     mappers: tuple[MapperSpec, ...] = ()
     seed_mode: str = "cross"
+    frontends: tuple[FrontEndSpec | None, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.geometries:
@@ -271,6 +288,12 @@ class CampaignSpec:
                     f"geometry ({rows}, {cols}): ctx_lines {ctx_lines} "
                     "must be >= rows"
                 )
+        for frontend in self.frontends:
+            if frontend is not None and not isinstance(frontend, FrontEndSpec):
+                raise ConfigurationError(
+                    f"frontends entries are FrontEndSpec or None, "
+                    f"got {frontend!r}"
+                )
 
     def resolved_workloads(self) -> tuple[str, ...]:
         """Workload selection with the empty default expanded."""
@@ -279,6 +302,10 @@ class CampaignSpec:
     def resolved_mappers(self) -> tuple[MapperSpec, ...]:
         """Mapper selection with the empty default expanded."""
         return self.mappers if self.mappers else (DEFAULT_MAPPER,)
+
+    def resolved_frontends(self) -> tuple[FrontEndSpec | None, ...]:
+        """Front-end selection with the empty default expanded."""
+        return self.frontends if self.frontends else (None,)
 
     def expanded_policies(self) -> tuple[PolicySpec, ...]:
         """Policies with seed expansion applied."""
@@ -316,14 +343,14 @@ class CampaignSpec:
         return tuple(pairs)
 
     def design_points(self) -> tuple[DesignPoint, ...]:
-        """Every design point: geometries outermost, then mappers,
-        policies innermost (in paired mode, then seeds).
+        """Every design point: geometries outermost, then front ends,
+        then mappers, policies innermost (in paired mode, then seeds).
 
         Raises:
             ConfigurationError: on duplicate design points (repeated
-                geometries, mappers, policies or seeds) — duplicates
-                would silently collapse when results are keyed by
-                point.
+                geometries, front ends, mappers, policies or seeds) —
+                duplicates would silently collapse when results are
+                keyed by point.
         """
         workloads = self.resolved_workloads()
         points = tuple(
@@ -334,8 +361,10 @@ class CampaignSpec:
                 workloads=workloads,
                 mapper=mapper,
                 ctx_lines=ctx_lines,
+                frontend=frontend,
             )
             for rows, cols, ctx_lines in map(_geometry_parts, self.geometries)
+            for frontend in self.resolved_frontends()
             for mapper, policy in self._seed_combinations()
         )
         seen: set[DesignPoint] = set()
@@ -343,7 +372,8 @@ class CampaignSpec:
             if point in seen:
                 raise ConfigurationError(
                     f"duplicate design point {point.label!r}; check for "
-                    "repeated geometries, mappers, policies or seeds"
+                    "repeated geometries, front ends, mappers, policies "
+                    "or seeds"
                 )
             seen.add(point)
         return points
@@ -354,9 +384,9 @@ class CampaignSpec:
     def to_jsonable(self) -> dict:
         """Manifest form (see ``campaign.json`` artifacts).
 
-        The ``mappers`` and ``seed_mode`` entries are emitted only for
-        campaigns that set them, keeping pre-mapper and pre-routing
-        manifests byte-identical.
+        The ``mappers``, ``seed_mode`` and ``frontends`` entries are
+        emitted only for campaigns that set them, keeping pre-mapper,
+        pre-routing and pre-front-end manifests byte-identical.
         """
         payload = {
             "name": self.name,
@@ -375,6 +405,11 @@ class CampaignSpec:
             ]
         if self.seed_mode != "cross":
             payload["seed_mode"] = self.seed_mode
+        if self.frontends:
+            payload["frontends"] = [
+                spec.to_jsonable() if spec is not None else None
+                for spec in self.frontends
+            ]
         return payload
 
     @classmethod
@@ -397,4 +432,8 @@ class CampaignSpec:
                 for entry in payload.get("mappers", ())
             ),
             seed_mode=payload.get("seed_mode", "cross"),
+            frontends=tuple(
+                FrontEndSpec.from_jsonable(entry) if entry is not None else None
+                for entry in payload.get("frontends", ())
+            ),
         )

@@ -16,6 +16,7 @@ CLI (``python -m repro.experiments [name ...]``) runs and prints them.
 | mapping  | (extra) mapper- vs allocation-level wear leveling     |
 | routing  | (extra) context-line pressure under mapping regimes   |
 | fleet    | (extra) fleet-scale aging campaign over traffic mixes |
+| speculation | (extra) aging under a speculative GPP front end    |
 """
 
 from repro.experiments import (
@@ -27,6 +28,7 @@ from repro.experiments import (
     fleet,
     mapping_ablation,
     routing_ablation,
+    speculation,
     table1,
     table2,
 )
@@ -42,6 +44,7 @@ ALL_EXPERIMENTS = {
     "mapping": mapping_ablation,
     "routing": routing_ablation,
     "fleet": fleet,
+    "speculation": speculation,
 }
 
 __all__ = [
@@ -54,6 +57,7 @@ __all__ = [
     "fleet",
     "mapping_ablation",
     "routing_ablation",
+    "speculation",
     "table1",
     "table2",
 ]

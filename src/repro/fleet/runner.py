@@ -107,12 +107,14 @@ def _fleet_params(
             geometry=geometry,
             policy=policy.name,
             policy_kwargs=policy.as_kwargs(),
+            frontend=spec.frontend,
         )
     return replace(
         base_params,
         geometry=geometry,
         policy=policy.name,
         policy_kwargs=policy.as_kwargs(),
+        frontend=spec.frontend,
     )
 
 

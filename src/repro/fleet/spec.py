@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.campaign.spec import PolicySpec
 from repro.errors import ConfigurationError
+from repro.frontend.spec import FrontEndSpec
 from repro.system.scenarios import TrafficScenario, traffic_scenario
 
 #: Devices per weight-generation block. Per-device mix weights are
@@ -81,6 +82,8 @@ class FleetSpec:
         seed: fleet RNG seed (device mix generation).
         mission_years: survival-curve grid (strictly increasing).
         ctx_lines: optional hard context-line routing budget.
+        frontend: optional speculative front end every device runs
+            under (aging under speculation, fleet-wide).
     """
 
     name: str
@@ -93,6 +96,7 @@ class FleetSpec:
     seed: int = 0
     mission_years: tuple[float, ...] = DEFAULT_MISSION_YEARS
     ctx_lines: int | None = None
+    frontend: FrontEndSpec | None = None
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.cols < 1:
@@ -195,6 +199,8 @@ class FleetSpec:
         }
         if self.ctx_lines is not None:
             payload["ctx_lines"] = self.ctx_lines
+        if self.frontend is not None:
+            payload["frontend"] = self.frontend.to_jsonable()
         return payload
 
     @classmethod
@@ -216,6 +222,11 @@ class FleetSpec:
                 float(year) for year in payload["mission_years"]
             ),
             ctx_lines=payload.get("ctx_lines"),
+            frontend=(
+                FrontEndSpec.from_jsonable(payload["frontend"])
+                if payload.get("frontend") is not None
+                else None
+            ),
         )
 
     def fingerprint(self) -> str:

@@ -1,0 +1,145 @@
+"""Declarative front-end configuration (:class:`FrontEndSpec`).
+
+A ``FrontEndSpec`` names a branch predictor from the shared
+:mod:`repro.gpp.branch` registry plus the fetch/resolve geometry and
+interrupt punctuation of the speculative front end. It is frozen and
+hashable so it can ride in :class:`repro.system.params.SystemParams`,
+participate in ``schedule_key`` and serve as a campaign axis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.gpp.branch import BranchPredictor, make_predictor, predictor_class
+
+
+@dataclass(frozen=True)
+class FrontEndSpec:
+    """Configuration of the speculative front end.
+
+    Attributes:
+        predictor: registered predictor name (``repro.gpp.branch``).
+        predictor_kwargs: constructor kwargs as a sorted tuple of
+            ``(name, value)`` pairs (hashable; use :meth:`make`).
+        fetch_width: wrong-path instructions fetched per cycle while a
+            mispredict is in flight.
+        resolve_latency: cycles from a mispredicted branch entering the
+            window until it resolves and redirects fetch.
+        flush_penalty: extra refill cycles charged on every pipeline
+            flush, on top of ``resolve_latency``.
+        interrupt_rate: probability of an asynchronous interrupt after
+            any committed instruction (0 disables punctuation).
+        handler_length: instructions in each injected handler mini-trace.
+        seed: RNG seed for interrupt arrival times.
+    """
+
+    predictor: str = "bimodal"
+    predictor_kwargs: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+    fetch_width: int = 2
+    resolve_latency: int = 4
+    flush_penalty: int = 2
+    interrupt_rate: float = 0.0
+    handler_length: int = 12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        predictor_class(self.predictor)  # raises on unknown names
+        if self.fetch_width < 1:
+            raise ConfigurationError("fetch_width must be >= 1")
+        if self.resolve_latency < 1:
+            raise ConfigurationError("resolve_latency must be >= 1")
+        if self.flush_penalty < 0:
+            raise ConfigurationError("flush_penalty must be >= 0")
+        if not 0.0 <= self.interrupt_rate < 1.0:
+            raise ConfigurationError("interrupt_rate must be in [0, 1)")
+        if self.handler_length < 1:
+            raise ConfigurationError("handler_length must be >= 1")
+
+    @classmethod
+    def make(cls, predictor: str = "bimodal", /, **kwargs: Any) -> FrontEndSpec:
+        """Build a spec, splitting predictor kwargs from spec fields."""
+        spec_fields = {
+            "fetch_width",
+            "resolve_latency",
+            "flush_penalty",
+            "interrupt_rate",
+            "handler_length",
+            "seed",
+        }
+        own = {k: v for k, v in kwargs.items() if k in spec_fields}
+        extra = {k: v for k, v in kwargs.items() if k not in spec_fields}
+        return cls(
+            predictor=predictor,
+            predictor_kwargs=tuple(sorted(extra.items())),
+            **own,
+        )
+
+    @property
+    def wrong_path_budget(self) -> int:
+        """Max wrong-path instructions fetched before resolution."""
+        return self.fetch_width * self.resolve_latency
+
+    @property
+    def flush_cycles(self) -> int:
+        """Gap cycles charged per pipeline flush (drain + refill)."""
+        return self.resolve_latency + self.flush_penalty
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identity, e.g. ``bimodal-w2r4``."""
+        parts = [self.predictor, f"w{self.fetch_width}r{self.resolve_latency}"]
+        if self.interrupt_rate > 0:
+            parts.append(f"irq{self.interrupt_rate:g}s{self.seed}")
+        return "-".join(parts)
+
+    def fingerprint(self) -> str:
+        """Stable short hash over every field (keys caches/artifacts)."""
+        payload = repr(
+            (
+                self.predictor,
+                self.predictor_kwargs,
+                self.fetch_width,
+                self.resolve_latency,
+                self.flush_penalty,
+                self.interrupt_rate,
+                self.handler_length,
+                self.seed,
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def make_predictor(self) -> BranchPredictor:
+        """Instantiate this spec's branch predictor (fresh state)."""
+        return make_predictor(self.predictor, **dict(self.predictor_kwargs))
+
+    def to_jsonable(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "predictor": self.predictor,
+            "fetch_width": self.fetch_width,
+            "resolve_latency": self.resolve_latency,
+            "flush_penalty": self.flush_penalty,
+            "interrupt_rate": self.interrupt_rate,
+            "handler_length": self.handler_length,
+            "seed": self.seed,
+        }
+        if self.predictor_kwargs:
+            payload["predictor_kwargs"] = dict(self.predictor_kwargs)
+        return payload
+
+    @classmethod
+    def from_jsonable(cls, payload: dict[str, Any]) -> FrontEndSpec:
+        kwargs = dict(payload.get("predictor_kwargs", {}))
+        return cls(
+            predictor=payload.get("predictor", "bimodal"),
+            predictor_kwargs=tuple(sorted(kwargs.items())),
+            fetch_width=payload.get("fetch_width", 2),
+            resolve_latency=payload.get("resolve_latency", 4),
+            flush_penalty=payload.get("flush_penalty", 2),
+            interrupt_rate=payload.get("interrupt_rate", 0.0),
+            handler_length=payload.get("handler_length", 12),
+            seed=payload.get("seed", 0),
+        )

@@ -1,0 +1,241 @@
+"""Speculative front end: annotate a committed trace with speculation.
+
+:class:`SpeculativeFrontEnd` replays a branch predictor from the shared
+:mod:`repro.gpp.branch` registry over a committed :class:`Trace` and
+emits a :class:`SpeculativeTrace` — the stream the fetch/translate
+pipeline actually saw:
+
+- after every mispredicted branch, a *wrong-path run* of up to
+  ``fetch_width * resolve_latency`` records fetched down the predicted
+  (wrong) path, cloned from the committed code at the wrong target when
+  it exists there (so wrong-path fetch pollutes the config cache and
+  dcache with *real* code) and synthesized otherwise;
+- a flush gap (``resolve_latency + flush_penalty`` cycles) attached to
+  the record preceding every fetch redirect (mispredict resolution,
+  interrupt entry, handler return);
+- seeded asynchronous interrupts that flush the pipeline and inject a
+  handler mini-trace at :data:`HANDLER_BASE_PC`.
+
+Wrong-path runs never contain BRANCH records, so the GPP predictor and
+branch accounting never train on squashed work; handler code is real
+committed work but is tracked separately via its record kind.
+
+The annotation is deterministic per ``(trace, spec)`` and memoised on
+the trace object, so per-policy coupled walks share one annotation.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.frontend.spec import FrontEndSpec
+from repro.isa.instructions import InstrClass
+from repro.sim.trace import (
+    KIND_COMMITTED,
+    KIND_HANDLER,
+    KIND_WRONG_PATH,
+    SpeculativeTrace,
+    Trace,
+    TraceRecord,
+)
+
+#: Base address of the injected interrupt-handler mini-trace. High and
+#: 4-aligned so it never collides with workload code.
+HANDLER_BASE_PC = 0xFFFF_0000
+
+
+def _plain_record(pc: int, op: str, cls: InstrClass) -> TraceRecord:
+    """A synthetic non-memory record at ``pc`` (next_pc fixed up later)."""
+    return TraceRecord(
+        pc=pc,
+        op=op,
+        cls=cls,
+        rd=None,
+        rs1=None,
+        rs2=None,
+        imm=None,
+        rd_value=None,
+        mem_addr=None,
+        mem_bytes=0,
+        taken=None,
+        next_pc=pc + 4,
+    )
+
+
+class SpeculativeFrontEnd:
+    """Stateless-per-call annotator driven by a :class:`FrontEndSpec`."""
+
+    def __init__(self, spec: FrontEndSpec) -> None:
+        self.spec = spec
+
+    # -- wrong-path synthesis ----------------------------------------------
+
+    def _wrong_path_run(
+        self,
+        trace: Trace,
+        pc_index: dict[int, int],
+        wrong_pc: int,
+    ) -> list[TraceRecord]:
+        """Records fetched down the wrong path starting at ``wrong_pc``."""
+        budget = self.spec.wrong_path_budget
+        run: list[TraceRecord] = []
+        position = pc_index.get(wrong_pc)
+        if position is not None:
+            for source in trace[position : position + budget]:
+                if source.is_control_flow:
+                    break  # fetch stalls at unresolved control flow
+                run.append(
+                    TraceRecord(
+                        pc=source.pc,
+                        op=source.op,
+                        cls=source.cls,
+                        rd=source.rd,
+                        rs1=source.rs1,
+                        rs2=source.rs2,
+                        imm=source.imm,
+                        rd_value=None,
+                        mem_addr=source.mem_addr,
+                        mem_bytes=source.mem_bytes,
+                        taken=None,
+                        next_pc=source.pc + 4,
+                    )
+                )
+        if not run:
+            run = [
+                _plain_record(wrong_pc + 4 * i, "add", InstrClass.ALU)
+                for i in range(budget)
+            ]
+        return run
+
+    def _handler_run(self) -> list[TraceRecord]:
+        """The interrupt-handler mini-trace (kind ``KIND_HANDLER``)."""
+        length = self.spec.handler_length
+        run = [_plain_record(HANDLER_BASE_PC, "ecall", InstrClass.SYSTEM)]
+        for i in range(1, length - 1):
+            run.append(
+                _plain_record(HANDLER_BASE_PC + 4 * i, "add", InstrClass.ALU)
+            )
+        if length > 1:
+            run.append(
+                _plain_record(
+                    HANDLER_BASE_PC + 4 * (length - 1), "jalr", InstrClass.JUMP
+                )
+            )
+        return run
+
+    def _interrupt_points(self, n_committed: int) -> set[int]:
+        """Committed indices after which an interrupt fires (seeded)."""
+        rate = self.spec.interrupt_rate
+        points: set[int] = set()
+        if rate <= 0.0 or n_committed == 0:
+            return points
+        rng = np.random.default_rng(self.spec.seed)
+        position = 0
+        while True:
+            position += int(rng.geometric(rate))
+            if position > n_committed:
+                return points
+            points.add(position - 1)
+
+    # -- annotation --------------------------------------------------------
+
+    def annotate(self, trace: Trace) -> SpeculativeTrace:
+        """Expand a committed trace into the speculative fetch stream."""
+        spec = self.spec
+        predictor = spec.make_predictor()
+        flush_cycles = spec.flush_cycles
+
+        # First committed occurrence of each pc, for wrong-path cloning.
+        pc_index: dict[int, int] = {}
+        for position, record in enumerate(trace):
+            pc_index.setdefault(record.pc, position)
+
+        interrupt_after = self._interrupt_points(len(trace))
+
+        records: list[TraceRecord] = []
+        kinds: list[int] = []
+        gaps: list[int] = []
+        mispredicts = 0
+        flushes = 0
+        interrupts = 0
+
+        def emit(run: list[TraceRecord], kind: int, gap: int) -> None:
+            records.extend(run)
+            kinds.extend([kind] * len(run))
+            gaps.extend([0] * len(run))
+            if gap:
+                nonlocal flushes
+                gaps[-1] += gap
+                flushes += 1
+
+        for index, record in enumerate(trace):
+            emit([record], KIND_COMMITTED, 0)
+            if record.cls is InstrClass.BRANCH:
+                offset = record.imm if record.imm is not None else 0
+                predicted = predictor.predict(record.pc, offset)
+                taken = bool(record.taken)
+                predictor.update(record.pc, taken)
+                if predicted != taken:
+                    mispredicts += 1
+                    # Wrong path = the predicted (not-executed) side.
+                    wrong_pc = record.pc + offset if predicted else record.pc + 4
+                    run = self._wrong_path_run(trace, pc_index, wrong_pc)
+                    emit(run, KIND_WRONG_PATH, flush_cycles)
+            if index in interrupt_after:
+                interrupts += 1
+                # Pipeline flush on entry: gap lands on the last record
+                # fetched before the handler redirect.
+                gaps[-1] += flush_cycles
+                flushes += 1
+                emit(self._handler_run(), KIND_HANDLER, flush_cycles)
+
+        # Stream-consistency pass: every record's next_pc is the pc of
+        # the record that follows it in the fetch stream, so redirect
+        # flags (and therefore unit heads and prefix matches) describe
+        # the speculative stream, not the committed one. The final
+        # record keeps its original next_pc.
+        from dataclasses import replace as _replace
+
+        for j in range(len(records) - 1):
+            succ_pc = records[j + 1].pc
+            if records[j].next_pc != succ_pc:
+                records[j] = _replace(records[j], next_pc=succ_pc)
+
+        return SpeculativeTrace(
+            records,
+            trace.name,
+            kinds,
+            gaps,
+            n_committed=len(trace),
+            mispredicts=mispredicts,
+            flushes=flushes,
+            interrupts=interrupts,
+            frontend_fingerprint=spec.fingerprint(),
+        )
+
+
+#: Per-trace memo of annotations: trace -> {spec -> SpeculativeTrace}.
+_ANNOTATION_MEMO: weakref.WeakKeyDictionary[Trace, dict[FrontEndSpec, SpeculativeTrace]]
+_ANNOTATION_MEMO = weakref.WeakKeyDictionary()
+
+
+def speculative_trace(trace: Trace, spec: FrontEndSpec) -> SpeculativeTrace:
+    """Memoised :meth:`SpeculativeFrontEnd.annotate` for ``(trace, spec)``."""
+    if trace.speculative:
+        raise ValueError("trace is already speculative; annotate the base trace")
+    per_trace = _ANNOTATION_MEMO.get(trace)
+    if per_trace is None:
+        per_trace = {}
+        _ANNOTATION_MEMO[trace] = per_trace
+    annotated = per_trace.get(spec)
+    if annotated is None:
+        annotated = SpeculativeFrontEnd(spec).annotate(trace)
+        per_trace[spec] = annotated
+    return annotated
+
+
+def clear_annotation_cache() -> None:
+    """Drop all memoised annotations (used by cache-reset helpers)."""
+    _ANNOTATION_MEMO.clear()

@@ -8,7 +8,14 @@ produced by :mod:`repro.sim` and reports cycle counts; it never
 re-executes instructions.
 """
 
-from repro.gpp.branch import AlwaysTakenPredictor, BimodalPredictor, BTFNPredictor
+from repro.gpp.branch import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BTFNPredictor,
+    GSharePredictor,
+    available_predictors,
+    make_predictor,
+)
 from repro.gpp.cache import CacheModel, CacheParams
 from repro.gpp.params import GPPParams
 from repro.gpp.timing import GPPTimingModel, GPPTimingResult
@@ -22,4 +29,7 @@ __all__ = [
     "GPPParams",
     "GPPTimingModel",
     "GPPTimingResult",
+    "GSharePredictor",
+    "available_predictors",
+    "make_predictor",
 ]

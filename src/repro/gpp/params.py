@@ -19,7 +19,8 @@ class GPPParams:
     Attributes:
         class_cycles: base cycles per instruction class.
         branch_mispredict_penalty: pipeline refill cycles on mispredict.
-        predictor: one of ``"btfn"``, ``"taken"``, ``"bimodal"``.
+        predictor: a registered name from :mod:`repro.gpp.branch`
+            (``"btfn"``, ``"taken"``, ``"bimodal"``, ``"gshare"``).
         icache: instruction cache geometry/penalty.
         dcache: data cache geometry/penalty.
     """

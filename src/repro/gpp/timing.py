@@ -15,28 +15,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
-from repro.gpp.branch import (
-    AlwaysTakenPredictor,
-    BimodalPredictor,
-    BranchPredictor,
-    BTFNPredictor,
-)
+from repro.gpp.branch import make_predictor
 from repro.gpp.cache import CacheModel
 from repro.gpp.params import GPPParams
 from repro.isa.instructions import InstrClass
 from repro.sim.trace import Trace, TraceRecord
 
-
-def make_predictor(name: str) -> BranchPredictor:
-    """Instantiate a branch predictor by name."""
-    if name == "btfn":
-        return BTFNPredictor()
-    if name == "taken":
-        return AlwaysTakenPredictor()
-    if name == "bimodal":
-        return BimodalPredictor()
-    raise ConfigurationError(f"unknown predictor {name!r}")
+__all__ = ["GPPTimingModel", "GPPTimingResult", "make_predictor"]
 
 
 @dataclass

@@ -2,6 +2,23 @@
 
 from repro.sim.cpu import CPU, ExecutionResult
 from repro.sim.memory import Memory
-from repro.sim.trace import Trace, TraceRecord
+from repro.sim.trace import (
+    KIND_COMMITTED,
+    KIND_HANDLER,
+    KIND_WRONG_PATH,
+    SpeculativeTrace,
+    Trace,
+    TraceRecord,
+)
 
-__all__ = ["CPU", "ExecutionResult", "Memory", "Trace", "TraceRecord"]
+__all__ = [
+    "CPU",
+    "ExecutionResult",
+    "KIND_COMMITTED",
+    "KIND_HANDLER",
+    "KIND_WRONG_PATH",
+    "Memory",
+    "SpeculativeTrace",
+    "Trace",
+    "TraceRecord",
+]

@@ -23,6 +23,12 @@ from repro.isa.instructions import InstrClass
 _CLASS_MEMBERS = tuple(InstrClass)
 _CLASS_INDEX = {cls: index for index, cls in enumerate(_CLASS_MEMBERS)}
 
+#: Record-kind codes for speculative streams (:class:`SpeculativeTrace`).
+#: Plain committed traces are implicitly all-:data:`KIND_COMMITTED`.
+KIND_COMMITTED = 0
+KIND_WRONG_PATH = 1
+KIND_HANDLER = 2
+
 
 @dataclass(frozen=True, slots=True)
 class TraceRecord:
@@ -192,3 +198,125 @@ class Trace(Sequence[TraceRecord]):
         loads = counts.get(InstrClass.LOAD, 0)
         stores = counts.get(InstrClass.STORE, 0)
         return (loads + stores) / len(self._records)
+
+    # -- speculative-stream annotations ------------------------------------
+    #
+    # A plain committed trace carries trivial annotations (all records
+    # committed, no flush gaps); :class:`SpeculativeTrace` overrides
+    # these with the columns produced by the front end. The walkers only
+    # touch them when a front end is configured, so plain traces never
+    # pay for the zero columns unless asked.
+
+    #: Whether this trace carries front-end (speculation) annotations.
+    speculative: bool = False
+
+    @property
+    def n_committed(self) -> int:
+        """Number of architecturally committed records in the stream."""
+        return len(self._records)
+
+    @cached_property
+    def kind_array(self) -> np.ndarray:
+        """Per-record kind codes (read-only int8); all committed here."""
+        kinds = np.zeros(len(self._records), dtype=np.int8)
+        kinds.flags.writeable = False
+        return kinds
+
+    @cached_property
+    def flush_gap_array(self) -> np.ndarray:
+        """Pipeline-flush cycles charged *after* each record (read-only)."""
+        gaps = np.zeros(len(self._records), dtype=np.int64)
+        gaps.flags.writeable = False
+        return gaps
+
+    @cached_property
+    def committed_prefix(self) -> np.ndarray:
+        """Exclusive prefix sums of committed-record counts (len + 1).
+
+        ``committed_prefix[j]`` is the number of committed records in
+        ``records[:j]``; span counts are two lookups.
+        """
+        prefix = np.zeros(len(self._records) + 1, dtype=np.int64)
+        np.cumsum(self.kind_array == KIND_COMMITTED, out=prefix[1:])
+        prefix.flags.writeable = False
+        return prefix
+
+    @cached_property
+    def flush_gap_prefix(self) -> np.ndarray:
+        """Exclusive prefix sums of :attr:`flush_gap_array` (len + 1)."""
+        prefix = np.zeros(len(self._records) + 1, dtype=np.int64)
+        np.cumsum(self.flush_gap_array, out=prefix[1:])
+        prefix.flags.writeable = False
+        return prefix
+
+
+class SpeculativeTrace(Trace):
+    """A front-end-annotated instruction stream.
+
+    Produced by :class:`repro.frontend.SpeculativeFrontEnd` from a
+    committed :class:`Trace`: the committed records appear in order,
+    interleaved with wrong-path runs after each mispredicted branch and
+    interrupt-handler mini-traces, with pipeline-flush gap cycles
+    attached to the records that precede a fetch redirect. ``next_pc``
+    is rewritten to be *stream-consistent* (each record's ``next_pc``
+    is the pc of the following stream record), so unit-head detection
+    and prefix matching see the fetch stream the fabric actually saw.
+    """
+
+    speculative = True
+
+    def __init__(
+        self,
+        records: list[TraceRecord],
+        name: str,
+        kinds: list[int],
+        flush_gaps: list[int],
+        *,
+        n_committed: int,
+        mispredicts: int,
+        flushes: int,
+        interrupts: int,
+        frontend_fingerprint: str,
+    ) -> None:
+        if len(kinds) != len(records) or len(flush_gaps) != len(records):
+            raise ValueError("annotation columns must match record count")
+        super().__init__(records, name)
+        self._kinds = kinds
+        self._flush_gaps = flush_gaps
+        self._n_committed = n_committed
+        #: Mispredicted branches encountered by the front end.
+        self.mispredicts = mispredicts
+        #: Pipeline flush events (mispredict resolutions + interrupt
+        #: entries/returns).
+        self.flushes = flushes
+        #: Injected asynchronous interrupts.
+        self.interrupts = interrupts
+        #: Fingerprint of the :class:`~repro.frontend.FrontEndSpec` that
+        #: produced this stream.
+        self.frontend_fingerprint = frontend_fingerprint
+
+    @property
+    def n_committed(self) -> int:
+        return self._n_committed
+
+    @property
+    def n_wrong_path(self) -> int:
+        """Number of wrong-path records in the stream."""
+        return int(np.count_nonzero(self.kind_array == KIND_WRONG_PATH))
+
+    @property
+    def flush_cycles(self) -> int:
+        """Total pipeline-flush gap cycles in the stream."""
+        return int(self.flush_gap_prefix[-1])
+
+    @cached_property
+    def kind_array(self) -> np.ndarray:
+        kinds = np.asarray(self._kinds, dtype=np.int8)
+        kinds.flags.writeable = False
+        return kinds
+
+    @cached_property
+    def flush_gap_array(self) -> np.ndarray:
+        gaps = np.asarray(self._flush_gaps, dtype=np.int64)
+        gaps.flags.writeable = False
+        return gaps

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field, replace
 from repro.cgra.datapath import DatapathParams
 from repro.cgra.fabric import FabricGeometry
 from repro.dbt.translator import DBTLimits
+from repro.frontend.spec import FrontEndSpec
 from repro.gpp.params import GPPParams
 from repro.hw.energy import EnergyParams
 
@@ -29,6 +30,9 @@ class SystemParams:
         dbt: translation-unit limits.
         config_cache_entries: configuration-cache capacity.
         energy: energy-model parameters.
+        frontend: speculative front-end configuration, or ``None`` for
+            the classic clean committed stream (the default — walks are
+            byte-identical to pre-front-end behaviour).
     """
 
     geometry: FabricGeometry
@@ -41,6 +45,7 @@ class SystemParams:
     dbt: DBTLimits = field(default_factory=DBTLimits)
     config_cache_entries: int = 64
     energy: EnergyParams = field(default_factory=EnergyParams)
+    frontend: FrontEndSpec | None = None
 
     def with_policy(self, policy: str, **policy_kwargs) -> "SystemParams":
         """Copy of these parameters under a different policy."""
@@ -49,3 +54,7 @@ class SystemParams:
     def with_mapper(self, mapper: str, **mapper_kwargs) -> "SystemParams":
         """Copy of these parameters under a different mapper."""
         return replace(self, mapper=mapper, mapper_kwargs=mapper_kwargs)
+
+    def with_frontend(self, frontend: FrontEndSpec | None) -> "SystemParams":
+        """Copy of these parameters under a different front end."""
+        return replace(self, frontend=frontend)

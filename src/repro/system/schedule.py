@@ -55,11 +55,12 @@ from repro.core.policy import AllocationPolicy
 from repro.dbt.config_cache import ConfigCache, ConfigCacheStats
 from repro.dbt.translator import DBTEngine
 from repro.errors import ConfigurationError
+from repro.frontend.speculative import clear_annotation_cache, speculative_trace
 from repro.gpp.timing import GPPTimingModel, GPPTimingResult
 from repro.hw.energy import EnergyModel, EnergyReport, SystemActivity
 from repro.mapping import make_mapper
 from repro.resilience import faults
-from repro.sim.trace import Trace
+from repro.sim.trace import KIND_COMMITTED, KIND_WRONG_PATH, Trace
 from repro.system.params import SystemParams
 from repro.system.stats import CGRAStats
 
@@ -112,7 +113,10 @@ def schedule_key(params: SystemParams):
     depends on — the full :class:`~repro.system.params.SystemParams`
     *minus* the allocation policy and the energy model (energy is pure
     post-processing of the recorded activity). Two design points with
-    equal keys share one trace walk.
+    equal keys share one trace walk. The front-end spec is part of the
+    key: different specs produce different speculative streams from the
+    same committed trace, so their schedules must never alias (in
+    memory or on disk).
     """
     return (
         _freeze(params.geometry),
@@ -122,6 +126,7 @@ def schedule_key(params: SystemParams):
         _freeze(params.datapath),
         _freeze(params.dbt),
         params.config_cache_entries,
+        _freeze(params.frontend),
     )
 
 
@@ -205,6 +210,15 @@ class LaunchSchedule:
         cgra.config_cache_evictions = getattr(
             self.cgra, "config_cache_evictions", 0
         )
+        for counter in (
+            "wrong_path_launches",
+            "wrong_path_instructions",
+            "frontend_mispredicts",
+            "frontend_flushes",
+            "frontend_interrupts",
+            "frontend_flush_cycles",
+        ):
+            setattr(cgra, counter, getattr(self.cgra, counter, 0))
         return cgra, replace(self.cache_stats)
 
 
@@ -236,7 +250,16 @@ def compute_schedule(
     single-phase simulation did. Without it the walk is
     policy-independent; a stress-coupled mapper then raises, because
     its placements would silently diverge from the coupled pipeline.
+
+    With ``params.frontend`` set, the committed trace is first expanded
+    into its speculative fetch stream (memoised per trace/spec): the
+    walk then sees wrong-path runs and handler mini-traces — squashed
+    launches still probe and pollute the config cache and accrue fabric
+    stress, but only committed-kind records count as committed work,
+    and flush gaps charge cycles and break GPP segments mid-stream.
     """
+    if params.frontend is not None and not trace.speculative:
+        trace = speculative_trace(trace, params.frontend)
     geometry = params.geometry
     mapper = _make_walk_mapper(params)
     if mapper.stress_coupled and allocator is None:
@@ -277,6 +300,18 @@ def compute_schedule(
     head_flags = engine.unit_head_flags(trace)
     mem_positions = trace.mem_positions
     mem_addresses = trace.mem_addresses
+
+    # Front-end annotation columns; only consulted on speculative
+    # streams, so plain committed walks stay byte-identical and never
+    # materialise the zero columns.
+    speculative = trace.speculative
+    if speculative:
+        kind_codes = trace.kind_array
+        flush_gaps = trace.flush_gap_array
+        committed_prefix = trace.committed_prefix
+        flush_prefix = trace.flush_gap_prefix
+        wrong_path_prefix = np.zeros(len(trace) + 1, dtype=np.int64)
+        np.cumsum(kind_codes == KIND_WRONG_PATH, out=wrong_path_prefix[1:])
 
     cycles = 0
     loaded_pc: int | None = None
@@ -328,7 +363,27 @@ def compute_schedule(
                 activity.cold_config_bits += (
                     reconfig_spec.config_bits_per_column * unit.used_cols
                 )
-            stats.committed_instructions += matched
+            if speculative:
+                # Only committed-kind records are architectural work;
+                # wrong-path (and handler) records in the span still
+                # occupied the fabric but never commit GPP state.
+                end = position + matched
+                stats.committed_instructions += int(
+                    committed_prefix[end] - committed_prefix[position]
+                )
+                stats.wrong_path_instructions += int(
+                    wrong_path_prefix[end] - wrong_path_prefix[position]
+                )
+                if kind_codes[position] != KIND_COMMITTED:
+                    stats.wrong_path_launches += 1
+                span_flush = int(flush_prefix[end] - flush_prefix[position])
+                if span_flush:
+                    # A pipeline flush inside the replayed span: charge
+                    # the refill gap and break launch chaining.
+                    launch_cost += span_flush
+                    stats.frontend_flush_cycles += span_flush
+            else:
+                stats.committed_instructions += matched
             activity.launches += 1
             activity.active_column_launches += unit.used_cols
             for op in unit.ops:
@@ -336,6 +391,8 @@ def compute_schedule(
             loaded_pc = unit.start_pc
             engine.note_replay(unit, matched)
             chained = matched == unit.n_instructions
+            if speculative and span_flush:
+                chained = False
             cycles += launch_cost
             position += matched
             pending_head = position
@@ -346,6 +403,16 @@ def compute_schedule(
         record = trace[position]
         cycles += gpp.record_cycles(record)
         gpp_class_counts[record.cls] += 1
+        if speculative:
+            gap = int(flush_gaps[position])
+            if gap:
+                # Pipeline flush right after this record (mispredict
+                # resolution or interrupt redirect): charge the refill
+                # gap and invalidate the GPP segment mid-stream.
+                cycles += gap
+                stats.frontend_flush_cycles += gap
+                gpp_segments.append((segment_start, position + 1))
+                segment_start = -1
         if is_head:
             new_unit = engine.translate_at(trace, position)
             if new_unit is not None:
@@ -371,9 +438,17 @@ def compute_schedule(
     stats.config_cache_hits = cache.stats.hits
     stats.config_cache_misses = cache.stats.misses
     stats.config_cache_evictions = cache.stats.evictions
+    if speculative:
+        stats.frontend_mispredicts = trace.mispredicts
+        stats.frontend_flushes = trace.flushes
+        stats.frontend_interrupts = trace.interrupts
+        obs.count("frontend.mispredicts", trace.mispredicts)
+        obs.count("frontend.flushes", trace.flushes)
+        obs.count("frontend.interrupts", trace.interrupts)
+        obs.count("frontend.wrong_path_launches", stats.wrong_path_launches)
     return LaunchSchedule(
         trace_name=trace.name,
-        instructions=n_records,
+        instructions=trace.n_committed,
         stress_coupled=engine.stress_coupled,
         configs=tuple(launch_configs),
         exec_cycles=np.asarray(launch_exec_cycles, dtype=np.int64),
@@ -431,7 +506,9 @@ _DISK_CACHE_DIR: Path | None = None
 #: Bump when the on-disk payload layout changes; stale-version files
 #: are ignored and rewritten rather than unpickled into a new schema.
 #: v2: CGRAStats carries non-field config-cache mirrors.
-_DISK_CACHE_VERSION = 2
+#: v3: front-end counters on CGRAStats; ``schedule_key`` gained the
+#: front-end spec element.
+_DISK_CACHE_VERSION = 3
 
 _TRACE_FINGERPRINTS: WeakKeyDictionary = WeakKeyDictionary()
 
@@ -629,9 +706,11 @@ def gpp_reference(
 
 
 def clear_schedule_caches() -> None:
-    """Drop all in-process memoised schedules, GPP references and
-    trace fingerprints (benchmarking and test isolation). The on-disk
-    cache directory setting — and its files — are left alone."""
+    """Drop all in-process memoised schedules, GPP references, trace
+    fingerprints and front-end annotations (benchmarking and test
+    isolation). The on-disk cache directory setting — and its files —
+    are left alone."""
     _SCHEDULE_CACHE.clear()
     _GPP_CACHE.clear()
     _TRACE_FINGERPRINTS.clear()
+    clear_annotation_cache()

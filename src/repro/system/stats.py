@@ -15,11 +15,13 @@ class CGRAStats:
     """Fabric-side counters for one run.
 
     The config-cache mirrors (``config_cache_hits`` / ``_misses`` /
-    ``_evictions``) are deliberately *not* dataclass fields: they are
-    convenience copies of :class:`ConfigCacheStats` counters set in
-    ``__post_init__``, kept out of field-driven serialisation
-    (``to_jsonable``) so the pinned golden experiment JSON stays
-    byte-identical.
+    ``_evictions``) and the front-end counters (``frontend_*``,
+    ``wrong_path_*``) are deliberately *not* dataclass fields: they are
+    convenience copies set in ``__post_init__``, kept out of
+    field-driven serialisation (``to_jsonable``) so the pinned golden
+    experiment JSON stays byte-identical. The front-end counters are
+    zero unless the run was driven through a speculative front end
+    (:class:`repro.frontend.FrontEndSpec`).
     """
 
     launches: int = 0
@@ -36,6 +38,13 @@ class CGRAStats:
         self.config_cache_hits = 0
         self.config_cache_misses = 0
         self.config_cache_evictions = 0
+        # Speculative front-end counters (repro.frontend).
+        self.wrong_path_launches = 0
+        self.wrong_path_instructions = 0
+        self.frontend_mispredicts = 0
+        self.frontend_flushes = 0
+        self.frontend_interrupts = 0
+        self.frontend_flush_cycles = 0
 
     @property
     def commit_efficiency(self) -> float:

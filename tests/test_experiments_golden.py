@@ -13,7 +13,7 @@ evolve.
 
 Regenerating fixtures after an *intentional* output change::
 
-    for e in fig1 fig7 fig8 table1 table2 ablation fig6; do
+    for e in fig1 fig7 fig8 table1 table2 ablation fig6 speculation; do
         PYTHONPATH=src python -m repro.experiments $e --json tests/golden \
             > tests/golden/$e.stdout.txt
     done
@@ -39,6 +39,7 @@ DEFAULT_GREEDY_EXPERIMENTS = (
     "table1",
     "table2",
     "ablation",
+    "speculation",
 )
 
 

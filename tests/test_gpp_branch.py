@@ -1,4 +1,4 @@
-"""Tests for the branch predictors."""
+"""Tests for the branch predictors and their registry."""
 
 import pytest
 
@@ -7,6 +7,10 @@ from repro.gpp.branch import (
     AlwaysTakenPredictor,
     BimodalPredictor,
     BTFNPredictor,
+    GSharePredictor,
+    available_predictors,
+    make_predictor,
+    predictor_class,
 )
 
 
@@ -59,3 +63,92 @@ class TestBimodal:
     def test_bad_entries_rejected(self):
         with pytest.raises(ConfigurationError):
             BimodalPredictor(entries=12)
+
+
+class TestGShare:
+    def test_initially_weakly_taken(self):
+        predictor = GSharePredictor(entries=16)
+        assert predictor.predict(0x1000, 4)
+
+    def test_learns_per_history_path(self):
+        """The same pc can predict differently under different global
+        histories — the property bimodal cannot express."""
+        predictor = GSharePredictor(entries=64, history_bits=2)
+        pc = 0x3000
+        # Train: after history 0b00 the branch is not taken, after
+        # history 0b11 it is taken.
+        for _ in range(4):
+            predictor._history = 0b00
+            predictor.update(pc, False)
+            predictor._history = 0b11
+            predictor.update(pc, True)
+        predictor._history = 0b00
+        assert not predictor.predict(pc, 4)
+        predictor._history = 0b11
+        assert predictor.predict(pc, 4)
+
+    def test_history_shifts_in_outcomes(self):
+        predictor = GSharePredictor(entries=16, history_bits=4)
+        predictor.update(0x1000, True)
+        predictor.update(0x1004, False)
+        predictor.update(0x1008, True)
+        assert predictor._history == 0b101
+
+    def test_history_bounded_by_history_bits(self):
+        predictor = GSharePredictor(entries=16, history_bits=3)
+        for _ in range(20):
+            predictor.update(0x1000, True)
+        assert predictor._history == 0b111
+
+    def test_reset_clears_history_and_counters(self):
+        predictor = GSharePredictor(entries=16)
+        predictor.update(0x1000, False)
+        predictor.update(0x1000, False)
+        predictor.reset()
+        assert predictor._history == 0
+        assert predictor.predict(0x1000, 4)
+
+    def test_bad_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GSharePredictor(entries=100)
+
+    def test_bad_history_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GSharePredictor(entries=16, history_bits=0)
+
+
+class TestRegistry:
+    def test_all_shipped_predictors_registered(self):
+        assert available_predictors() == (
+            "bimodal",
+            "btfn",
+            "gshare",
+            "taken",
+        )
+
+    def test_make_predictor_dispatches(self):
+        assert isinstance(make_predictor("btfn"), BTFNPredictor)
+        assert isinstance(make_predictor("taken"), AlwaysTakenPredictor)
+        assert isinstance(make_predictor("bimodal"), BimodalPredictor)
+        assert isinstance(make_predictor("gshare"), GSharePredictor)
+
+    def test_make_predictor_forwards_kwargs(self):
+        predictor = make_predictor("gshare", entries=32, history_bits=4)
+        assert predictor._mask == 31
+        assert predictor._history_mask == 0b1111
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown predictor"):
+            make_predictor("perceptron")
+        with pytest.raises(ConfigurationError, match="unknown predictor"):
+            predictor_class("perceptron")
+
+    def test_bad_kwargs_reported_as_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="bad arguments"):
+            make_predictor("btfn", entries=16)
+
+    def test_timing_module_reexport(self):
+        """GPPParams docs point at the registry via repro.gpp.timing."""
+        from repro.gpp.timing import make_predictor as timing_make
+
+        assert timing_make is make_predictor
